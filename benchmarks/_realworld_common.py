@@ -1,0 +1,89 @@
+"""Shared two-day real-world run for Figures 17 and 18.
+
+Every hour for two simulated days, a 1 MB file is uploaded and then
+downloaded through CYRUS and through DepSky over the four prototype
+CSPs with diurnally varying rates.  Figure 17 reads the completion-time
+distributions; Figure 18 reads the per-CSP share-placement counts.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.bench import build_environment
+from repro.bench.realworld import realworld_links
+from repro.core.config import CyrusConfig
+from repro.depsky import DepSkyClient
+from repro.workloads import random_bytes
+from repro.workloads.trial import TRIAL_CSPS
+
+FILE_BYTES = 1 * 1024 * 1024
+HOURS = 48
+
+
+@dataclass
+class TwoDayRun:
+    cyrus_up: list[float] = field(default_factory=list)
+    cyrus_down: list[float] = field(default_factory=list)
+    depsky_up: list[float] = field(default_factory=list)
+    depsky_down: list[float] = field(default_factory=list)
+    cyrus_shares: dict[str, int] = field(default_factory=dict)
+    depsky_shares: dict[str, int] = field(default_factory=dict)
+    cyrus_downloads: dict[str, int] = field(default_factory=dict)
+    depsky_downloads: dict[str, int] = field(default_factory=dict)
+
+
+@functools.lru_cache(maxsize=1)
+def run_two_days() -> TwoDayRun:
+    out = TwoDayRun()
+    config = CyrusConfig(
+        key="k", t=2, n=3,
+        chunk_min=FILE_BYTES, chunk_avg=1 << 21, chunk_max=1 << 21,
+    )
+
+    cyrus_env = build_environment(
+        realworld_links(diurnal_amplitude=0.35),
+        client_up=100e6 / 8, client_down=100e6 / 8,
+    )
+    cyrus = cyrus_env.new_client(config)
+
+    depsky_env = build_environment(
+        realworld_links(diurnal_amplitude=0.35),
+        client_up=100e6 / 8, client_down=100e6 / 8,
+    )
+    depsky = DepSkyClient(depsky_env.engine, list(TRIAL_CSPS), key="k",
+                          t=2, n=3, backoff_range=(1.0, 2.0), seed=17)
+
+    out.cyrus_shares = {c: 0 for c in TRIAL_CSPS}
+    out.cyrus_downloads = {c: 0 for c in TRIAL_CSPS}
+    out.depsky_downloads = {c: 0 for c in TRIAL_CSPS}
+
+    for hour in range(HOURS):
+        t = hour * 3600.0
+        cyrus_env.clock.advance_to(max(t, cyrus_env.clock.now()))
+        depsky_env.clock.advance_to(max(t, depsky_env.clock.now()))
+        data = random_bytes(FILE_BYTES, seed=1700 + hour)
+        name = f"hourly-{hour:02d}"
+
+        up = cyrus.put(name, data, sync_first=False)
+        out.cyrus_up.append(up.duration)
+        for share in up.node.shares:
+            out.cyrus_shares[share.csp_id] += 1
+        down = cyrus.get(name, sync_first=False)
+        assert down.data == data
+        out.cyrus_down.append(down.duration)
+        for res in down.share_results:
+            if res.ok:
+                out.cyrus_downloads[res.op.csp_id] += 1
+
+        dup = depsky.upload(name, data)
+        out.depsky_up.append(dup.duration)
+        ddown = depsky.download(name)
+        assert ddown.data == data
+        out.depsky_down.append(ddown.duration)
+        for csp in ddown.download_csps:
+            out.depsky_downloads[csp] += 1
+
+    out.depsky_shares = dict(depsky.shares_stored)
+    return out

@@ -1,0 +1,89 @@
+"""Shared machinery for the testbed dataset experiments (Figures 14, 15).
+
+Builds the paper's 4-fast/3-slow testbed, uploads the (scaled) Table 4
+dataset under a given (t, n), and measures per-file download completion
+times under a given download selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import build_paper_testbed
+from repro.core.config import CyrusConfig
+from repro.workloads import generate_dataset
+
+from benchmarks.conftest import BENCH_CHUNKS, BENCH_SCALE
+
+
+@dataclass
+class ExperimentResult:
+    """Per-file timings for one (config, selector) run."""
+
+    t: int
+    n: int
+    selector_name: str
+    upload_durations: list[float]
+    download_durations: list[float]
+    file_sizes: list[int]
+
+    @property
+    def mean_download(self) -> float:
+        return sum(self.download_durations) / len(self.download_durations)
+
+    @property
+    def cumulative_upload(self) -> float:
+        return sum(self.upload_durations)
+
+    @property
+    def cumulative_download(self) -> float:
+        return sum(self.download_durations)
+
+    def download_throughputs(self) -> list[float]:
+        return [
+            size / duration
+            for size, duration in zip(self.file_sizes, self.download_durations)
+            if duration > 0
+        ]
+
+
+def dataset_files(max_files: int | None = None):
+    dataset = generate_dataset(scale=BENCH_SCALE, seed=1404)
+    files = list(dataset.files)
+    if max_files is not None:
+        files = files[:max_files]
+    return [(f.name, f.content()) for f in files]
+
+
+def run_experiment(
+    t: int,
+    n: int,
+    selector_factory,
+    selector_name: str,
+    files: list[tuple[str, bytes]],
+    key: str = "bench-key",
+) -> ExperimentResult:
+    """Upload all files, then download them all with the given selector."""
+    env = build_paper_testbed()
+    config = CyrusConfig(key=key, t=t, n=n, **BENCH_CHUNKS)
+    writer = env.new_client(config, client_id="writer")
+    uploads = []
+    for name, content in files:
+        uploads.append(writer.put(name, content, sync_first=False))
+    reader = env.new_client(
+        config, client_id="reader", selector=selector_factory()
+    )
+    reader.recover()
+    downloads = []
+    for name, content in files:
+        report = reader.get(name, sync_first=False)
+        assert report.data == content, f"corrupt roundtrip for {name}"
+        downloads.append(report)
+    return ExperimentResult(
+        t=t,
+        n=n,
+        selector_name=selector_name,
+        upload_durations=[r.duration for r in uploads],
+        download_durations=[r.duration for r in downloads],
+        file_sizes=[len(content) for _, content in files],
+    )

@@ -1,0 +1,37 @@
+"""Shared configuration for the table/figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated substrate and asserts the paper's *qualitative shape* (who
+wins, by roughly what factor, where crossovers fall) — not absolute
+numbers, which depended on the authors' testbed.
+
+Workload sizes are scaled so the whole suite runs in a few minutes; set
+``CYRUS_BENCH_SCALE`` (fraction of the paper's 638 MB dataset, default
+0.02) to change fidelity.  Simulated completion times are attached to
+each benchmark's ``extra_info`` and printed as paper-style tables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Fraction of Table 4's 638 MB used by dataset-driven benchmarks.
+BENCH_SCALE = float(os.environ.get("CYRUS_BENCH_SCALE", "0.02"))
+
+#: Chunking parameters scaled from the paper's 4 MB-average chunks.
+BENCH_CHUNKS = dict(
+    chunk_min=32 * 1024, chunk_avg=128 * 1024, chunk_max=1024 * 1024
+)
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def print_table(title: str, rendered: str) -> None:
+    """Print a paper-style table under a clear banner."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{rendered}")

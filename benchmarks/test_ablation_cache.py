@@ -1,0 +1,72 @@
+"""Ablation — the client-side chunk cache.
+
+The prototype keeps local copies of synced files; the library's
+:class:`repro.core.cache.ChunkCache` gives repeat and overlapping reads
+(several versions sharing chunks, ranged previews) the same benefit.
+Measured on the paper testbed: cold read vs warm repeat read vs a read
+of an edited version that shares most chunks with a cached one.
+"""
+
+from repro.bench import build_paper_testbed
+from repro.bench.reporting import fmt_seconds, render_table
+from repro.core.cache import ChunkCache
+from repro.core.config import CyrusConfig
+from repro.workloads import edited_copy, random_bytes
+
+from benchmarks.conftest import BENCH_CHUNKS, print_table
+
+FILE_BYTES = 4 * 1024 * 1024
+
+
+def run_cache_experiment():
+    env = build_paper_testbed()
+    cache = ChunkCache(capacity_bytes=64 * 1024 * 1024)
+    config = CyrusConfig(key="cache-key", t=2, n=3, **BENCH_CHUNKS)
+    client = env.new_client(config, cache=cache)
+
+    data = random_bytes(FILE_BYTES, seed=99)
+    client.put("doc.bin", data)
+    cold = client.get("doc.bin")
+    warm = client.get("doc.bin")
+
+    edited = edited_copy(data, seed=100, edits=3, max_edit=32 * 1024)
+    client.put("doc.bin", edited)
+    incremental = client.get("doc.bin")
+    assert incremental.data == edited
+
+    return {
+        "cold": (cold.duration, cold.bytes_downloaded),
+        "warm": (warm.duration, warm.bytes_downloaded),
+        "edited": (incremental.duration, incremental.bytes_downloaded),
+        "hits": cache.hits,
+        "misses": cache.misses,
+    }
+
+
+def test_ablation_chunk_cache(benchmark):
+    stats = benchmark.pedantic(run_cache_experiment, rounds=1, iterations=1)
+    rows = [
+        [label, fmt_seconds(duration), f"{downloaded:,}"]
+        for label, (duration, downloaded) in (
+            ("cold read", stats["cold"]),
+            ("warm repeat read", stats["warm"]),
+            ("read of edited version", stats["edited"]),
+        )
+    ]
+    print_table(
+        f"Ablation: chunk cache ({FILE_BYTES // 2**20} MB file, "
+        f"cache hits {stats['hits']}, misses {stats['misses']})",
+        render_table(["read", "completion time", "bytes downloaded"], rows),
+    )
+    cold_t, cold_b = stats["cold"]
+    warm_t, warm_b = stats["warm"]
+    edit_t, edit_b = stats["edited"]
+    # a warm read moves no bytes and takes (almost) no time
+    assert warm_b == 0
+    assert warm_t < cold_t / 10
+    # reading the edited version downloads only the changed chunks
+    assert 0 < edit_b < cold_b / 2
+    assert edit_t < cold_t
+    benchmark.extra_info["cold_s"] = round(cold_t, 4)
+    benchmark.extra_info["warm_s"] = round(warm_t, 6)
+    benchmark.extra_info["edited_s"] = round(edit_t, 4)

@@ -1,0 +1,85 @@
+"""Ablation — consistent hashing vs modulo placement (Section 5.3).
+
+"CYRUS uses consistent hashing to select the n CSPs ... allowing us to
+balance the amount of data stored at different CSPs and minimize the
+necessary share reallocation when CSPs are added or deleted."  The
+ablation measures both properties against the naive alternative
+(hash(chunk) mod #CSPs).
+"""
+
+import collections
+
+from repro.bench.reporting import render_table
+from repro.hashring import ConsistentHashRing
+from repro.util.hashing import stable_hash64
+
+from benchmarks.conftest import print_table
+
+KEYS = [f"chunk-{i}" for i in range(4000)]
+
+
+def modulo_placement(csps: list[str], key: str, n: int) -> list[str]:
+    start = stable_hash64(key) % len(csps)
+    return [csps[(start + i) % len(csps)] for i in range(n)]
+
+
+def ring_placement(ring: ConsistentHashRing, key: str, n: int) -> list[str]:
+    return ring.successors(key, n)
+
+
+def run_comparison():
+    csps = [f"csp{i}" for i in range(6)]
+    ring = ConsistentHashRing()
+    for c in csps:
+        ring.add(c)
+
+    before_ring = {k: tuple(ring_placement(ring, k, 3)) for k in KEYS}
+    before_mod = {k: tuple(modulo_placement(csps, k, 3)) for k in KEYS}
+
+    # membership change: one CSP joins
+    csps2 = csps + ["csp6"]
+    ring.add("csp6")
+    after_ring = {k: tuple(ring_placement(ring, k, 3)) for k in KEYS}
+    after_mod = {k: tuple(modulo_placement(csps2, k, 3)) for k in KEYS}
+
+    def moved(before, after):
+        total = 0
+        for k in KEYS:
+            total += len(set(before[k]) - set(after[k]))
+        return total / (3 * len(KEYS))
+
+    return {
+        "ring_moved": moved(before_ring, after_ring),
+        "mod_moved": moved(before_mod, after_mod),
+        "ring_balance": _balance(before_ring),
+        "mod_balance": _balance(before_mod),
+    }
+
+
+def _balance(placements) -> float:
+    counts = collections.Counter()
+    for chosen in placements.values():
+        counts.update(chosen)
+    return min(counts.values()) / max(counts.values())
+
+
+def test_ablation_consistent_hashing(benchmark):
+    stats = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_table(
+        "Ablation: consistent hashing vs modulo placement (add 7th CSP)",
+        render_table(
+            ["placement", "share fraction moved", "balance (min/max)"],
+            [
+                ["consistent hash", f"{stats['ring_moved']:.1%}",
+                 f"{stats['ring_balance']:.2f}"],
+                ["hash mod N", f"{stats['mod_moved']:.1%}",
+                 f"{stats['mod_balance']:.2f}"],
+            ],
+        ),
+    )
+    # consistent hashing moves ~1/7 of shares; modulo reshuffles most
+    assert stats["ring_moved"] < 0.30
+    assert stats["mod_moved"] > 0.55
+    assert stats["ring_moved"] < stats["mod_moved"] / 2
+    # both balance acceptably before the change
+    assert stats["ring_balance"] > 0.5

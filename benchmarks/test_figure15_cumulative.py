@@ -1,0 +1,69 @@
+"""Figure 15 — cumulative testbed completion times by (t, n).
+
+Uploads and downloads the (scaled) Table 4 dataset with CYRUS's
+selector under the three configurations and reports the cumulative
+completion-time curves.  Paper shapes asserted:
+
+* uploads: (3,4) shortest (moves n/t = 1.33x the data), (2,3) next
+  (1.5x), (2,4) longest (2x, and the extra share must reach the slow
+  clouds);
+* downloads: (3,4) at or below (2,3) (same data moved, smaller shares).
+"""
+
+from repro.bench.reporting import fmt_seconds, render_table
+from repro.selection import CyrusSelector
+
+from benchmarks._testbed_common import dataset_files, run_experiment
+from benchmarks.conftest import print_table
+
+CONFIGS = [(2, 3), (2, 4), (3, 4)]
+
+
+def run_all(files):
+    return {
+        (t, n): run_experiment(
+            t, n, lambda: CyrusSelector(resolve_every=4), "CYRUS", files
+        )
+        for t, n in CONFIGS
+    }
+
+
+def test_figure15_cumulative_times(benchmark):
+    files = dataset_files(max_files=100)
+    results = benchmark.pedantic(lambda: run_all(files), rounds=1,
+                                 iterations=1)
+
+    rows = [
+        [
+            f"({t},{n})",
+            fmt_seconds(results[(t, n)].cumulative_upload),
+            fmt_seconds(results[(t, n)].cumulative_download),
+        ]
+        for t, n in CONFIGS
+    ]
+    print_table(
+        "Figure 15: cumulative completion times (all files)",
+        render_table(["(t,n)", "cumulative upload", "cumulative download"],
+                     rows),
+    )
+
+    up = {cfg: results[cfg].cumulative_upload for cfg in CONFIGS}
+    down = {cfg: results[cfg].cumulative_download for cfg in CONFIGS}
+
+    # uploads: (3,4) < (2,3) < (2,4) — the data-volume ordering
+    assert up[(3, 4)] < up[(2, 3)] < up[(2, 4)]
+    # downloads: (3,4) no worse than (2,3) (same volume, smaller shares)
+    assert down[(3, 4)] <= down[(2, 3)] * 1.10
+
+    # the per-curve shape: cumulative time grows monotonically file by
+    # file (sanity of the time accounting)
+    for cfg in CONFIGS:
+        running = 0.0
+        for duration in results[cfg].upload_durations:
+            assert duration >= 0
+            running += duration
+        assert running == results[cfg].cumulative_upload
+
+    for cfg in CONFIGS:
+        benchmark.extra_info[f"upload{cfg}"] = round(up[cfg], 3)
+        benchmark.extra_info[f"download{cfg}"] = round(down[cfg], 3)

@@ -1,0 +1,149 @@
+"""Figure 16 — completion times of different storage schemes.
+
+A single (scaled) 40 MB file moved through CYRUS, DepSky, full
+replication and full striping over four CSPs with Table 2's real-world
+rates, averaged over several placements.  Paper shapes asserted:
+
+* upload: striping < CYRUS < DepSky (lock round-trips + backoff + the
+  cancelled extra share) and CYRUS < replication;
+* download: CYRUS at worst marginally behind DepSky (both fetch t = 2
+  shares; DepSky's greedy picks coincide with the optimum on a single
+  unchunked file, paper footnote 13) and clearly ahead of striping and
+  replication-averaged;
+* replication's best single CSP beats its average; its worst is far
+  slower.
+
+One paper claim is *not* asserted: "DepSky's upload time is ... longer
+than Full Replication's".  Replication pushes a full copy to every CSP
+(2x DepSky's per-CSP bytes), so on any volume-faithful substrate DepSky
+finishes first; the paper's inversion reflects costs internal to their
+DepSky port that its published protocol does not imply.  See
+EXPERIMENTS.md.
+"""
+
+import statistics
+
+from repro.baselines import FullReplicationClient, FullStripingClient
+from repro.bench import build_environment
+from repro.bench.reporting import fmt_seconds, render_table
+from repro.core.config import CyrusConfig
+from repro.depsky import DepSkyClient
+from repro.workloads import random_bytes
+from repro.workloads.trial import TRIAL_CSPS, trial_environment
+
+from benchmarks.conftest import print_table
+
+#: The paper's 40 MB file, scaled like the dataset benchmarks.
+FILE_BYTES = 4 * 1024 * 1024
+
+#: Placement/backoff luck is averaged over this many independent files.
+TRIALS = 3
+
+
+def build_env():
+    from repro.bench.realworld import realworld_links
+
+    return build_environment(
+        realworld_links(),
+        client_up=100e6 / 8,
+        client_down=100e6 / 8,
+    )
+
+
+def run_schemes():
+    ups: dict[str, list[float]] = {}
+    downs: dict[str, list[float]] = {}
+    repl_per_csp: dict[str, float] = {}
+
+    def record(scheme, up, down):
+        ups.setdefault(scheme, []).append(up)
+        downs.setdefault(scheme, []).append(down)
+
+    for trial in range(TRIALS):
+        data = random_bytes(FILE_BYTES, seed=160 + trial)
+        fname = f"file40-{trial}"
+
+        # CYRUS: (2,3), unchunked (paper footnote 13), optimised selection
+        env = build_env()
+        cyrus_cfg = CyrusConfig(
+            key="k", t=2, n=3,
+            chunk_min=FILE_BYTES, chunk_avg=1 << 23, chunk_max=1 << 23,
+        )
+        client = env.new_client(cyrus_cfg)
+        up = client.put(fname, data)
+        down = client.get(fname)
+        assert down.data == data
+        record("CYRUS", up.duration, down.duration)
+
+        # DepSky: locks + backoff + scatter-all-cancel + greedy reads
+        env = build_env()
+        depsky = DepSkyClient(env.engine, list(TRIAL_CSPS), key="k", t=2,
+                              n=3, backoff_range=(0.5, 1.0), seed=trial)
+        up = depsky.upload(fname, data)
+        down = depsky.download(fname)
+        assert down.data == data
+        record("DepSky", up.duration, down.duration)
+
+        # Full replication: a copy everywhere; download averaged per CSP
+        env = build_env()
+        repl = FullReplicationClient(env.engine, list(TRIAL_CSPS))
+        up = repl.upload(fname, data)
+        per_csp = {
+            csp: repl.download(fname, csp, FILE_BYTES).duration
+            for csp in TRIAL_CSPS
+        }
+        repl_per_csp = per_csp
+        record("Full Replication", up.duration,
+               statistics.fmean(per_csp.values()))
+
+        # Full striping: one plaintext fragment per CSP
+        env = build_env()
+        stripe = FullStripingClient(env.engine, list(TRIAL_CSPS))
+        up = stripe.upload(fname, data)
+        down = stripe.download(fname, FILE_BYTES)
+        assert down.data == data
+        record("Full Striping", up.duration, down.duration)
+
+    means = {
+        scheme: (statistics.fmean(ups[scheme]), statistics.fmean(downs[scheme]))
+        for scheme in ups
+    }
+    return means, repl_per_csp
+
+
+def test_figure16_scheme_comparison(benchmark):
+    results, repl_per_csp = benchmark.pedantic(run_schemes, rounds=1,
+                                               iterations=1)
+    rows = [
+        [scheme, fmt_seconds(up), fmt_seconds(down)]
+        for scheme, (up, down) in results.items()
+    ]
+    print_table(
+        f"Figure 16: completion times, {FILE_BYTES // 2**20} MB file "
+        f"(paper used 40 MB), mean of {TRIALS} placements",
+        render_table(["Scheme", "Upload", "Download"], rows),
+    )
+    best = min(repl_per_csp.values())
+    worst = max(repl_per_csp.values())
+    print(f"replication single-CSP download: best {fmt_seconds(best)}, "
+          f"worst {fmt_seconds(worst)}")
+
+    up = {k: v[0] for k, v in results.items()}
+    down = {k: v[1] for k, v in results.items()}
+
+    # upload ordering
+    assert up["Full Striping"] < up["CYRUS"]
+    assert up["CYRUS"] < up["Full Replication"]
+    assert up["CYRUS"] < up["DepSky"]  # locks + backoff + extra share
+
+    # download ordering
+    assert down["CYRUS"] < down["Full Striping"]
+    assert down["CYRUS"] <= down["DepSky"] * 1.10
+    assert down["DepSky"] < down["Full Replication"]
+    assert down["Full Striping"] < down["Full Replication"]
+    # replication's spread: best CSP much faster than its average
+    assert best < down["Full Replication"] < worst
+
+    for scheme, (u, d) in results.items():
+        benchmark.extra_info[f"{scheme} up"] = round(u, 3)
+        benchmark.extra_info[f"{scheme} down"] = round(d, 3)

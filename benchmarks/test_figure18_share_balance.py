@@ -1,0 +1,58 @@
+"""Figure 18 — shares uploaded to each CSP over the two-day run.
+
+Paper shapes: "DepSky stores more shares at consistently faster CSPs
+... while CYRUS distributes shares evenly.  Similarly, CYRUS spreads
+share downloads more evenly across CSPs."
+"""
+
+from repro.bench.reporting import render_table
+
+from benchmarks._realworld_common import run_two_days
+from benchmarks.conftest import print_table
+
+
+def skew(counts: dict[str, int]) -> float:
+    values = list(counts.values())
+    return max(values) / max(1, min(values))
+
+
+def test_figure18_upload_share_balance(benchmark):
+    run = benchmark.pedantic(run_two_days, rounds=1, iterations=1)
+    csps = sorted(run.cyrus_shares)
+    print_table(
+        "Figure 18: shares stored per CSP over two days",
+        render_table(
+            ["System"] + csps,
+            [
+                ["CYRUS"] + [run.cyrus_shares[c] for c in csps],
+                ["DepSky"] + [run.depsky_shares[c] for c in csps],
+            ],
+        ),
+    )
+    # CYRUS: consistent hashing keeps storage near-uniform
+    assert skew(run.cyrus_shares) <= 2.5
+    # DepSky: the slowest uploader is starved (cancelled every time)
+    assert skew(run.depsky_shares) >= 3.0
+    assert min(run.depsky_shares.values()) < min(run.cyrus_shares.values())
+    benchmark.extra_info["cyrus_skew"] = round(skew(run.cyrus_shares), 2)
+    benchmark.extra_info["depsky_skew"] = round(skew(run.depsky_shares), 2)
+
+
+def test_figure18_download_balance(benchmark):
+    run = benchmark.pedantic(run_two_days, rounds=1, iterations=1)
+    csps = sorted(run.cyrus_downloads)
+    print_table(
+        "Figure 18 (companion): share downloads per CSP",
+        render_table(
+            ["System"] + csps,
+            [
+                ["CYRUS"] + [run.cyrus_downloads[c] for c in csps],
+                ["DepSky"] + [run.depsky_downloads[c] for c in csps],
+            ],
+        ),
+    )
+    # CYRUS spreads downloads across more providers than greedy DepSky
+    cyrus_used = sum(1 for v in run.cyrus_downloads.values() if v > 0)
+    depsky_used = sum(1 for v in run.depsky_downloads.values() if v > 0)
+    assert cyrus_used >= depsky_used
+    assert skew(run.cyrus_downloads) <= skew(run.depsky_downloads) * 1.2

@@ -1,0 +1,138 @@
+"""Figure 19 — deployment-trial completion times, US vs Korea.
+
+A (scaled) 20 MB test file is uploaded/downloaded through CYRUS with
+(t, n) = (2,3) and (2,4), and through each single CSP, in both country
+environments.  Timings are averaged over several placements.  Paper
+shapes asserted:
+
+* US uploads: (2,4) (2x the data through the residential uplink) is
+  slower than every single CSP; (2,3) beats all but the fastest CSP;
+* Korea uploads: both configurations beat every single CSP;
+* downloads: CYRUS beats every single CSP except (at most) the fastest,
+  in both countries;
+* the (2,4)-vs-(2,3) deltas: the upload penalty is much larger in the
+  US than Korea; the download saving is much larger in Korea.
+"""
+
+import statistics
+
+from repro.baselines import FullReplicationClient
+from repro.bench import build_environment
+from repro.bench.reporting import fmt_seconds, render_table
+from repro.core.config import CyrusConfig
+from repro.workloads import random_bytes
+from repro.workloads.trial import TRIAL_CSPS, trial_environment
+
+from benchmarks.conftest import print_table
+
+#: The paper's 20 MB test file, scaled.
+FILE_BYTES = 2 * 1024 * 1024
+TRIALS = 4
+
+
+def build_env(country):
+    profile = trial_environment(country)
+    return build_environment(
+        profile.links(),
+        client_up=profile.client_up,
+        client_down=profile.client_down,
+    )
+
+
+def run_country(country):
+    """Mean upload/download times: CYRUS configs + each single CSP."""
+    up: dict[str, list[float]] = {}
+    down: dict[str, list[float]] = {}
+
+    for trial in range(TRIALS):
+        data = random_bytes(FILE_BYTES, seed=190 + trial)
+        fname = f"trial-{trial}"
+        for t, n in [(2, 3), (2, 4)]:
+            env = build_env(country)
+            config = CyrusConfig(
+                key=f"k{trial}", t=t, n=n,
+                chunk_min=FILE_BYTES, chunk_avg=1 << 22, chunk_max=1 << 22,
+            )
+            client = env.new_client(config)
+            label = f"CYRUS ({t},{n})"
+            report = client.put(fname, data, sync_first=False)
+            up.setdefault(label, []).append(report.duration)
+            got = client.get(fname, sync_first=False)
+            assert got.data == data
+            down.setdefault(label, []).append(got.duration)
+
+        # single-CSP transfers: one full copy to/from one provider
+        env = build_env(country)
+        for csp in TRIAL_CSPS:
+            single = FullReplicationClient(env.engine, [csp])
+            report = single.upload(f"{fname}-{csp}", data)
+            up.setdefault(csp, []).append(report.duration)
+            got = single.download(f"{fname}-{csp}", csp, FILE_BYTES)
+            down.setdefault(csp, []).append(got.duration)
+
+    return (
+        {k: statistics.fmean(v) for k, v in up.items()},
+        {k: statistics.fmean(v) for k, v in down.items()},
+    )
+
+
+def test_figure19_trial(benchmark):
+    def run_both():
+        return {country: run_country(country) for country in ("US", "Korea")}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    for country in ("US", "Korea"):
+        up, down = results[country]
+        rows = [
+            [label, fmt_seconds(up[label]), fmt_seconds(down[label])]
+            for label in up
+        ]
+        print_table(
+            f"Figure 19 ({country}): {FILE_BYTES // 2**20} MB file "
+            f"(paper used 20 MB)",
+            render_table(["Series", "Upload", "Download"], rows),
+        )
+
+    us_up, us_down = results["US"]
+    kr_up, kr_down = results["Korea"]
+    singles = list(TRIAL_CSPS)
+
+    # --- US uploads: client uplink is the bottleneck -------------------
+    best_single_up = min(us_up[c] for c in singles)
+    worst_single_up = max(us_up[c] for c in singles)
+    assert us_up["CYRUS (2,4)"] > worst_single_up  # slower than all
+    assert us_up["CYRUS (2,3)"] < sorted(us_up[c] for c in singles)[1]
+    assert us_up["CYRUS (2,3)"] > best_single_up  # "all but one CSP"
+
+    # --- Korea uploads: both configs beat every single CSP -------------
+    kr_best_single_up = min(kr_up[c] for c in singles)
+    assert kr_up["CYRUS (2,3)"] < kr_best_single_up
+    assert kr_up["CYRUS (2,4)"] < kr_best_single_up
+
+    # --- downloads: beat all but (at most) the fastest single CSP ------
+    for country, down in (("US", us_down), ("Korea", kr_down)):
+        second_single = sorted(down[c] for c in singles)[1]
+        for cfg in ("CYRUS (2,3)", "CYRUS (2,4)"):
+            assert down[cfg] < second_single, (country, cfg)
+
+    # --- the (2,4) deltas ------------------------------------------------
+    us_upload_penalty = us_up["CYRUS (2,4)"] - us_up["CYRUS (2,3)"]
+    kr_upload_penalty = kr_up["CYRUS (2,4)"] - kr_up["CYRUS (2,3)"]
+    us_download_saving = us_down["CYRUS (2,3)"] - us_down["CYRUS (2,4)"]
+    kr_download_saving = kr_down["CYRUS (2,3)"] - kr_down["CYRUS (2,4)"]
+    print(
+        f"\n(2,4) vs (2,3): US upload penalty {fmt_seconds(us_upload_penalty)}"
+        f" (paper: 7.78 s at 20 MB), Korea download saving "
+        f"{fmt_seconds(kr_download_saving)} (paper: 33.8 s at 20 MB)"
+    )
+    # upload penalty dominated by the US uplink bottleneck
+    assert us_upload_penalty > 3 * max(kr_upload_penalty, 0.01)
+    # download saving dominated by Korea's skewed downlinks
+    assert kr_download_saving > 3 * max(us_download_saving, 0.01)
+    assert kr_download_saving > 0.2 * kr_down["CYRUS (2,3)"]
+
+    for country in ("US", "Korea"):
+        up, down = results[country]
+        for label, value in up.items():
+            benchmark.extra_info[f"{country} up {label}"] = round(value, 3)

@@ -1,0 +1,55 @@
+"""Figure 3 — clustering of Table 2's CSPs by shared infrastructure.
+
+Synthesises routes for all twenty CSPs (the five Amazon-hosted ones
+share backbone hops), builds the spanning tree rooted at the client,
+cuts it, and checks that exactly the asterisked CSPs co-cluster.
+"""
+
+from repro.csp.catalog import TABLE2
+from repro.topology import cluster_csps, render_tree, route_tree, synthesize_routes
+
+from benchmarks.conftest import print_table
+
+AMAZON = {s.name for s in TABLE2 if s.amazon_platform}
+
+
+def run_clustering():
+    platforms = {name: "amazon" for name in AMAZON}
+    routes = synthesize_routes(
+        [s.name for s in TABLE2], platforms, seed=3, api_indirection=AMAZON
+    )
+    return routes, cluster_csps(routes)
+
+
+def test_figure3_tree_and_clusters(benchmark):
+    routes, clusters = benchmark.pedantic(run_clustering, rounds=1,
+                                          iterations=1)
+    tree = route_tree(routes)
+    print_table("Figure 3: route tree (root = client, leaves = CSPs)",
+                render_tree(tree))
+    multi = [c for c in clusters if len(c) > 1]
+    print(f"\nclusters found: {len(clusters)} "
+          f"(multi-member: {[sorted(c) for c in multi]})")
+
+    # the paper's finding: five CSPs deployed on Amazon, all others
+    # on their own platforms
+    assert multi == [AMAZON]
+    assert len(clusters) == 16
+    benchmark.extra_info["amazon_cluster_size"] = len(multi[0])
+
+
+def test_figure3_cluster_placement_consequence(benchmark):
+    """Shares of one chunk avoid co-clustered CSPs (Section 4.1)."""
+    from repro.core.cloud import CyrusCloud
+    from repro.csp import InMemoryCSP
+
+    def place():
+        _, clusters = run_clustering()
+        cloud = CyrusCloud(
+            [InMemoryCSP(s.name) for s in TABLE2], clusters=clusters
+        )
+        return [cloud.place_chunk(f"chunk-{i}", 4) for i in range(50)]
+
+    placements = benchmark.pedantic(place, rounds=1, iterations=1)
+    for chosen in placements:
+        assert len(set(chosen) & AMAZON) <= 1, chosen

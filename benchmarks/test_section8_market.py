@@ -1,0 +1,93 @@
+"""Section 8 — promoting market competition (the paper's economic claim).
+
+"Assuming comparable CSP prices, a given user might then purchase
+storage at all available CSPs, even-ing out CSP market shares."  The
+paper argues CYRUS counteracts vendor lock-in: without it, each user
+parks all data at one primary provider; with it, every user's data is
+scattered across their accounts by consistent hashing.
+
+This benchmark simulates a population of users, each holding accounts
+at a random subset of the Table 2 CSPs with a popularity-skewed choice
+of *primary* provider, and compares the storage-market concentration
+(Herfindahl-Hirschman index) with and without CYRUS.  Asserted shape:
+CYRUS lowers concentration substantially and gives every entrant CSP
+non-zero demand.
+"""
+
+import random
+
+from repro.bench.reporting import fmt_mb, render_table
+from repro.csp.catalog import TABLE2
+from repro.hashring import ConsistentHashRing
+
+from benchmarks.conftest import print_table
+
+USERS = 200
+FILES_PER_USER = 30
+CSPS = [spec.name for spec in TABLE2]
+
+
+def hhi(shares: dict[str, float]) -> float:
+    """Herfindahl-Hirschman index over market shares (0..1]."""
+    total = sum(shares.values())
+    if total == 0:
+        return 0.0
+    return sum((v / total) ** 2 for v in shares.values())
+
+
+def simulate_market(seed=8):
+    rng = random.Random(seed)
+    # popularity-skewed primary choice: early-market incumbents dominate
+    weights = [1.0 / (rank + 1) for rank in range(len(CSPS))]
+    stored_without = {name: 0.0 for name in CSPS}
+    stored_with = {name: 0.0 for name in CSPS}
+
+    for user in range(USERS):
+        account_count = rng.randint(3, 8)
+        accounts = rng.sample(CSPS, account_count)
+        primary = rng.choices(CSPS, weights=weights)[0]
+        if primary not in accounts:
+            accounts[0] = primary
+        ring = ConsistentHashRing(replicas=32)
+        for name in accounts:
+            ring.add(name)
+        t, n = 2, 3
+        for i in range(FILES_PER_USER):
+            size = rng.randint(100_000, 5_000_000)
+            # vendor lock-in world: everything at the primary
+            stored_without[primary] += size
+            # CYRUS world: n shares of size/t via consistent hashing
+            for csp in ring.successors(f"u{user}-f{i}", min(n, account_count)):
+                stored_with[csp] += size / t
+    return stored_without, stored_with
+
+
+def test_section8_market_concentration(benchmark):
+    without, with_cyrus = benchmark.pedantic(simulate_market, rounds=1,
+                                             iterations=1)
+    hhi_without = hhi(without)
+    hhi_with = hhi(with_cyrus)
+    top5 = sorted(without, key=without.get, reverse=True)[:5]
+    rows = [
+        [name, fmt_mb(without[name]), fmt_mb(with_cyrus[name])]
+        for name in top5
+    ]
+    zero_without = sum(1 for v in without.values() if v == 0)
+    zero_with = sum(1 for v in with_cyrus.values() if v == 0)
+    print_table(
+        "Section 8: storage demand, top-5 incumbents "
+        f"(HHI without CYRUS: {hhi_without:.3f}, with: {hhi_with:.3f})",
+        render_table(["CSP", "stored (lock-in world)", "stored (CYRUS world)"],
+                     rows),
+    )
+    print(f"CSPs with zero demand: {zero_without} without CYRUS, "
+          f"{zero_with} with CYRUS")
+
+    # the paper's qualitative claims
+    assert hhi_with < hhi_without * 0.6, "CYRUS must even out market shares"
+    assert zero_with == 0, "every entrant CSP gains users under CYRUS"
+    # total purchased storage grows by ~n/t (Section 8's revenue point)
+    growth = sum(with_cyrus.values()) / sum(without.values())
+    assert 1.2 < growth < 1.8  # n/t = 1.5 with account-count truncation
+    benchmark.extra_info["hhi_without"] = round(hhi_without, 4)
+    benchmark.extra_info["hhi_with"] = round(hhi_with, 4)

@@ -1,0 +1,36 @@
+"""Table 1 — feature comparison with similar cloud-integration systems.
+
+Prior systems' rows are recorded from the paper; CYRUS's row is computed
+by probing this implementation, so the benchmark fails if any claimed
+capability regresses.
+"""
+
+from repro.bench.features import FEATURES, cyrus_feature_row, full_matrix
+from repro.bench.reporting import render_table
+
+from benchmarks.conftest import print_table
+
+
+def test_table1_feature_matrix(benchmark):
+    matrix = benchmark.pedantic(full_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for system in ("Attasena", "DepSky", "InterCloud RAIDer", "PiCsMu", "CYRUS"):
+        rows.append(
+            [system] + ["Yes" if matrix[system][f] else "No" for f in FEATURES]
+        )
+    print_table("Table 1: feature comparison", render_table(
+        ["System"] + list(FEATURES), rows
+    ))
+
+    # the paper's claim: CYRUS has every feature; no prior system does
+    assert all(matrix["CYRUS"].values())
+    for system, row in matrix.items():
+        if system != "CYRUS":
+            assert not all(row.values()), f"{system} should lack a feature"
+    benchmark.extra_info["cyrus_features"] = sum(matrix["CYRUS"].values())
+
+
+def test_cyrus_row_is_probed_not_asserted(benchmark):
+    row = benchmark.pedantic(cyrus_feature_row, rounds=1, iterations=1)
+    assert set(row) == set(FEATURES)

@@ -1,0 +1,51 @@
+"""Table 4 — the testbed evaluation dataset.
+
+Regenerates the dataset profile and checks it matches the paper's
+per-extension file counts and byte totals exactly at scale 1.0 (sizes
+only; contents are synthetic), and proportionally at bench scale.
+"""
+
+from repro.bench.reporting import render_table
+from repro.workloads import TABLE4_PROFILE, generate_dataset
+from repro.workloads.dataset import TABLE4_TOTAL_BYTES, TABLE4_TOTAL_FILES
+
+from benchmarks.conftest import BENCH_SCALE, print_table
+
+
+def test_table4_full_scale_profile(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset(scale=1.0), rounds=1, iterations=1
+    )
+    by_ext = dataset.by_extension()
+    rows = []
+    for profile in TABLE4_PROFILE:
+        files = by_ext[profile.extension]
+        total = sum(f.size for f in files)
+        rows.append(
+            [profile.extension, len(files), f"{total:,}",
+             f"{total // len(files):,}"]
+        )
+    rows.append(["Total", len(dataset.files), f"{dataset.total_bytes:,}",
+                 f"{dataset.total_bytes // len(dataset.files):,}"])
+    print_table(
+        "Table 4: testbed evaluation dataset (regenerated)",
+        render_table(["Extension", "# of files", "Total bytes",
+                      "Avg. size (bytes)"], rows),
+    )
+    assert len(dataset.files) == TABLE4_TOTAL_FILES
+    assert dataset.total_bytes == TABLE4_TOTAL_BYTES
+    for profile in TABLE4_PROFILE:
+        files = by_ext[profile.extension]
+        assert len(files) == profile.files
+        assert sum(f.size for f in files) == profile.total_bytes
+    benchmark.extra_info["total_bytes"] = dataset.total_bytes
+
+
+def test_table4_bench_scale_consistency(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    assert len(dataset.files) == TABLE4_TOTAL_FILES
+    assert abs(
+        dataset.total_bytes - TABLE4_TOTAL_BYTES * BENCH_SCALE
+    ) < 0.02 * TABLE4_TOTAL_BYTES * BENCH_SCALE + len(dataset.files)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Reliability: planning n from a failure budget, surviving outages,
+and lazy share migration after a provider disappears.
+
+Walks the paper's Section 4.2 and 5.5 machinery end to end on the
+network simulator: an epsilon-driven share count, a mid-day provider
+outage, a permanent removal, and the Figure 9 lazy re-homing of shares.
+
+Run:  python examples/failure_recovery.py
+"""
+
+import random
+
+from repro import CSPStatus, CyrusConfig
+from repro.bench import build_environment
+from repro.csp import AvailabilitySchedule
+from repro.netsim import Link
+from repro.reliability import chunk_failure_probability
+
+
+def main() -> None:
+    # --- plan n from a failure budget (Eq. 1) -----------------------------
+    config = CyrusConfig(
+        key="resilient-key", t=2,
+        n=None, epsilon=1e-7,           # "lose a chunk once in 10^7"
+        csp_failure_prob=2e-3,          # worst observed CSP (~18 h/yr)
+        chunk_min=32 * 1024, chunk_avg=128 * 1024, chunk_max=1024 * 1024,
+    )
+    n = config.plan_n(available_csps=6)
+    print(f"failure budget 1e-7 with p=2e-3 per CSP -> n = {n} shares "
+          f"(chunk-loss probability "
+          f"{chunk_failure_probability(config.t, n, 2e-3):.2e})")
+
+    # --- build a six-provider simulated cloud; one has a scheduled outage --
+    links = {f"cloud-{i}": Link.symmetric(f"cloud-{i}", (10 + 2 * i) * 1e6,
+                                          rtt_s=0.02) for i in range(6)}
+    env = build_environment(
+        links,
+        availability={"cloud-2": AvailabilitySchedule([(100.0, 5000.0)])},
+    )
+    client = env.new_client(config, client_id="ops-laptop")
+
+    payload = random.Random(0).randbytes(3_000_000)
+    report = client.put("backups/db-snapshot.bin", payload)
+    print(f"\nstored snapshot: {report.new_chunks} chunks x {n} shares in "
+          f"{report.duration:.2f}s simulated")
+
+    # --- outage: cloud-2 goes down; reads keep working ---------------------
+    env.clock.advance_to(200.0)
+    got = client.get("backups/db-snapshot.bin")
+    assert got.data == payload
+    print(f"during cloud-2's outage: download still OK "
+          f"({got.duration:.2f}s, rerouted around the outage)")
+
+    # --- permanent removal + lazy migration (Figure 9) ---------------------
+    client.remove_csp("cloud-5")
+    print("\ncloud-5 removed from the federation")
+    got = client.get("backups/db-snapshot.bin")
+    assert got.data == payload
+    print(f"next download migrated {len(got.migrations)} stranded shares "
+          f"to active providers:")
+    for migration in got.migrations[:5]:
+        print(f"  chunk {migration.chunk_id[:8]} share #{migration.index}: "
+              f"{migration.old_csp} -> {migration.new_csp}")
+
+    # reliability is restored: every chunk has n live shares again
+    for record in got.node.chunks:
+        location = client.chunk_table.get(record.chunk_id)
+        live = [
+            c for c in location.csps()
+            if client.cloud.status_of(c) is CSPStatus.ACTIVE
+        ]
+        assert len(live) >= record.n
+    print("every chunk is back to full redundancy on live providers")
+
+    # --- the estimator that feeds p (Section 4.2) --------------------------
+    from repro.reliability import FailureEstimator
+
+    estimator = FailureEstimator(outage_threshold_s=24 * 3600)
+    for day in range(300):
+        estimator.record_success(day * 86400.0)
+    estimator.record_failure(300 * 86400.0)
+    estimator.record_failure(302 * 86400.0)  # > 1 day: one CSP failure
+    print(f"\nobserved failure probability estimate: "
+          f"{estimator.probability:.4f} "
+          f"({estimator.failure_events} qualifying outage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CYRUS over heterogeneous vendor APIs (paper Sections 3.1 and 6).
+
+Builds a federation out of three *different* emulated vendor API
+families — Dropbox-style (JSON, path-keyed, overwrite), Drive-style
+(JSON, opaque file ids, duplicate-on-upload) and S3-style (XML, HMAC
+request signatures) — and runs the unmodified CYRUS client across them.
+This is the paper's CSP-agnosticism claim made executable: everything
+above the five-primitive connector interface neither knows nor cares
+which vendor holds which share.
+
+Run:  python examples/multi_vendor.py
+"""
+
+import os
+
+from repro import CyrusClient, CyrusConfig
+from repro.csp import Credentials
+from repro.csp.rest import (
+    DriveStyleDialect,
+    DropboxStyleDialect,
+    InProcessRestServer,
+    RestConnectorCSP,
+    S3StyleDialect,
+)
+from repro.csp.rest.dialects import S3StyleDialect as S3
+
+
+def main() -> None:
+    # --- three vendors, three wire dialects --------------------------------
+    dropbox_srv = InProcessRestServer(DropboxStyleDialect(),
+                                      provider_secret="dbx")
+    drive_srv = InProcessRestServer(DriveStyleDialect(),
+                                    provider_secret="gdr")
+    s3_srv = InProcessRestServer(S3StyleDialect(), provider_secret="s3!")
+
+    providers = [
+        RestConnectorCSP("dropbox", dropbox_srv,
+                         Credentials("alice", "dbx-app-secret")),
+        RestConnectorCSP("gdrive", drive_srv,
+                         Credentials("alice", "gdr-app-secret")),
+        RestConnectorCSP(
+            "s3", s3_srv,
+            Credentials("alice", S3.account_secret(s3_srv.state, "alice")),
+        ),
+    ]
+
+    config = CyrusConfig(key="vendor-agnostic-key", t=2, n=3,
+                         chunk_min=4 * 1024, chunk_avg=16 * 1024,
+                         chunk_max=64 * 1024)
+    client = CyrusClient.create(providers, config, client_id="laptop")
+
+    # --- the same client code, three wire protocols underneath -------------
+    payload = os.urandom(150_000)
+    report = client.put("cross-vendor.bin", payload)
+    print(f"stored {report.node.size:,} bytes across three vendor APIs "
+          f"({report.new_chunks} chunks x 3 shares)")
+    assert client.get("cross-vendor.bin").data == payload
+    print("read back byte-for-byte\n")
+
+    # --- what actually went over each wire ---------------------------------
+    for server, label in [
+        (dropbox_srv, "dropbox (JSON, path-keyed, OAuth2 bearer)"),
+        (drive_srv, "gdrive  (JSON, file-id-keyed, OAuth2 bearer)"),
+        (s3_srv, "s3      (XML, per-request HMAC signature)"),
+    ]:
+        calls = {}
+        for request in server.request_log:
+            calls[request.path] = calls.get(request.path, 0) + 1
+        summary = ", ".join(
+            f"{path} x{count}" for path, count in sorted(calls.items())
+        )
+        print(f"{label}:")
+        print(f"  {len(server.object_names())} objects, "
+              f"{server.stored_bytes():,} bytes")
+        print(f"  wire calls: {summary}")
+
+    # --- the Section 3.1 quirk, observable ---------------------------------
+    # CYRUS's content-derived share names mean re-uploading a share is
+    # always byte-identical, so Drive's duplicate-on-upload semantics
+    # and Dropbox's overwrite semantics become indistinguishable
+    name = client.tree.latest("cross-vendor.bin").shares[0]
+    print(f"\nvendor quirk check: share names are content hashes "
+          f"(e.g. {name.chunk_id[:12]}...), so overwrite-vs-duplicate "
+          f"vendor semantics cannot corrupt data")
+
+
+if __name__ == "__main__":
+    main()

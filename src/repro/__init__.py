@@ -1,0 +1,50 @@
+"""CYRUS: client-defined, privacy-protected, reliable cloud storage.
+
+A full reproduction of *CYRUS: Towards Client-Defined Cloud Storage*
+(Chung, Hong, Joe-Wong, Ha, Chiang — EuroSys 2015): a client-side
+system that scatters erasure-coded file shares across multiple
+autonomous cloud storage providers so that no single provider can read
+user data, the data survives provider outages, and parallel downloads
+from optimally chosen providers minimise latency.
+
+Quickstart::
+
+    from repro import CyrusClient, CyrusConfig
+    from repro.csp import InMemoryCSP
+
+    csps = [InMemoryCSP(f"csp{i}") for i in range(4)]
+    client = CyrusClient.create(csps, CyrusConfig(key="secret", t=2, n=3))
+    client.put("hello.txt", b"hello, cyrus")
+    print(client.get("hello.txt").data)
+
+See :mod:`repro.core` for the client, :mod:`repro.selection` for the
+download optimiser, :mod:`repro.csp` for providers, and DESIGN.md for
+the full system inventory.
+"""
+
+from repro.core.client import CyrusClient, FileEntry
+from repro.core.cloud import CSPStatus, CyrusCloud
+from repro.core.config import CyrusConfig
+from repro.core.downloader import DownloadReport
+from repro.core.sync import SyncReport
+from repro.core.transfer import DirectEngine, SimulatedEngine, TransferReceiver
+from repro.core.uploader import UploadReport
+from repro.errors import CyrusError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CyrusClient",
+    "CyrusCloud",
+    "CyrusConfig",
+    "CSPStatus",
+    "FileEntry",
+    "UploadReport",
+    "DownloadReport",
+    "SyncReport",
+    "DirectEngine",
+    "SimulatedEngine",
+    "TransferReceiver",
+    "CyrusError",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Simple storage baselines for Figure 16: full replication and striping."""
+
+from repro.baselines.replication import FullReplicationClient
+from repro.baselines.striping import FullStripingClient
+
+__all__ = ["FullReplicationClient", "FullStripingClient"]

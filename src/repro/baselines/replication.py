@@ -1,0 +1,78 @@
+"""Full replication baseline (paper Figure 16).
+
+"Full Replication stores a 40 MB replica ... at each of the four CSPs."
+Upload pushes a complete copy to every CSP in parallel; download fetches
+one copy from a chosen CSP.  The paper reports the download averaged
+over all CSPs, and also quotes the best/worst single-CSP times, so the
+client exposes per-CSP downloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.transfer import OpKind, TransferEngine, TransferOp
+from repro.errors import ObjectNotFoundError, TransferError
+from repro.util.hashing import sha1_hex
+
+
+@dataclass
+class BaselineReport:
+    """Timing of one replication/striping operation."""
+
+    started: float
+    finished: float
+    bytes_moved: int
+    data: bytes | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+class FullReplicationClient:
+    """One full copy per CSP; reliability n-of-n, privacy none."""
+
+    def __init__(self, engine: TransferEngine, csp_ids: list[str]):
+        if not csp_ids:
+            raise TransferError("need at least one CSP")
+        self.engine = engine
+        self.csp_ids = list(csp_ids)
+
+    def _name(self, name: str) -> str:
+        return f"repl-{sha1_hex(name.encode())}"
+
+    def upload(self, name: str, data: bytes) -> BaselineReport:
+        """PUT the whole object to every CSP in parallel."""
+        started = self.engine.clock.now()
+        ops = [
+            TransferOp(kind=OpKind.PUT, csp_id=csp, name=self._name(name),
+                       data=data)
+            for csp in self.csp_ids
+        ]
+        results = self.engine.execute(ops)
+        stored = sum(1 for r in results if r.ok)
+        if stored == 0:
+            raise TransferError(f"replication of {name!r} failed everywhere")
+        finished = self.engine.clock.now()
+        return BaselineReport(
+            started=started, finished=finished,
+            bytes_moved=sum(r.op.payload_size() for r in results if r.ok),
+        )
+
+    def download(self, name: str, csp_id: str, size: int) -> BaselineReport:
+        """GET the full object from one specific CSP."""
+        started = self.engine.clock.now()
+        result = self.engine.execute(
+            [TransferOp(kind=OpKind.GET, csp_id=csp_id, name=self._name(name),
+                        size=size)]
+        )[0]
+        if not result.ok:
+            raise ObjectNotFoundError(
+                f"replica of {name!r} unavailable at {csp_id}", csp_id=csp_id
+            )
+        finished = self.engine.clock.now()
+        return BaselineReport(
+            started=started, finished=finished,
+            bytes_moved=result.op.payload_size(), data=result.data,
+        )

@@ -1,0 +1,82 @@
+"""Full striping baseline (paper Figure 16).
+
+"Full Striping [stores] a 10 MB fragment at each of the four CSPs."
+The file is split into one plaintext fragment per CSP: the least data
+moved of any scheme (hence the fastest uploads) but zero redundancy —
+any CSP failure loses the file — and zero privacy (fragments are
+plaintext).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.replication import BaselineReport
+from repro.core.transfer import OpKind, TransferEngine, TransferOp
+from repro.errors import ObjectNotFoundError, TransferError
+from repro.util.hashing import sha1_hex
+
+
+class FullStripingClient:
+    """One plaintext fragment per CSP; no redundancy, no privacy."""
+
+    def __init__(self, engine: TransferEngine, csp_ids: list[str]):
+        if not csp_ids:
+            raise TransferError("need at least one CSP")
+        self.engine = engine
+        self.csp_ids = list(csp_ids)
+
+    def _name(self, name: str, index: int) -> str:
+        return f"stripe-{sha1_hex(name.encode())}-{index:03d}"
+
+    def _fragments(self, data: bytes) -> list[bytes]:
+        count = len(self.csp_ids)
+        frag = -(-len(data) // count) if data else 0
+        return [data[i * frag : (i + 1) * frag] for i in range(count)]
+
+    def upload(self, name: str, data: bytes) -> BaselineReport:
+        """PUT fragment i to CSP i, all in parallel."""
+        started = self.engine.clock.now()
+        ops = [
+            TransferOp(kind=OpKind.PUT, csp_id=csp,
+                       name=self._name(name, i), data=frag)
+            for i, (csp, frag) in enumerate(
+                zip(self.csp_ids, self._fragments(data))
+            )
+        ]
+        results = self.engine.execute(ops)
+        if not all(r.ok for r in results):
+            failed = [r.op.csp_id for r in results if not r.ok]
+            raise TransferError(
+                f"striping of {name!r} failed at {failed}; the file is "
+                f"unrecoverable (no redundancy)"
+            )
+        finished = self.engine.clock.now()
+        return BaselineReport(
+            started=started, finished=finished,
+            bytes_moved=sum(r.op.payload_size() for r in results if r.ok),
+        )
+
+    def download(self, name: str, size: int) -> BaselineReport:
+        """GET every fragment in parallel; any failure loses the file."""
+        started = self.engine.clock.now()
+        count = len(self.csp_ids)
+        frag = -(-size // count) if size else 0
+        ops = []
+        for i, csp in enumerate(self.csp_ids):
+            frag_size = min(frag, max(0, size - i * frag))
+            ops.append(
+                TransferOp(kind=OpKind.GET, csp_id=csp,
+                           name=self._name(name, i), size=frag_size)
+            )
+        results = self.engine.execute(ops)
+        if not all(r.ok for r in results):
+            failed = [r.op.csp_id for r in results if not r.ok]
+            raise ObjectNotFoundError(
+                f"stripe fragments of {name!r} missing at {failed}"
+            )
+        data = b"".join(r.data for r in results)[:size]
+        finished = self.engine.clock.now()
+        return BaselineReport(
+            started=started, finished=finished,
+            bytes_moved=sum(r.op.payload_size() for r in results if r.ok),
+            data=data,
+        )

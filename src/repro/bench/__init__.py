@@ -1,0 +1,21 @@
+"""Benchmark harness: testbed construction, runners, and reporting."""
+
+from repro.bench.harness import (
+    download_files,
+    summarize_durations,
+    upload_files,
+)
+from repro.bench.reporting import fmt_mb, fmt_seconds, render_table
+from repro.bench.testbed import SimEnvironment, build_paper_testbed, build_environment
+
+__all__ = [
+    "SimEnvironment",
+    "build_paper_testbed",
+    "build_environment",
+    "upload_files",
+    "download_files",
+    "summarize_durations",
+    "render_table",
+    "fmt_seconds",
+    "fmt_mb",
+]

@@ -1,0 +1,25 @@
+"""Content-defined chunking (paper Section 5.1).
+
+CYRUS cuts files into chunks at content-dependent boundaries so that a
+local edit only changes the chunks whose bytes changed; unchanged chunks
+keep their identity and are deduplicated.  This package provides:
+
+* :class:`RabinFingerprint` — the classic GF(2) polynomial rolling hash
+  the paper cites, as a readable reference implementation;
+* :class:`ContentDefinedChunker` — the production chunker with a fully
+  vectorised rolling-hash engine (the reference engine is selectable for
+  cross-checking);
+* :class:`FixedSizeChunker` — the baseline the paper contrasts against.
+"""
+
+from repro.chunking.chunk import Chunk
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.rabin import RabinFingerprint
+
+__all__ = [
+    "Chunk",
+    "ContentDefinedChunker",
+    "FixedSizeChunker",
+    "RabinFingerprint",
+]

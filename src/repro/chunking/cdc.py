@@ -1,0 +1,219 @@
+"""Content-defined chunker.
+
+Boundaries are declared where a rolling hash of the trailing ``window``
+bytes satisfies ``hash mod M == K`` (paper Section 5.1), then filtered to
+respect minimum and maximum chunk sizes.  Because the hash depends only
+on window *content*, an insertion early in a file shifts boundaries only
+until the hash re-synchronises — downstream chunks keep their identity,
+which is what makes deduplication effective.
+
+Two interchangeable engines compute the rolling hash:
+
+* ``"vectorized"`` (default) — a multiplicative rolling hash evaluated
+  with numpy prefix sums.  The multiplier is odd and therefore
+  invertible modulo 2^32, which lets the hash of the window ending at
+  byte ``i`` be written as ``a^i * (S[i+1] - S[i-w+1])`` for a single
+  prefix-sum array ``S`` — one pass over the data, no per-byte loop.
+* ``"reference"`` — the classic GF(2) Rabin fingerprint
+  (:class:`repro.chunking.rabin.RabinFingerprint`), byte-at-a-time.
+
+The engines use different hash functions, so their boundaries differ,
+but both are deterministic and content-defined; tests verify the
+structural properties for each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunking.chunk import Chunk
+from repro.chunking.rabin import RabinFingerprint
+from repro.errors import ChunkingError
+
+#: Odd 32-bit multiplier (Knuth); odd => invertible mod 2^32.
+_MULTIPLIER = 0x9E3779B1
+_MULT_INV = pow(_MULTIPLIER, -1, 1 << 32)
+_U32 = np.uint32
+
+#: Block size for the vectorised engine (bounds peak memory at ~10x block).
+_BLOCK = 8 * 1024 * 1024
+
+
+def _byte_table(seed: int) -> np.ndarray:
+    """Random odd uint32 per byte value; decorrelates the hash input."""
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 1 << 31, size=256, dtype=np.uint32) * _U32(2) + _U32(1)
+    )
+
+
+def _power_series(base: int, count: int) -> np.ndarray:
+    """[base^0, base^1, ..., base^(count-1)] modulo 2^32."""
+    out = np.empty(count, dtype=np.uint32)
+    out[0] = _U32(1)
+    if count > 1:
+        with np.errstate(over="ignore"):
+            np.multiply.accumulate(
+                np.full(count - 1, _U32(base & 0xFFFFFFFF), dtype=np.uint32),
+                out=out[1:],
+            )
+    return out
+
+
+def select_boundaries(
+    candidates: list[int], length: int, min_size: int, max_size: int
+) -> list[int]:
+    """Filter candidate cut points to respect min/max chunk sizes.
+
+    ``candidates`` are ascending byte positions (exclusive chunk ends).
+    Returns the final ascending cut list, always ending at ``length``.
+    Cuts closer than ``min_size`` to the previous cut are dropped; spans
+    longer than ``max_size`` are force-cut at ``max_size``.
+    """
+    if length == 0:
+        return []
+    cuts: list[int] = []
+    last = 0
+    for c in candidates:
+        if c <= last or c >= length:
+            continue
+        while c - last > max_size:
+            last += max_size
+            cuts.append(last)
+        if c - last < min_size:
+            continue
+        cuts.append(c)
+        last = c
+    while length - last > max_size:
+        last += max_size
+        cuts.append(last)
+    cuts.append(length)
+    return cuts
+
+
+class ContentDefinedChunker:
+    """Cut byte strings into variable-size, content-addressed chunks.
+
+    Args:
+        min_size: Smallest chunk the filter will emit (except the final
+            chunk of a file, which may be shorter).
+        avg_size: Target average chunk size; must be a power of two (it
+            becomes the modulus M of the boundary test).
+        max_size: Largest chunk; longer runs are force-cut.
+        window: Rolling-hash window width in bytes.
+        engine: ``"vectorized"`` or ``"reference"``.
+        seed: Seed for the byte-mixing table (vectorized engine) — all
+            clients of one CYRUS cloud must share it for dedup to work.
+    """
+
+    def __init__(
+        self,
+        min_size: int = 2 * 1024,
+        avg_size: int = 8 * 1024,
+        max_size: int = 64 * 1024,
+        window: int = 16,
+        engine: str = "vectorized",
+        seed: int = 0x5EED,
+    ):
+        if avg_size & (avg_size - 1) or avg_size <= 0:
+            raise ChunkingError(f"avg_size must be a power of two, got {avg_size}")
+        if avg_size > 1 << 24:
+            raise ChunkingError(f"avg_size above 2^24 unsupported, got {avg_size}")
+        if not 0 < min_size <= avg_size <= max_size:
+            raise ChunkingError(
+                f"need 0 < min_size <= avg_size <= max_size, got "
+                f"({min_size}, {avg_size}, {max_size})"
+            )
+        if window < 2:
+            raise ChunkingError(f"window must be >= 2, got {window}")
+        if engine not in ("vectorized", "reference"):
+            raise ChunkingError(f"unknown engine {engine!r}")
+        self.min_size = min_size
+        self.avg_size = avg_size
+        self.max_size = max_size
+        self.window = window
+        self.engine = engine
+        self.seed = seed
+        self._mask = avg_size - 1
+        self._target = self._mask  # K in "hash mod M == K"
+        self._bits = avg_size.bit_length() - 1  # log2(M)
+        if engine == "vectorized":
+            self._table = _byte_table(seed)
+            # data-independent power tables, shared by every block
+            max_block = _BLOCK + window
+            self._pows = _power_series(_MULTIPLIER, max_block)
+            self._inv_pows = _power_series(_MULT_INV, max_block)
+        else:
+            self._rabin = RabinFingerprint(window=window)
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+
+    def _candidates_vectorized(self, data: bytes) -> list[int]:
+        w = self.window
+        n = len(data)
+        if n < w:
+            return []
+        out: list[int] = []
+        # boundary test uses the top log2(M) bits of the 32-bit hash
+        shift = _U32(32 - self._bits)
+        target = _U32(self._target)
+        start = 0
+        with np.errstate(over="ignore"):
+            while start < n:
+                end = min(n, start + _BLOCK)
+                lo = max(0, start - (w - 1))  # carry window overlap
+                buf = np.frombuffer(data[lo:end], dtype=np.uint8)
+                m = buf.size
+                vals = self._table[buf]  # uint32 gather
+                # S[k] = sum_{j<k} vals[j] * a^-j (block-relative, mod 2^32)
+                s = np.zeros(m + 1, dtype=np.uint32)
+                np.add.accumulate(vals * self._inv_pows[:m], out=s[1:])
+                # hash of window ending at i: a^i * (S[i+1] - S[i-w+1]);
+                # pure slice arithmetic — no gathers
+                h = self._pows[w - 1 : m] * (s[w:] - s[: m - w + 1])
+                hits = np.nonzero((h >> shift) == target)[0]
+                # hit k is a window ending at block byte (k + w - 1);
+                # the cut point is one past it, in absolute coordinates
+                positions = hits + (w + lo)
+                if lo < start:
+                    positions = positions[positions > start]
+                out.extend(positions.tolist())
+                start = end
+        return out
+
+    def _candidates_reference(self, data: bytes) -> list[int]:
+        rabin = self._rabin
+        rabin.reset()
+        out: list[int] = []
+        mask = self._mask
+        target = self._target
+        w = self.window
+        for i, byte in enumerate(data):
+            fp = rabin.push(byte)
+            if i >= w - 1 and (fp & mask) == target:
+                out.append(i + 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def boundaries(self, data: bytes) -> list[int]:
+        """Cut points (exclusive chunk ends) for ``data``, ending at len."""
+        if self.engine == "vectorized":
+            candidates = self._candidates_vectorized(data)
+        else:
+            candidates = self._candidates_reference(data)
+        return select_boundaries(candidates, len(data), self.min_size, self.max_size)
+
+    def chunk_bytes(self, data: bytes) -> list[Chunk]:
+        """Split ``data`` into content-addressed chunks."""
+        cuts = self.boundaries(data)
+        chunks: list[Chunk] = []
+        prev = 0
+        for cut in cuts:
+            chunks.append(Chunk.from_data(data[prev:cut], offset=prev))
+            prev = cut
+        return chunks

@@ -1,0 +1,37 @@
+"""Chunk container.
+
+A chunk is identified by the SHA-1 of its content (the paper's ChunkMap
+``Id``), which is what makes deduplication work: two files containing
+the same bytes at chunk granularity produce chunks with equal ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.hashing import sha1_hex
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous piece of a file.
+
+    Attributes:
+        id: Hex SHA-1 of ``data``.
+        data: Chunk content.
+        offset: Byte offset of the chunk within its source file.
+    """
+
+    id: str
+    data: bytes = field(repr=False)
+    offset: int
+
+    @classmethod
+    def from_data(cls, data: bytes, offset: int = 0) -> "Chunk":
+        """Build a chunk, computing its content id."""
+        return cls(id=sha1_hex(data), data=data, offset=offset)
+
+    @property
+    def size(self) -> int:
+        """Chunk length in bytes."""
+        return len(self.data)

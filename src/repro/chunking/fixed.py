@@ -1,0 +1,38 @@
+"""Fixed-size chunking baseline.
+
+The paper contrasts content-defined chunking against fixed-size
+chunking, where an insertion early in a file shifts every later chunk
+boundary and defeats deduplication.  This baseline exists so the
+ablation benchmark can measure that effect.
+"""
+
+from __future__ import annotations
+
+from repro.chunking.chunk import Chunk
+from repro.errors import ChunkingError
+
+
+class FixedSizeChunker:
+    """Cut byte strings into equal-size chunks (last one may be short)."""
+
+    def __init__(self, chunk_size: int = 8 * 1024):
+        if chunk_size < 1:
+            raise ChunkingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def boundaries(self, data: bytes) -> list[int]:
+        """Cut points (exclusive chunk ends), ending at ``len(data)``."""
+        if not data:
+            return []
+        cuts = list(range(self.chunk_size, len(data), self.chunk_size))
+        cuts.append(len(data))
+        return cuts
+
+    def chunk_bytes(self, data: bytes) -> list[Chunk]:
+        """Split ``data`` into fixed-size content-addressed chunks."""
+        chunks: list[Chunk] = []
+        prev = 0
+        for cut in self.boundaries(data):
+            chunks.append(Chunk.from_data(data[prev:cut], offset=prev))
+            prev = cut
+        return chunks

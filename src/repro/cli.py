@@ -1,0 +1,471 @@
+"""Command-line interface: the open-source counterpart of the prototype UI.
+
+The paper's prototype ships a GUI (Figure 11) listing connected CSP
+accounts, stored files, and per-file history.  This CLI exposes the
+same surface over persistent on-disk providers
+(:class:`repro.csp.LocalDirectoryCSP` — stand-ins for mounted cloud
+drives or private storage servers):
+
+    cyrus init  --store ~/.cyrus --key K --csp name=path [...]
+    cyrus put   <file> [--as NAME]
+    cyrus get   <name> [-o OUT] [--version N]
+    cyrus ls    [PREFIX]
+    cyrus history <name>
+    cyrus rm    <name>
+    cyrus conflicts
+    cyrus resolve
+    cyrus status
+    cyrus add-csp name=path
+    cyrus remove-csp name
+
+State (provider list, key, coding parameters, client id) lives in a
+JSON file under the store directory; all file data and metadata live at
+the providers, so ``cyrus init`` against existing provider directories
+recovers everything — the Table 3 ``recover()`` call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import uuid
+from pathlib import Path
+
+from repro.core.client import CyrusClient
+from repro.core.config import CyrusConfig
+from repro.csp.localfs import LocalDirectoryCSP
+from repro.errors import CyrusError
+
+CONFIG_NAME = "cyrus.json"
+
+
+class CLIError(Exception):
+    """User-facing CLI failure (bad arguments, missing store)."""
+
+
+def _parse_csp_spec(spec: str) -> tuple[str, str]:
+    name, sep, path = spec.partition("=")
+    if not sep or not name or not path:
+        raise CLIError(f"--csp must be name=path, got {spec!r}")
+    return name, path
+
+
+def _store_path(args) -> Path:
+    return Path(args.store).expanduser()
+
+
+def load_settings(store: Path) -> dict:
+    path = store / CONFIG_NAME
+    if not path.exists():
+        raise CLIError(
+            f"no CYRUS store at {store} (run `cyrus init` first)"
+        )
+    return json.loads(path.read_text())
+
+
+def build_client(store: Path) -> CyrusClient:
+    settings = load_settings(store)
+    providers = [
+        LocalDirectoryCSP(name, Path(path))
+        for name, path in settings["providers"].items()
+    ]
+    config = CyrusConfig(
+        key=settings["key"],
+        t=settings["t"],
+        n=settings["n"],
+        chunk_min=settings["chunk_min"],
+        chunk_avg=settings["chunk_avg"],
+        chunk_max=settings["chunk_max"],
+    )
+    client = CyrusClient.create(
+        providers, config, client_id=settings["client_id"]
+    )
+    # local metadata copy (Section 3.2): start from the cached tree so
+    # the sync only fetches nodes published since the last invocation
+    cache_path = store / "tree-cache.json"
+    try:
+        client.load_local_state(cache_path)
+    except CyrusError:
+        pass  # stale/corrupt cache: fall back to a full sync
+    client.sync()
+    client.save_local_state(cache_path)
+    return client
+
+
+def save_settings(store: Path, settings: dict) -> None:
+    store.mkdir(parents=True, exist_ok=True)
+    (store / CONFIG_NAME).write_text(json.dumps(settings, indent=2))
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_init(args) -> int:
+    store = _store_path(args)
+    if (store / CONFIG_NAME).exists() and not args.force:
+        raise CLIError(f"store already exists at {store} (use --force)")
+    csps = dict(_parse_csp_spec(s) for s in args.csp)
+    if len(csps) < args.n:
+        raise CLIError(
+            f"need at least n={args.n} providers, got {len(csps)}"
+        )
+    settings = {
+        "key": args.key,
+        "t": args.t,
+        "n": args.n,
+        "chunk_min": args.chunk_min,
+        "chunk_avg": args.chunk_avg,
+        "chunk_max": args.chunk_max,
+        "client_id": args.client_id or f"cli-{uuid.uuid4().hex[:8]}",
+        "providers": {
+            name: str(Path(path).expanduser().resolve())
+            for name, path in csps.items()
+        },
+    }
+    save_settings(store, settings)
+    client = build_client(store)
+    existing = client.list_files(sync_first=False)
+    print(f"initialised CYRUS store at {store} with {len(csps)} providers "
+          f"(t={args.t}, n={args.n})")
+    if existing:
+        print(f"recovered {len(existing)} existing files from the providers")
+    return 0
+
+
+def cmd_put(args) -> int:
+    client = build_client(_store_path(args))
+    source = Path(args.file)
+    data = source.read_bytes()
+    name = args.as_name or source.name
+    report = client.put(name, data, sync_first=False)
+    if report.unchanged:
+        print(f"{name}: unchanged (already at this version)")
+    else:
+        print(f"{name}: stored {report.node.size:,} bytes as "
+              f"{report.new_chunks} new + {report.dedup_chunks} deduplicated "
+              f"chunks ({report.bytes_uploaded:,} bytes uploaded)")
+    return 0
+
+
+def cmd_get(args) -> int:
+    client = build_client(_store_path(args))
+    report = client.get(args.name, version=args.version, sync_first=False)
+    out = Path(args.output) if args.output else Path(Path(args.name).name)
+    out.write_bytes(report.data)
+    suffix = f" (version -{args.version})" if args.version else ""
+    print(f"{args.name}{suffix}: {len(report.data):,} bytes -> {out}")
+    if report.conflicts:
+        print(f"warning: {len(report.conflicts)} unresolved conflict(s) — "
+              f"run `cyrus conflicts`")
+    if report.migrations:
+        print(f"note: migrated {len(report.migrations)} shares to healthy "
+              f"providers")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    client = build_client(_store_path(args))
+    entries = client.list_files(args.prefix or "", sync_first=False)
+    if not entries:
+        print("(no files)")
+        return 0
+    width = max(len(e.name) for e in entries)
+    for entry in entries:
+        versions = len(client.history(entry.name))
+        print(f"{entry.name:<{width}}  {entry.size:>12,} bytes  "
+              f"{versions} version(s)")
+    return 0
+
+
+def cmd_history(args) -> int:
+    client = build_client(_store_path(args))
+    chain = client.history(args.name)
+    for back, node in enumerate(chain):
+        marker = "deleted" if node.deleted else f"{node.size:,} bytes"
+        head = " (current)" if back == 0 else ""
+        print(f"  -{back}: {node.node_id[:12]}  {marker}  "
+              f"by {node.client_id}{head}")
+    return 0
+
+
+def cmd_rm(args) -> int:
+    client = build_client(_store_path(args))
+    client.delete(args.name, sync_first=False)
+    print(f"{args.name}: deleted (history preserved; "
+          f"`cyrus get {args.name}` still restores it)")
+    return 0
+
+
+def cmd_conflicts(args) -> int:
+    client = build_client(_store_path(args))
+    conflicts = client.conflicts()
+    if not conflicts:
+        print("no conflicts")
+        return 0
+    for conflict in conflicts:
+        print(f"{conflict.kind}: {conflict.name!r} "
+              f"({len(conflict.node_ids)} concurrent versions)")
+    return 1
+
+
+def cmd_resolve(args) -> int:
+    client = build_client(_store_path(args))
+    created = client.resolve_conflicts()
+    if created:
+        for name in created:
+            print(f"preserved losing version as {name!r}")
+    else:
+        print("nothing to resolve")
+    return 0
+
+
+def cmd_status(args) -> int:
+    store = _store_path(args)
+    settings = load_settings(store)
+    client = build_client(store)
+    files = client.list_files(sync_first=False)
+    stats = client.storage_stats()
+    print(f"store: {store}")
+    print(f"coding: t={settings['t']}, n={settings['n']}")
+    print(f"files: {len(files)} "
+          f"({stats['logical_bytes']:,} logical bytes, "
+          f"{stats['unique_chunk_bytes']:,} after dedup, "
+          f"{stats['stored_share_bytes']:,} stored with redundancy)")
+    print("providers:")
+    for name, path in settings["providers"].items():
+        root = Path(path)
+        if root.exists():
+            objects = [p for p in root.iterdir() if p.is_file()]
+            stored = sum(p.stat().st_size for p in objects)
+            print(f"  {name:<16} {len(objects):>5} objects  "
+                  f"{stored:>12,} bytes  {path}")
+        else:
+            print(f"  {name:<16} MISSING  {path}")
+    conflicts = client.conflicts()
+    if conflicts:
+        print(f"unresolved conflicts: {len(conflicts)}")
+    return 0
+
+
+def cmd_prune(args) -> int:
+    client = build_client(_store_path(args))
+    report = client.prune_history(args.name, keep_versions=args.keep)
+    print(f"{args.name}: pruned {report.nodes_deleted} old version(s), "
+          f"kept {report.versions_kept}")
+    return 0
+
+
+def cmd_gc(args) -> int:
+    client = build_client(_store_path(args))
+    report = client.collect_garbage()
+    print(f"garbage collection: {report.chunks_deleted} chunks "
+          f"({report.shares_deleted} shares, "
+          f"{report.bytes_reclaimed:,} bytes) reclaimed")
+    return 0
+
+
+def cmd_import(args) -> int:
+    client = build_client(_store_path(args))
+    report = client.import_object(args.provider, args.object,
+                                  target_name=args.as_name)
+    print(f"imported {args.object!r} from {args.provider} as "
+          f"{report.node.name!r} ({report.node.size:,} bytes)")
+    return 0
+
+
+def cmd_sync_dir(args) -> int:
+    """Two-way sync of a local directory with the cloud (Section 5.4).
+
+    Local changes are detected mtime-first then by hash (the paper's
+    local half of the sync service) and uploaded; remote files missing
+    or outdated locally are downloaded.  Conflicts are reported, not
+    resolved.
+    """
+    from repro.core.sync import LocalChangeDetector
+    from repro.util.hashing import sha1_hex
+
+    client = build_client(_store_path(args))
+    root = Path(args.directory).expanduser()
+    root.mkdir(parents=True, exist_ok=True)
+
+    local: dict[str, tuple[float, bytes]] = {}
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            rel = path.relative_to(root).as_posix()
+            local[rel] = (path.stat().st_mtime, path.read_bytes())
+
+    uploaded = downloaded = 0
+    remote_names = {e.name for e in client.list_files(sync_first=False)}
+
+    # push: every local file whose content differs from the cloud head
+    for name, (_mtime, content) in local.items():
+        if name in remote_names:
+            head = client.tree.latest(name)
+            if head.file_id == sha1_hex(content):
+                continue
+        report = client.put(name, content, sync_first=False)
+        if not report.unchanged:
+            uploaded += 1
+            print(f"  up   {name} ({len(content):,} bytes)")
+
+    # pull: every remote file absent locally (or tombstoned remotely)
+    for entry in client.list_files(sync_first=False):
+        target = root / entry.name
+        if entry.name in local:
+            continue
+        report = client.get(entry.name, sync_first=False)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(report.data)
+        downloaded += 1
+        print(f"  down {entry.name} ({len(report.data):,} bytes)")
+
+    conflicts = client.conflicts()
+    print(f"sync-dir: {uploaded} uploaded, {downloaded} downloaded"
+          + (f", {len(conflicts)} conflict(s) — run `cyrus resolve`"
+             if conflicts else ""))
+    return 0
+
+
+def cmd_add_csp(args) -> int:
+    store = _store_path(args)
+    settings = load_settings(store)
+    name, path = _parse_csp_spec(args.csp)
+    if name in settings["providers"]:
+        raise CLIError(f"provider {name!r} already attached")
+    resolved = str(Path(path).expanduser().resolve())
+    client = build_client(store)
+    client.add_csp(LocalDirectoryCSP(name, Path(resolved)))
+    settings["providers"][name] = resolved
+    save_settings(store, settings)
+    print(f"attached provider {name!r}; metadata replicated onto it")
+    return 0
+
+
+def cmd_remove_csp(args) -> int:
+    store = _store_path(args)
+    settings = load_settings(store)
+    if args.name not in settings["providers"]:
+        raise CLIError(f"unknown provider {args.name!r}")
+    if len(settings["providers"]) - 1 < settings["n"]:
+        raise CLIError(
+            f"removing {args.name!r} would leave fewer than n="
+            f"{settings['n']} providers"
+        )
+    client = build_client(store)
+    client.remove_csp(args.name)
+    del settings["providers"][args.name]
+    save_settings(store, settings)
+    print(f"detached provider {args.name!r}; shares will migrate lazily "
+          f"on download")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cyrus",
+        description="Client-defined cloud storage over multiple providers.",
+    )
+    parser.add_argument("--store", default=".cyrus",
+                        help="store directory (default: .cyrus)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create (or recover) a store")
+    p.add_argument("--key", required=True, help="user key string")
+    p.add_argument("--csp", action="append", required=True,
+                   metavar="NAME=PATH", help="provider directory (repeat)")
+    p.add_argument("--t", type=int, default=2)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--chunk-min", type=int, default=64 * 1024)
+    p.add_argument("--chunk-avg", type=int, default=256 * 1024)
+    p.add_argument("--chunk-max", type=int, default=2 * 1024 * 1024)
+    p.add_argument("--client-id", default=None)
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("put", help="upload a file")
+    p.add_argument("file")
+    p.add_argument("--as", dest="as_name", default=None,
+                   help="store under this name")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="download a file")
+    p.add_argument("name")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--version", type=int, default=0,
+                   help="versions back from latest (default 0)")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("ls", help="list files")
+    p.add_argument("prefix", nargs="?", default="")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("history", help="show a file's versions")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("rm", help="delete a file (tombstone)")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_rm)
+
+    p = sub.add_parser("conflicts", help="list unresolved conflicts")
+    p.set_defaults(func=cmd_conflicts)
+
+    p = sub.add_parser("resolve", help="resolve conflicts")
+    p.set_defaults(func=cmd_resolve)
+
+    p = sub.add_parser("status", help="store and provider overview")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("sync-dir", help="two-way sync a local directory")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_sync_dir)
+
+    p = sub.add_parser("prune", help="drop old versions of a file")
+    p.add_argument("name")
+    p.add_argument("--keep", type=int, default=1,
+                   help="versions to keep (default 1)")
+    p.set_defaults(func=cmd_prune)
+
+    p = sub.add_parser("gc", help="reclaim unreferenced chunk shares")
+    p.set_defaults(func=cmd_gc)
+
+    p = sub.add_parser("import", help="adopt an object already at a provider")
+    p.add_argument("provider")
+    p.add_argument("object")
+    p.add_argument("--as", dest="as_name", default=None)
+    p.set_defaults(func=cmd_import)
+
+    p = sub.add_parser("add-csp", help="attach a provider")
+    p.add_argument("csp", metavar="NAME=PATH")
+    p.set_defaults(func=cmd_add_csp)
+
+    p = sub.add_parser("remove-csp", help="detach a provider")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_remove_csp)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CyrusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""The CYRUS core: client, upload/download pipelines, sync, migration.
+
+This package realises the paper's Table 3 API on top of the substrates:
+chunking, keyed secret sharing, consistent-hash placement with platform
+clusters, optimised downlink selection, scattered metadata, optimistic
+concurrency with after-the-fact conflict detection, and lazy share
+migration on CSP change.
+"""
+
+from repro.core.cache import ChunkCache
+from repro.core.client import CyrusClient
+from repro.core.cloud import CyrusCloud
+from repro.core.config import CyrusConfig
+from repro.core.daemon import SyncDaemon
+from repro.core.downloader import DownloadReport, Downloader
+from repro.core.maintenance import GCReport, PruneReport
+from repro.core.sync import SyncReport, SyncService
+from repro.core.transfer import (
+    DirectEngine,
+    OpResult,
+    SimulatedEngine,
+    TransferOp,
+    TransferReceiver,
+)
+from repro.core.uploader import UploadReport, Uploader
+
+__all__ = [
+    "CyrusClient",
+    "CyrusCloud",
+    "CyrusConfig",
+    "ChunkCache",
+    "SyncDaemon",
+    "Uploader",
+    "UploadReport",
+    "Downloader",
+    "DownloadReport",
+    "SyncService",
+    "SyncReport",
+    "GCReport",
+    "PruneReport",
+    "TransferOp",
+    "OpResult",
+    "DirectEngine",
+    "SimulatedEngine",
+    "TransferReceiver",
+]

@@ -1,0 +1,70 @@
+"""Client-side chunk cache.
+
+The prototype keeps local copies of synced files; the library equivalent
+is a bounded LRU cache of decoded chunks keyed by content id.  Because
+chunk ids are content hashes, cached entries can never be stale — a
+changed file produces new chunk ids — so the cache needs no
+invalidation protocol, only eviction.  Repeated or overlapping
+downloads (e.g. reading several versions that share chunks) skip the
+network entirely for cached chunks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class ChunkCache:
+    """A byte-budgeted LRU cache of decoded chunks.
+
+    Args:
+        capacity_bytes: Eviction threshold; 0 disables caching entirely.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._size
+
+    def get(self, chunk_id: str) -> bytes | None:
+        """Cached chunk bytes, or None; refreshes LRU position on hit."""
+        data = self._entries.get(chunk_id)
+        if data is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(chunk_id)
+        self.hits += 1
+        return data
+
+    def put(self, chunk_id: str, data: bytes) -> None:
+        """Insert a decoded chunk, evicting LRU entries past the budget.
+
+        Chunks larger than the whole budget are not cached at all.
+        """
+        if self.capacity_bytes == 0 or len(data) > self.capacity_bytes:
+            return
+        old = self._entries.pop(chunk_id, None)
+        if old is not None:
+            self._size -= len(old)
+        self._entries[chunk_id] = data
+        self._size += len(data)
+        while self._size > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._size -= len(evicted)
+
+    def clear(self) -> None:
+        """Drop everything (e.g. on key change)."""
+        self._entries.clear()
+        self._size = 0

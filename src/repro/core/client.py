@@ -1,0 +1,391 @@
+"""The CYRUS client: the paper's Table 3 API.
+
+| paper call              | method                                   |
+|-------------------------|------------------------------------------|
+| ``s = create()``        | :meth:`CyrusClient.create`               |
+| ``add(s, c)``           | :meth:`CyrusClient.add_csp`              |
+| ``remove(s, c)``        | :meth:`CyrusClient.remove_csp`           |
+| ``f' = get(s, f, v)``   | :meth:`CyrusClient.get`                  |
+| ``put(s, f)``           | :meth:`CyrusClient.put`                  |
+| ``delete(s, f)``        | :meth:`CyrusClient.delete`               |
+| ``[(f, r)] = list(s, d)``| :meth:`CyrusClient.list_files`          |
+| ``s' = recover(s)``     | :meth:`CyrusClient.recover`              |
+
+A client is one device.  Multiple clients attached to the same provider
+set (and key) form one logical CYRUS cloud: they see each other's
+uploads after a sync and detect conflicts exactly as Section 5.4
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.chunking import ContentDefinedChunker
+from repro.core.cloud import CyrusCloud
+from repro.core.config import CyrusConfig
+from repro.core.downloader import Downloader, DownloadReport
+from repro.core.migration import migrate_metadata
+from repro.core.sync import SyncReport, SyncService
+from repro.core.transfer import DirectEngine, TransferEngine
+from repro.core.uploader import Uploader, UploadReport
+from repro.csp.base import CloudProvider
+from repro.errors import ConflictError, MetadataError
+from repro.metadata import (
+    GlobalChunkTable,
+    MetadataNode,
+    MetadataStore,
+    MetadataTree,
+)
+from repro.metadata.conflicts import (
+    Conflict,
+    conflicted_copy_name,
+    detect_conflicts,
+    resolution_winner,
+)
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One row of ``list(s, d)``: name plus its current head node."""
+
+    name: str
+    node: MetadataNode
+
+    @property
+    def size(self) -> int:
+        return self.node.size
+
+    @property
+    def modified(self) -> float:
+        return self.node.modified
+
+
+class CyrusClient:
+    """One device's view of a CYRUS cloud."""
+
+    def __init__(
+        self,
+        cloud: CyrusCloud,
+        config: CyrusConfig,
+        engine: TransferEngine,
+        client_id: str,
+        selector=None,
+        chunker: ContentDefinedChunker | None = None,
+        cache=None,
+    ):
+        self.cloud = cloud
+        self.config = config
+        self.engine = engine
+        self.client_id = client_id
+        self.tree = MetadataTree()
+        self.chunk_table = GlobalChunkTable()
+        self._rebuild_store()
+        self._selector = selector
+        self._chunker = chunker
+        self.cache = cache  # optional repro.core.cache.ChunkCache
+        self._rebuild_pipelines()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        providers: Sequence[CloudProvider],
+        config: CyrusConfig,
+        client_id: str = "client-1",
+        engine: TransferEngine | None = None,
+        clusters=None,
+        selector=None,
+        chunker: ContentDefinedChunker | None = None,
+        cache=None,
+    ) -> "CyrusClient":
+        """Table 3's ``create()``: build a cloud over the given CSPs."""
+        cloud = CyrusCloud(providers, clusters=clusters)
+        if engine is None:
+            engine = DirectEngine({p.csp_id: p for p in providers})
+        return cls(
+            cloud, config, engine, client_id,
+            selector=selector, chunker=chunker, cache=cache,
+        )
+
+    def _rebuild_store(self) -> None:
+        self.store = MetadataStore(
+            self.cloud.metadata_slots(), key=self.config.key,
+            t=self.config.meta_t,
+        )
+
+    def _rebuild_pipelines(self) -> None:
+        self.uploader = Uploader(
+            cloud=self.cloud, store=self.store, tree=self.tree,
+            chunk_table=self.chunk_table, config=self.config,
+            engine=self.engine, chunker=self._chunker,
+        )
+        self.downloader = Downloader(
+            cloud=self.cloud, tree=self.tree, chunk_table=self.chunk_table,
+            config=self.config, engine=self.engine, selector=self._selector,
+            cache=self.cache,
+        )
+        self.syncer = SyncService(
+            store=self.store, tree=self.tree, chunk_table=self.chunk_table,
+            engine=self.engine,
+        )
+
+    # -- membership (Table 3 add / remove) -----------------------------------
+
+    def add_csp(self, provider: CloudProvider) -> None:
+        """Attach a new CSP account; existing shares stay put (Section 5.5)."""
+        self.cloud.add_csp(provider)
+        self.engine.register_provider(provider)
+        self._rebuild_store()
+        self._rebuild_pipelines()
+        # metadata is cheap: replicate it onto the new slot immediately
+        migrate_metadata(self.store, self.tree, self.engine)
+
+    def remove_csp(self, csp_id: str) -> None:
+        """Detach a CSP; its chunk shares migrate lazily on download."""
+        self.cloud.remove_csp(csp_id)
+        self.chunk_table.drop_csp(csp_id)
+        self._rebuild_store()
+        self._rebuild_pipelines()
+        migrate_metadata(self.store, self.tree, self.engine)
+
+    # -- data plane (Table 3 put / get / delete / list) ----------------------
+
+    def sync(self) -> SyncReport:
+        """Pull remote metadata changes (Section 5.4)."""
+        return self.syncer.sync()
+
+    def put(self, name: str, data: bytes, sync_first: bool = True) -> UploadReport:
+        """Upload a file version (Algorithm 2)."""
+        if sync_first:
+            self.sync()
+        return self.uploader.upload(name, data, client_id=self.client_id)
+
+    def get(
+        self, name: str, version: int = 0, sync_first: bool = True
+    ) -> DownloadReport:
+        """Download a file (Algorithm 3); ``version`` walks history back."""
+        if sync_first:
+            self.sync()
+        node = self.tree.version_at_depth(name, version)
+        if node.deleted:
+            # the paper lets clients recover deleted files by locating
+            # their metadata; get() of a tombstone resolves to the last
+            # live version when one exists
+            chain = self.tree.history(node.node_id)
+            live = next((n for n in chain if not n.deleted), None)
+            if live is None:
+                raise MetadataError(f"{name!r} has no non-deleted version")
+            node = live
+        return self.downloader.download(node)
+
+    def get_node(self, node: MetadataNode) -> DownloadReport:
+        """Download a specific version node (used for history browsing)."""
+        return self.downloader.download(node)
+
+    def get_range(
+        self, name: str, offset: int, length: int,
+        version: int = 0, sync_first: bool = True,
+    ) -> DownloadReport:
+        """Download only ``[offset, offset + length)`` of a file.
+
+        Touches only the chunks overlapping the window — cheap random
+        access into large files (previews, seeks, partial restores).
+        """
+        if sync_first:
+            self.sync()
+        node = self.tree.version_at_depth(name, version)
+        return self.downloader.download_range(node, offset, length)
+
+    def delete(self, name: str, sync_first: bool = True) -> UploadReport:
+        """Tombstone a file (metadata marked deleted; shares kept)."""
+        if sync_first:
+            self.sync()
+        return self.uploader.publish_tombstone(name, client_id=self.client_id)
+
+    def list_files(self, directory: str = "", sync_first: bool = True) -> list[FileEntry]:
+        """Live files under a directory prefix with their head nodes."""
+        if sync_first:
+            self.sync()
+        out = []
+        for name in self.tree.file_names():
+            if directory and not name.startswith(directory):
+                continue
+            out.append(FileEntry(name=name, node=self.tree.latest(name)))
+        return out
+
+    def history(self, name: str) -> list[MetadataNode]:
+        """Version chain of a file, newest first (Figure 11c)."""
+        return self.tree.history(self.tree.latest(name).node_id)
+
+    # -- recovery (Table 3 recover) -------------------------------------------
+
+    def recover(self) -> SyncReport:
+        """Rebuild all local state from the CSPs alone.
+
+        A fresh device with only the key and provider list calls this to
+        reconstruct the metadata tree and chunk table — nothing about
+        the cloud lives anywhere else.
+        """
+        self.tree = MetadataTree()
+        self.chunk_table = GlobalChunkTable()
+        self._rebuild_pipelines()
+        return self.sync()
+
+    # -- conflicts -----------------------------------------------------------
+
+    def conflicts(self) -> list[Conflict]:
+        """All unresolved conflicts visible in the local tree."""
+        return detect_conflicts(self.tree)
+
+    def resolve_conflicts(self) -> list[str]:
+        """Keep each conflict's winner; re-label losers as conflicted copies.
+
+        Losers become new first-class files named
+        ``"<stem> (conflicted copy <client>).<ext>"`` whose lineage
+        chains to the losing node, so no data is discarded.  Returns the
+        new names created.
+        """
+        created: list[str] = []
+        for conflict in self.conflicts():
+            winner = resolution_winner(self.tree, conflict)
+            for node_id in conflict.node_ids:
+                if node_id == winner:
+                    continue
+                loser = self.tree.get(node_id)
+                if self.tree.children(node_id):
+                    continue  # already superseded; nothing to relabel
+                new_name = conflicted_copy_name(loser.name, loser.client_id)
+                renamed = MetadataNode(
+                    file_id=loser.file_id,
+                    prev_id=loser.node_id,
+                    client_id=self.client_id,
+                    name=new_name,
+                    deleted=False,
+                    modified=loser.modified,
+                    size=loser.size,
+                    chunks=loser.chunks,
+                    shares=loser.shares,
+                )
+                self.uploader._publish(renamed)
+                self.tree.add(renamed)
+                self.chunk_table.record_node(renamed)
+                created.append(new_name)
+        return created
+
+    def save_local_state(self, path) -> int:
+        """Persist the local metadata tree (Section 3.2's local copy).
+
+        Returns the number of nodes written.  On restart,
+        :meth:`load_local_state` + :meth:`sync` replaces a full
+        :meth:`recover` — only nodes published since the snapshot are
+        fetched from the CSPs.
+        """
+        from repro.metadata.snapshot import save_tree
+
+        return save_tree(self.tree, path)
+
+    def load_local_state(self, path) -> int:
+        """Merge a persisted tree snapshot; returns nodes added."""
+        from repro.metadata.snapshot import load_tree
+
+        added = load_tree(self.tree, path)
+        if added:
+            self.chunk_table.rebuild(list(self.tree))
+        return added
+
+    def storage_stats(self) -> dict:
+        """Logical vs stored bytes and the dedup/redundancy breakdown.
+
+        ``logical`` counts current (non-deleted) head versions;
+        ``unique_chunk_bytes`` is what remains after deduplication;
+        ``stored_share_bytes`` is what the CSPs actually hold
+        (unique bytes times each chunk's n/t expansion).
+        """
+        logical = sum(
+            self.tree.latest(name).size for name in self.tree.file_names()
+        )
+        unique = 0
+        stored = 0
+        per_csp: dict[str, int] = {}
+        for chunk_id in self.chunk_table.all_chunk_ids():
+            location = self.chunk_table.get(chunk_id)
+            unique += location.size
+            share_size = max(1, -(-location.size // location.t))
+            stored += share_size * len(location.placements)
+            for _index, csp in location.placements:
+                per_csp[csp] = per_csp.get(csp, 0) + share_size
+        return {
+            "files": len(self.tree.file_names()),
+            "versions": len(self.tree.node_ids()),
+            "logical_bytes": logical,
+            "unique_chunk_bytes": unique,
+            "stored_share_bytes": stored,
+            "per_csp_bytes": dict(sorted(per_csp.items())),
+        }
+
+    def probe_failed_csps(self) -> list[str]:
+        """Re-check failed CSPs; mark the responsive ones recovered.
+
+        Section 5.5: "once this occurs, CYRUS periodically checks if the
+        failed CSP is back up.  Until that time, no shares are uploaded
+        to that CSP."  The probe is a cheap listing; call this on a
+        timer (or before large uploads).  Returns the recovered ids.
+        """
+        from repro.core.cloud import CSPStatus
+        from repro.errors import CSPError
+
+        recovered = []
+        for csp_id in list(self.cloud.unusable_csps()):
+            if self.cloud.status_of(csp_id) is not CSPStatus.FAILED:
+                continue  # removed CSPs stay removed
+            try:
+                self.cloud.provider(csp_id).list("")
+            except CSPError:
+                continue
+            self.cloud.mark_recovered(csp_id)
+            recovered.append(csp_id)
+        return recovered
+
+    # -- maintenance (Section 7.5 extensions) -----------------------------
+
+    def import_object(self, csp_id: str, object_name: str,
+                      target_name: str | None = None) -> UploadReport:
+        """Adopt a plain object already stored at one provider.
+
+        The trial's most-requested feature after mobile support: the
+        object is fetched from the named provider and stored through
+        the normal pipeline; the original is left untouched.
+        """
+        from repro.core.maintenance import import_object
+
+        return import_object(self, csp_id, object_name, target_name)
+
+    def prune_history(self, name: str, keep_versions: int = 1):
+        """Drop all but the newest versions of a file's metadata.
+
+        Destructive and uncoordinated — run it only while no other
+        client is writing, like ``git gc``.
+        """
+        from repro.core.maintenance import prune_history
+
+        return prune_history(self.tree, self.store, self.engine, name,
+                             keep_versions)
+
+    def collect_garbage(self):
+        """Delete chunk shares no remaining version references."""
+        from repro.core.maintenance import collect_garbage
+
+        return collect_garbage(self)
+
+    # -- introspection ---------------------------------------------------------
+
+    def require_no_conflicts(self, name: str) -> None:
+        """Guard for callers that must not proceed past a conflict."""
+        heads = self.tree.heads(name)
+        if len(heads) > 1:
+            raise ConflictError(
+                f"{name!r} has {len(heads)} concurrent heads; resolve first"
+            )

@@ -1,0 +1,91 @@
+"""Background synchronization service (paper Section 5.4).
+
+"Clients sync files by detecting changes at their local storage and
+CSPs" on a period.  :class:`SyncDaemon` packages the periodic behaviour
+the paper describes — metadata pull, failed-CSP probing (Section 5.5),
+and optional conflict auto-resolution — as ticks driven by the
+simulation clock (or any scheduler in a real deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import CyrusClient
+from repro.errors import CyrusError
+
+
+@dataclass
+class DaemonTick:
+    """What one tick did."""
+
+    at: float
+    new_nodes: int
+    conflicts_seen: int
+    conflicts_resolved: int
+    csps_recovered: tuple[str, ...]
+
+
+@dataclass
+class SyncDaemon:
+    """Periodic sync + probe + (optional) resolve for one client.
+
+    Args:
+        client: The client to service.
+        interval_s: Tick period.
+        auto_resolve: Resolve conflicts at each tick (deterministic
+            winner rule) instead of just reporting them.
+    """
+
+    client: CyrusClient
+    interval_s: float = 30.0
+    auto_resolve: bool = False
+    ticks: list[DaemonTick] = field(default_factory=list)
+    _next_due: float = field(default=0.0, init=False)
+
+    def due(self, now: float) -> bool:
+        """Whether a tick is due at time ``now``."""
+        return now >= self._next_due
+
+    def tick(self, now: float | None = None) -> DaemonTick:
+        """Run one service round regardless of schedule."""
+        clock_now = self.client.engine.clock.now() if now is None else now
+        recovered = tuple(self.client.probe_failed_csps())
+        try:
+            report = self.client.sync()
+            new_nodes = report.new_nodes
+        except CyrusError:
+            new_nodes = 0  # too many metadata slots down; retry next tick
+        conflicts = self.client.conflicts()
+        resolved = 0
+        if self.auto_resolve and conflicts:
+            resolved = len(self.client.resolve_conflicts())
+        entry = DaemonTick(
+            at=clock_now,
+            new_nodes=new_nodes,
+            conflicts_seen=len(conflicts),
+            conflicts_resolved=resolved,
+            csps_recovered=recovered,
+        )
+        self.ticks.append(entry)
+        self._next_due = clock_now + self.interval_s
+        return entry
+
+    def run_until(self, deadline: float) -> list[DaemonTick]:
+        """Tick on schedule until the sim clock passes ``deadline``.
+
+        Only meaningful with a :class:`repro.util.clock.SimClock`: the
+        daemon advances the clock to each due tick.
+        """
+        clock = self.client.engine.clock
+        advance_to = getattr(clock, "advance_to", None)
+        if not callable(advance_to):
+            raise TypeError("run_until needs a SimClock-driven client")
+        out = []
+        while self._next_due <= deadline:
+            target = max(self._next_due, clock.now())
+            if target > deadline:
+                break
+            advance_to(target)
+            out.append(self.tick())
+        return out

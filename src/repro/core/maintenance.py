@@ -1,0 +1,174 @@
+"""Maintenance operations: import, history pruning, garbage collection.
+
+These implement the extensions the paper's trial users asked for
+(Section 7.5: "One user ... suggested adding a feature to import files
+already stored at CSPs") plus the storage-reclamation tooling any
+long-lived deployment needs:
+
+* :func:`import_object` — adopt a plain object sitting at one provider
+  into CYRUS (download it once, then chunk/encode/scatter as usual);
+* :func:`prune_history` — drop old versions of a file from the
+  metadata, keeping the newest K;
+* :func:`collect_garbage` — delete chunk shares referenced by *no*
+  remaining metadata node.
+
+Pruning and collection change shared state destructively, so — like
+``git gc`` — they must run while no other client is writing; the
+functions document (and where possible check) their preconditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, TransferEngine, TransferOp
+from repro.errors import CSPError, MetadataError
+from repro.metadata import MetadataStore, MetadataTree
+from repro.metadata.codec import metadata_share_name
+
+
+@dataclass
+class GCReport:
+    """What a collection pass removed."""
+
+    chunks_scanned: int
+    chunks_deleted: int
+    shares_deleted: int
+    bytes_reclaimed: int
+
+
+@dataclass
+class PruneReport:
+    """What a history prune removed."""
+
+    nodes_deleted: int
+    versions_kept: int
+
+
+def import_object(client, csp_id: str, object_name: str,
+                  target_name: str | None = None):
+    """Adopt an existing plain object from one provider into CYRUS.
+
+    The object is downloaded from the named provider as-is, stored
+    through the normal upload pipeline (chunked, deduplicated, encoded,
+    scattered), and left in place at the source — deleting the original
+    is the user's decision.
+
+    Returns the :class:`repro.core.uploader.UploadReport`.
+    """
+    provider = client.cloud.provider(csp_id)
+    results = client.engine.execute(
+        [TransferOp(kind=OpKind.GET, csp_id=csp_id, name=object_name,
+                    size=_object_size(provider, object_name))]
+    )
+    if not results[0].ok:
+        raise CSPError(
+            f"cannot import {object_name!r} from {csp_id}: "
+            f"{results[0].error}",
+            csp_id=csp_id,
+        )
+    name = target_name or object_name
+    return client.put(name, results[0].data, sync_first=True)
+
+
+def _object_size(provider, object_name: str) -> int:
+    for info in provider.list(object_name):
+        if info.name == object_name:
+            return info.size
+    return 0
+
+
+def prune_history(
+    tree: MetadataTree,
+    store: MetadataStore,
+    engine: TransferEngine,
+    name: str,
+    keep_versions: int = 1,
+) -> PruneReport:
+    """Delete all but the newest ``keep_versions`` versions of a file.
+
+    Only the single current lineage is pruned; unresolved conflicts
+    (multiple heads) must be resolved first, since pruning would have to
+    pick a branch to destroy.  The pruned nodes' metadata shares are
+    deleted at every reachable provider, and the nodes are dropped from
+    the local tree; chunk shares are reclaimed separately by
+    :func:`collect_garbage`.
+    """
+    if keep_versions < 1:
+        raise MetadataError("must keep at least one version")
+    heads = tree.heads(name)
+    if len(heads) > 1:
+        raise MetadataError(
+            f"{name!r} has {len(heads)} heads; resolve conflicts before "
+            f"pruning"
+        )
+    chain = tree.history(tree.latest(name).node_id)
+    doomed = chain[keep_versions:]
+    if not doomed:
+        return PruneReport(nodes_deleted=0, versions_kept=len(chain))
+    # survivors keep their ids; the oldest kept node's parent reference
+    # simply dangles, which history() treats as the start of history
+    _delete_nodes(tree, store, engine, [n.node_id for n in doomed])
+    return PruneReport(
+        nodes_deleted=len(doomed), versions_kept=keep_versions
+    )
+
+
+def _delete_nodes(tree: MetadataTree, store: MetadataStore,
+                  engine: TransferEngine, node_ids: list[str]) -> None:
+    for node_id in node_ids:
+        ops = []
+        for index, provider in enumerate(store.providers):
+            ops.append(
+                TransferOp(
+                    kind=OpKind.DELETE,
+                    csp_id=provider.csp_id,
+                    name=metadata_share_name(node_id, index),
+                )
+            )
+        engine.execute(ops)  # failures tolerated: share may not exist
+        tree.remove(node_id)
+
+
+def collect_garbage(client) -> GCReport:
+    """Delete chunk shares that no remaining metadata node references.
+
+    Syncs first so the reachability set reflects every published
+    version, then walks the global chunk table and deletes the share
+    objects of unreferenced chunks at their recorded providers.
+    """
+    client.sync()
+    referenced = client.tree.referenced_chunks()
+    table = client.chunk_table
+    doomed = [cid for cid in table.all_chunk_ids() if cid not in referenced]
+    shares_deleted = 0
+    bytes_reclaimed = 0
+    for chunk_id in doomed:
+        location = table.get(chunk_id)
+        ops = []
+        for index, csp_id in location.placements:
+            try:
+                client.cloud.status_of(csp_id)
+            except KeyError:
+                continue
+            ops.append(
+                TransferOp(
+                    kind=OpKind.DELETE,
+                    csp_id=csp_id,
+                    name=chunk_share_object_name(index, chunk_id),
+                )
+            )
+        results = client.engine.execute(ops)
+        share_size = max(1, -(-location.size // location.t))
+        for result in results:
+            if result.ok:
+                shares_deleted += 1
+                bytes_reclaimed += share_size
+        table.forget(chunk_id)
+    return GCReport(
+        chunks_scanned=len(referenced) + len(doomed),
+        chunks_deleted=len(doomed),
+        shares_deleted=shares_deleted,
+        bytes_reclaimed=bytes_reclaimed,
+    )

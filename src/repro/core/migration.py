@@ -1,0 +1,157 @@
+"""Share and metadata migration on CSP change (paper Section 5.5, Figure 9).
+
+Removing a CSP loses the shares it held.  Re-uploading everything at
+once is impractical, so CYRUS migrates *lazily*: whenever a client
+downloads a file, it checks where the file's chunks' shares live; any
+share on a removed or failed CSP is regenerated from the just-decoded
+chunk and uploaded to a fresh provider.  Metadata is small, so it is
+migrated eagerly: :func:`migrate_metadata` re-publishes every node's
+missing shares to active metadata slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cloud import CSPStatus, CyrusCloud
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
+from repro.core.uploader import get_sharer
+from repro.errors import CSPError, MetadataError
+from repro.metadata import GlobalChunkTable, MetadataStore, MetadataTree
+from repro.metadata.chunktable import ChunkLocation
+from repro.metadata.codec import metadata_share_name
+
+
+@dataclass(frozen=True)
+class ShareMigration:
+    """One regenerated share: which index moved where."""
+
+    chunk_id: str
+    index: int
+    old_csp: str
+    new_csp: str
+
+
+def plan_chunk_migrations(
+    location: ChunkLocation, cloud: CyrusCloud
+) -> list[tuple[int, str, str]]:
+    """(index, old_csp, new_csp) restoring the chunk to n live shares.
+
+    A chunk should have shares of ``n`` distinct indices on ``n``
+    distinct *active* CSPs.  Any index that is not live — its CSP was
+    removed, failed, or the share never landed — is regenerated onto an
+    active CSP that holds nothing of this chunk, while such CSPs exist.
+    """
+
+    def usable(csp: str) -> bool:
+        try:
+            return cloud.status_of(csp) is CSPStatus.ACTIVE
+        except KeyError:
+            return False  # a CSP this client has never heard of
+
+    live_indices: set[int] = set()
+    holding: set[str] = set()
+    stale_owner: dict[int, str] = {}
+    for index, csp in location.placements:
+        if usable(csp):
+            live_indices.add(index)
+            holding.add(csp)
+        else:
+            stale_owner.setdefault(index, csp)
+    moves: list[tuple[int, str, str]] = []
+    for index in range(location.n):
+        if index in live_indices:
+            continue
+        if len(holding) >= location.n:
+            break  # reliability restored; extra indices are unnecessary
+        replacement = cloud.replacement_csp(location.chunk_id, holding)
+        if replacement is None:
+            break  # no independent CSP left; stays degraded for now
+        moves.append((index, stale_owner.get(index, "(missing)"), replacement))
+        holding.add(replacement)
+    return moves
+
+
+def migrate_chunk_shares(
+    chunk_data: bytes,
+    location: ChunkLocation,
+    cloud: CyrusCloud,
+    chunk_table: GlobalChunkTable,
+    engine: TransferEngine,
+    key: str,
+) -> list[ShareMigration]:
+    """Regenerate and upload the planned shares for one decoded chunk.
+
+    Called from the download path (Figure 9): the chunk bytes are
+    already in hand, so only the lost indices are re-encoded.
+    """
+    moves = plan_chunk_migrations(location, cloud)
+    if not moves:
+        return []
+    sharer = get_sharer(key, location.t, location.n)
+    ops = []
+    for index, _old, new_csp in moves:
+        share = sharer.split_indices(chunk_data, [index])[0]
+        ops.append(
+            TransferOp(
+                kind=OpKind.PUT,
+                csp_id=new_csp,
+                name=chunk_share_object_name(index, location.chunk_id),
+                data=share.data,
+                chunk_id=location.chunk_id,
+            )
+        )
+    results = engine.execute(ops)
+    migrated: list[ShareMigration] = []
+    for (index, old_csp, new_csp), result in zip(moves, results):
+        if not result.ok:
+            cloud.mark_failed(new_csp)
+            continue
+        chunk_table.add_placement(location.chunk_id, index, new_csp)
+        migrated.append(
+            ShareMigration(
+                chunk_id=location.chunk_id, index=index,
+                old_csp=old_csp, new_csp=new_csp,
+            )
+        )
+    return migrated
+
+
+def migrate_metadata(
+    store: MetadataStore,
+    tree: MetadataTree,
+    engine: TransferEngine,
+) -> int:
+    """Eagerly restore missing metadata shares (Section 5.5).
+
+    For every known node and every *reachable* metadata slot, upload the
+    slot's share if the provider does not already hold it.  Returns the
+    number of shares written.  Metadata is tiny, so unlike chunk shares
+    this is cheap enough to do on demand.
+    """
+    written = 0
+    for node in tree:
+        node_id = node.node_id
+        for provider, obj_name, share in store.shares_for(node):
+            try:
+                existing = {info.name for info in provider.list(
+                    metadata_share_name(node_id, share.index)
+                )}
+            except CSPError:
+                continue  # slot down; nothing to do
+            if obj_name in existing:
+                continue
+            results = engine.execute(
+                [
+                    TransferOp(
+                        kind=OpKind.PUT_META,
+                        csp_id=provider.csp_id,
+                        name=obj_name,
+                        data=MetadataStore._pack(share),
+                    )
+                ]
+            )
+            if results[0].ok:
+                written += 1
+    return written

@@ -1,0 +1,20 @@
+"""Object naming on CSPs.
+
+Chunk shares are named ``H'(index, H(chunk.content))`` (Section 5.1):
+pure 40-hex names that reveal neither the chunk nor the index, yet any
+keyed client can recompute them.  A share's content is fully determined
+by (chunk content, index, t, key), so an upload to an existing name can
+only ever write identical bytes — "we only overwrite the existing file
+share if its content is the same, reducing the risk of data
+corruption."  Metadata shares use the discoverable ``md-`` scheme in
+:mod:`repro.metadata.codec`.
+"""
+
+from __future__ import annotations
+
+from repro.util.hashing import share_name
+
+
+def chunk_share_object_name(index: int, chunk_id: str) -> str:
+    """CSP object name for share ``index`` of the chunk with id ``chunk_id``."""
+    return share_name(index, chunk_id)

@@ -1,0 +1,376 @@
+"""Transfer engines and asynchronous event handling (paper Section 5.3).
+
+The upload/download pipelines express their CSP interactions as batches
+of :class:`TransferOp`; an engine executes a batch and reports per-op
+results with timings.  Two engines:
+
+* :class:`DirectEngine` — performs provider calls immediately; used for
+  real providers (e.g. :class:`repro.csp.localfs.LocalDirectoryCSP`)
+  and for logic tests where time is irrelevant.
+* :class:`SimulatedEngine` — times every op on the flow-level network
+  simulator against each provider's link, advancing a shared
+  :class:`repro.util.clock.SimClock`; data operations are applied to
+  the providers at their simulated completion instants.
+
+The paper's event receiver (GET / PUT / GET_META / PUT_META events
+driving ShareComplete, ChunkComplete and FileComplete) is implemented by
+:class:`TransferReceiver`; engines emit one event per op.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.csp.base import CloudProvider
+from repro.errors import CSPError, TransferError
+from repro.netsim.link import Link
+from repro.netsim.simulator import FlowSimulator, TransferRequest
+from repro.util.clock import Clock, SimClock, WallClock
+
+
+class OpKind(enum.Enum):
+    """The four share-transmission event types of Section 5.3."""
+
+    GET = "GET"
+    PUT = "PUT"
+    GET_META = "GET_META"
+    PUT_META = "PUT_META"
+    DELETE = "DELETE"  # maintenance; not part of the paper's event set
+
+    @property
+    def direction(self) -> str:
+        return "up" if self in (OpKind.PUT, OpKind.PUT_META, OpKind.DELETE) else "down"
+
+
+@dataclass
+class TransferOp:
+    """One provider operation to execute.
+
+    ``size`` must be given for GETs (the expected share size, known from
+    the ShareMap); PUT sizes derive from ``data``.  ``chunk_id``/
+    ``file_key`` feed the event receiver's completion tracking.
+    """
+
+    kind: OpKind
+    csp_id: str
+    name: str
+    data: bytes | None = None
+    size: int | None = None
+    chunk_id: str | None = None
+    file_key: str | None = None
+    group: Hashable | None = None
+
+    def payload_size(self) -> int:
+        if self.data is not None:
+            return len(self.data)
+        if self.size is not None:
+            return self.size
+        return 0
+
+
+@dataclass
+class OpResult:
+    """Outcome of one op: timing, success, and downloaded data if any.
+
+    ``error_type`` carries the exception class name on failure, so
+    callers can react per-cause (quota vs outage) without string
+    matching on messages.
+    """
+
+    op: TransferOp
+    ok: bool
+    start: float
+    end: float
+    data: bytes | None = None
+    error: str | None = None
+    error_type: str | None = None
+    cancelled: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def quota_exceeded(self) -> bool:
+        return self.error_type == "CSPQuotaExceededError"
+
+
+@dataclass
+class _Completion:
+    """Per-chunk / per-file completion counters."""
+
+    needed: int
+    done: int = 0
+
+
+class TransferReceiver:
+    """The registered event receiver of Section 5.3.
+
+    Engines call :meth:`on_result` for every op.  ``ShareComplete`` is
+    per-op success; ``ChunkComplete`` fires when a chunk accumulates its
+    required share count (``n`` on upload, ``t`` on download);
+    ``FileComplete`` fires when all of a file's chunks complete.
+    """
+
+    def __init__(self) -> None:
+        self._chunk: dict[str, _Completion] = {}
+        self._file_chunks: dict[str, set[str]] = {}
+        self._file_complete: dict[str, bool] = {}
+        self.events: list[OpResult] = []
+
+    def expect_chunk(self, chunk_id: str, shares_needed: int,
+                     file_key: str | None = None) -> None:
+        """Register a chunk transfer (n shares up or t shares down)."""
+        self._chunk[chunk_id] = _Completion(needed=shares_needed)
+        if file_key is not None:
+            self._file_chunks.setdefault(file_key, set()).add(chunk_id)
+            self._file_complete.setdefault(file_key, False)
+
+    def on_result(self, result: OpResult) -> None:
+        """Feed one transfer event through the completion logic."""
+        self.events.append(result)
+        if not result.ok:
+            return
+        chunk_id = result.op.chunk_id
+        if chunk_id is None or chunk_id not in self._chunk:
+            return
+        comp = self._chunk[chunk_id]
+        comp.done += 1
+        if comp.done == comp.needed:
+            # a chunk may belong to several registered files (dedup);
+            # membership comes from expect_chunk, not from the op
+            for file_key, chunks in self._file_chunks.items():
+                if chunk_id not in chunks:
+                    continue
+                if all(
+                    self._chunk[c].done >= self._chunk[c].needed
+                    for c in chunks
+                ):
+                    self._file_complete[file_key] = True
+
+    def share_complete(self, result: OpResult) -> bool:
+        return result.ok
+
+    def chunk_complete(self, chunk_id: str) -> bool:
+        comp = self._chunk.get(chunk_id)
+        return comp is not None and comp.done >= comp.needed
+
+    def file_complete(self, file_key: str) -> bool:
+        return self._file_complete.get(file_key, False)
+
+
+class TransferEngine:
+    """Base engine: executes op batches against providers."""
+
+    def __init__(
+        self,
+        providers: Mapping[str, CloudProvider],
+        clock: Clock | None = None,
+        receiver: TransferReceiver | None = None,
+    ):
+        self._providers = dict(providers)
+        self.clock = clock if clock is not None else WallClock()
+        self.receiver = receiver
+
+    def register_provider(self, provider: CloudProvider) -> None:
+        self._providers[provider.csp_id] = provider
+
+    def unregister_provider(self, csp_id: str) -> None:
+        self._providers.pop(csp_id, None)
+
+    def provider(self, csp_id: str) -> CloudProvider:
+        prov = self._providers.get(csp_id)
+        if prov is None:
+            raise TransferError(f"no provider registered for {csp_id!r}")
+        return prov
+
+    def _apply(self, op: TransferOp) -> bytes | None:
+        """Perform the actual data operation; raises CSPError on failure."""
+        provider = self.provider(op.csp_id)
+        if op.kind in (OpKind.PUT, OpKind.PUT_META):
+            if op.data is None:
+                raise TransferError(f"PUT without data: {op.name}")
+            provider.upload(op.name, op.data)
+            return None
+        if op.kind in (OpKind.GET, OpKind.GET_META):
+            return provider.download(op.name)
+        if op.kind == OpKind.DELETE:
+            provider.delete(op.name)
+            return None
+        raise TransferError(f"unknown op kind {op.kind}")  # pragma: no cover
+
+    def _emit(self, result: OpResult) -> OpResult:
+        if self.receiver is not None:
+            self.receiver.on_result(result)
+        return result
+
+    def link_caps(self, direction: str) -> dict[str, float]:
+        """Per-CSP achievable bandwidth (beta-bar) for planning.
+
+        The base engine has no bandwidth model, so every provider gets
+        1.0 — the download optimiser then simply balances share counts.
+        """
+        return {csp_id: 1.0 for csp_id in self._providers}
+
+    def client_cap(self, direction: str) -> float:
+        """Client-wide bandwidth (beta) for planning."""
+        return float("inf")
+
+    def execute(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+    ) -> list[OpResult]:
+        raise NotImplementedError
+
+
+class DirectEngine(TransferEngine):
+    """Execute ops immediately; timing comes from the wall clock."""
+
+    def execute(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+    ) -> list[OpResult]:
+        results = []
+        quota_left = dict(group_quota or {})
+        for op in ops:
+            start = self.clock.now()
+            group = op.group
+            if group is not None and group in quota_left and quota_left[group] <= 0:
+                results.append(
+                    self._emit(
+                        OpResult(op=op, ok=False, start=start, end=start,
+                                 cancelled=True, error="group quota satisfied")
+                    )
+                )
+                continue
+            try:
+                data = self._apply(op)
+                end = self.clock.now()
+                results.append(
+                    self._emit(OpResult(op=op, ok=True, start=start, end=end,
+                                        data=data))
+                )
+                if group is not None and group in quota_left:
+                    quota_left[group] -= 1
+            except CSPError as exc:
+                end = self.clock.now()
+                results.append(
+                    self._emit(OpResult(op=op, ok=False, start=start, end=end,
+                                        error=str(exc),
+                                        error_type=type(exc).__name__))
+                )
+        return results
+
+
+class SimulatedEngine(TransferEngine):
+    """Time ops on the flow simulator; apply data ops at completion.
+
+    The engine shares a :class:`SimClock` with the simulated providers,
+    so availability windows, token expiry, and transfer timings all see
+    one timeline.  Provider availability is checked at issue *and* at
+    completion: a CSP that goes down mid-transfer fails the op, as a
+    dropped connection would.
+    """
+
+    def __init__(
+        self,
+        providers: Mapping[str, CloudProvider],
+        links: Mapping[str, Link],
+        clock: SimClock,
+        client_up: float = float("inf"),
+        client_down: float = float("inf"),
+        receiver: TransferReceiver | None = None,
+    ):
+        super().__init__(providers, clock=clock, receiver=receiver)
+        self._links = dict(links)
+        self._sim = FlowSimulator(self._links, client_up=client_up,
+                                  client_down=client_down)
+
+    def register_link(self, link: Link) -> None:
+        self._links[link.link_id] = link
+        self._sim = FlowSimulator(self._links, client_up=self._sim.client_up,
+                                  client_down=self._sim.client_down)
+
+    def link_caps(self, direction: str) -> dict[str, float]:
+        now = self.clock.now()
+        return {
+            link_id: link.capacity_at(now, direction)
+            for link_id, link in self._links.items()
+        }
+
+    def client_cap(self, direction: str) -> float:
+        return self._sim.client_capacity(direction)
+
+    @staticmethod
+    def _is_up(provider: CloudProvider, t: float) -> bool:
+        checker = getattr(provider, "is_up", None)
+        return bool(checker(t)) if callable(checker) else True
+
+    def execute(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+    ) -> list[OpResult]:
+        """Run one batch; the shared clock advances to the batch's end."""
+        start_time = self.clock.now()
+        results: list[OpResult | None] = [None] * len(ops)
+        requests: list[TransferRequest] = []
+        req_to_op: list[int] = []
+        for i, op in enumerate(ops):
+            provider = self.provider(op.csp_id)
+            if not self._is_up(provider, start_time):
+                results[i] = OpResult(
+                    op=op, ok=False, start=start_time, end=start_time,
+                    error=f"{op.csp_id} unavailable",
+                    error_type="CSPUnavailableError",
+                )
+                continue
+            requests.append(
+                TransferRequest(
+                    link_id=op.csp_id,
+                    size=op.payload_size(),
+                    direction=op.kind.direction,
+                    start_at=0.0,
+                    tag=i,
+                    group=op.group,
+                )
+            )
+            req_to_op.append(i)
+        transfer_results = self._sim.run(requests, group_quota=group_quota,
+                                         start_time=start_time)
+        batch_end = start_time
+        for tr in transfer_results:
+            i = tr.request.tag
+            op = ops[i]
+            provider = self.provider(op.csp_id)
+            batch_end = max(batch_end, tr.end)
+            if not tr.completed:
+                results[i] = OpResult(op=op, ok=False, start=tr.start, end=tr.end,
+                                      cancelled=True, error="cancelled (quota)")
+                continue
+            if not self._is_up(provider, tr.end):
+                results[i] = OpResult(
+                    op=op, ok=False, start=tr.start, end=tr.end,
+                    error=f"{op.csp_id} went down mid-transfer",
+                    error_type="CSPUnavailableError",
+                )
+                continue
+            try:
+                data = self._apply(op)
+                results[i] = OpResult(op=op, ok=True, start=tr.start, end=tr.end,
+                                      data=data)
+            except CSPError as exc:
+                results[i] = OpResult(op=op, ok=False, start=tr.start, end=tr.end,
+                                      error=str(exc),
+                                      error_type=type(exc).__name__)
+        self.clock.advance_to(max(batch_end, start_time))
+        final = [r for r in results if r is not None]
+        if len(final) != len(ops):  # pragma: no cover - internal invariant
+            raise TransferError("engine lost an op result")
+        for r in final:
+            self._emit(r)
+        return final

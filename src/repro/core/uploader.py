@@ -1,0 +1,385 @@
+"""The upload pipeline — the paper's Algorithm 2 and Figure 7.
+
+Steps: resolve the file's head in the local metadata tree (the caller
+syncs first), chunk the content, skip chunks whose shares already exist
+anywhere in the cloud (dedup via the global chunk table), scatter new
+chunks' shares to consistent-hash-selected CSPs in one parallel batch,
+and only then publish the version's metadata — "so that no other client
+will attempt to download the file before all shares have been uploaded."
+
+Upload failures mark the CSP as failed and retry the share on a
+replacement provider; a chunk that cannot reach ``t`` stored shares
+aborts the upload (the data would be unrecoverable), while one that
+reaches ``t`` but not ``n`` is accepted and reported as degraded.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.chunking import Chunk, ContentDefinedChunker
+from repro.core.cloud import CyrusCloud
+from repro.core.config import CyrusConfig
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
+from repro.erasure import KeyedSharer
+from repro.errors import TransferError
+from repro.metadata import (
+    ChunkRecord,
+    GlobalChunkTable,
+    MetadataNode,
+    MetadataStore,
+    MetadataTree,
+    ShareRecord,
+)
+from repro.metadata.node import ROOT_ID
+from repro.util.hashing import sha1_hex
+
+
+@functools.lru_cache(maxsize=64)
+def get_sharer(key: str, t: int, n: int) -> KeyedSharer:
+    """Cached keyed sharers — (t, n) pairs recur across every chunk."""
+    return KeyedSharer(key, t, n)
+
+
+@dataclass
+class UploadReport:
+    """What one put() did and what it cost."""
+
+    node: MetadataNode
+    started: float
+    finished: float
+    bytes_uploaded: int
+    new_chunks: int
+    dedup_chunks: int
+    degraded_chunks: tuple[str, ...] = ()
+    share_results: tuple[OpResult, ...] = ()
+    meta_results: tuple[OpResult, ...] = ()
+    unchanged: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class _ChunkPlan:
+    chunk: Chunk
+    t: int
+    n: int
+    placements: dict[int, str] = field(default_factory=dict)  # index -> csp
+    _share_cache: dict[int, bytes] = field(default_factory=dict)
+
+    def share_data(self, key: str, index: int) -> bytes:
+        """Coded bytes for one share index (all n computed on first use)."""
+        if not self._share_cache:
+            sharer = get_sharer(key, self.t, self.n)
+            self._share_cache = {
+                s.index: s.data for s in sharer.split(self.chunk.data)
+            }
+        return self._share_cache[index]
+
+
+class Uploader:
+    """Executes Algorithm 2 against a cloud + metadata store."""
+
+    def __init__(
+        self,
+        cloud: CyrusCloud,
+        store: MetadataStore,
+        tree: MetadataTree,
+        chunk_table: GlobalChunkTable,
+        config: CyrusConfig,
+        engine: TransferEngine,
+        chunker: ContentDefinedChunker | None = None,
+        retry_rounds: int = 2,
+    ):
+        self.cloud = cloud
+        self.store = store
+        self.tree = tree
+        self.chunk_table = chunk_table
+        self.config = config
+        self.engine = engine
+        self.chunker = chunker or ContentDefinedChunker(
+            min_size=config.chunk_min,
+            avg_size=config.chunk_avg,
+            max_size=config.chunk_max,
+            engine=config.chunker_engine,
+            seed=config.chunker_seed,
+        )
+        self.retry_rounds = retry_rounds
+
+    # ------------------------------------------------------------------
+
+    def upload(
+        self,
+        name: str,
+        data: bytes,
+        client_id: str,
+        modified: float | None = None,
+    ) -> UploadReport:
+        """Store one file version; returns a report with the new node."""
+        started = self.engine.clock.now()
+        if modified is None:
+            modified = started
+        # Algorithm 2 lines 2-4: resolve head, compute new head
+        heads = self.tree.heads(name)
+        if heads:
+            head = max(heads, key=lambda h: (h.modified, h.node_id))
+            prev_id = head.node_id
+        else:
+            head = None
+            prev_id = ROOT_ID
+        file_id = sha1_hex(data)
+        if head is not None and head.file_id == file_id and not head.deleted:
+            return UploadReport(
+                node=head, started=started, finished=started,
+                bytes_uploaded=0, new_chunks=0, dedup_chunks=len(head.chunks),
+                unchanged=True,
+            )
+        # line 5: chunking
+        chunks = self.chunker.chunk_bytes(data)
+        # lines 6-9: dedup + scatter
+        plans, dedup_count = self._plan_chunks(chunks)
+        share_results, degraded = self._scatter(plans)
+        # line 10: metadata — only after every chunk upload resolved
+        node = self._build_node(
+            name=name, file_id=file_id, prev_id=prev_id, client_id=client_id,
+            modified=modified, size=len(data), chunks=chunks, plans=plans,
+        )
+        meta_results = self._publish(node)
+        self.tree.add(node)
+        self.chunk_table.record_node(node)
+        finished = self.engine.clock.now()
+        uploaded = sum(
+            r.op.payload_size() for r in share_results if r.ok
+        ) + sum(r.op.payload_size() for r in meta_results if r.ok)
+        return UploadReport(
+            node=node,
+            started=started,
+            finished=finished,
+            bytes_uploaded=uploaded,
+            new_chunks=len(plans),
+            dedup_chunks=dedup_count,
+            degraded_chunks=tuple(sorted(degraded)),
+            share_results=tuple(share_results),
+            meta_results=tuple(meta_results),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _plan_chunks(
+        self, chunks: Sequence[Chunk]
+    ) -> tuple[list[_ChunkPlan], int]:
+        """Split chunks into new (to scatter) vs already stored."""
+        plans: list[_ChunkPlan] = []
+        seen: set[str] = set()
+        dedup = 0
+        cluster_aware = self.config.respect_clusters
+        limit = (
+            self.cloud.cluster_count()
+            if cluster_aware
+            else len(self.cloud.active_csps())
+        )
+        for chunk in chunks:
+            if chunk.id in seen:
+                dedup += 1
+                continue
+            seen.add(chunk.id)
+            if self.chunk_table.is_stored(chunk.id):
+                dedup += 1
+                continue
+            n = self.config.plan_n(limit)
+            csps = self.cloud.place_chunk(
+                chunk.id, n, respect_clusters=cluster_aware
+            )
+            plans.append(
+                _ChunkPlan(
+                    chunk=chunk,
+                    t=self.config.t,
+                    n=n,
+                    placements={i: csp for i, csp in enumerate(csps)},
+                )
+            )
+        return plans, dedup
+
+    def _scatter(
+        self, plans: list[_ChunkPlan]
+    ) -> tuple[list[OpResult], set[str]]:
+        """Upload all new chunks' shares; retry failures on alternates."""
+        all_results: list[OpResult] = []
+        outstanding: dict[str, _ChunkPlan] = {p.chunk.id: p for p in plans}
+        succeeded: dict[str, set[int]] = {cid: set() for cid in outstanding}
+        pending: list[tuple[_ChunkPlan, int, str]] = [
+            (plan, idx, csp)
+            for plan in plans
+            for idx, csp in plan.placements.items()
+        ]
+        for round_no in range(self.retry_rounds + 1):
+            if not pending:
+                break
+            ops = [
+                TransferOp(
+                    kind=OpKind.PUT,
+                    csp_id=csp,
+                    name=chunk_share_object_name(idx, plan.chunk.id),
+                    data=plan.share_data(self.config.key, idx),
+                    chunk_id=plan.chunk.id,
+                    file_key=None,
+                )
+                for plan, idx, csp in pending
+            ]
+            results = self.engine.execute(ops)
+            all_results.extend(results)
+            failed: list[tuple[_ChunkPlan, int, str]] = []
+            for (plan, idx, csp), result in zip(pending, results):
+                if result.ok:
+                    succeeded[plan.chunk.id].add(idx)
+                else:
+                    if result.quota_exceeded:
+                        # full, not broken: keep it readable, stop
+                        # placing new shares there (Section 8)
+                        self.cloud.mark_write_full(csp)
+                    else:
+                        self.cloud.mark_failed(csp)
+                    failed.append((plan, idx, csp))
+            pending = []
+            if round_no == self.retry_rounds:
+                for plan, idx, csp in failed:
+                    plan.placements.pop(idx, None)
+                break
+            for plan, idx, csp in failed:
+                replacement = self.cloud.replacement_csp(
+                    plan.chunk.id, holding=plan.placements.values()
+                )
+                if replacement is None:
+                    plan.placements.pop(idx, None)
+                    continue
+                plan.placements[idx] = replacement
+                pending.append((plan, idx, replacement))
+        degraded: set[str] = set()
+        for cid, plan in outstanding.items():
+            stored = len(succeeded[cid])
+            if stored < plan.t:
+                raise TransferError(
+                    f"chunk {cid[:8]}: only {stored} shares stored, "
+                    f"need t={plan.t} for recoverability"
+                )
+            if stored < plan.n:
+                degraded.add(cid)
+            # keep only placements that actually landed
+            plan.placements = {
+                i: c for i, c in plan.placements.items() if i in succeeded[cid]
+            }
+        return all_results, degraded
+
+    def _build_node(
+        self,
+        name: str,
+        file_id: str,
+        prev_id: str,
+        client_id: str,
+        modified: float,
+        size: int,
+        chunks: Sequence[Chunk],
+        plans: list[_ChunkPlan],
+    ) -> MetadataNode:
+        plan_by_id = {p.chunk.id: p for p in plans}
+        chunk_records = []
+        share_records: list[ShareRecord] = []
+        recorded: set[str] = set()
+        for chunk in chunks:
+            plan = plan_by_id.get(chunk.id)
+            if plan is not None:
+                t, n = plan.t, plan.n
+            else:
+                location = self.chunk_table.get(chunk.id)
+                assert location is not None, "dedup chunk missing from table"
+                t, n = location.t, location.n
+            chunk_records.append(
+                ChunkRecord(
+                    chunk_id=chunk.id, offset=chunk.offset,
+                    size=chunk.size, t=t, n=n,
+                )
+            )
+            if chunk.id in recorded:
+                continue
+            recorded.add(chunk.id)
+            if plan is not None:
+                share_records.extend(
+                    ShareRecord(chunk_id=chunk.id, index=i, csp_id=c)
+                    for i, c in sorted(plan.placements.items())
+                )
+            else:
+                location = self.chunk_table.get(chunk.id)
+                share_records.extend(
+                    ShareRecord(chunk_id=chunk.id, index=i, csp_id=c)
+                    for i, c in location.placements
+                )
+        return MetadataNode(
+            file_id=file_id,
+            prev_id=prev_id,
+            client_id=client_id,
+            name=name,
+            deleted=False,
+            modified=modified,
+            size=size,
+            chunks=tuple(chunk_records),
+            shares=tuple(share_records),
+        )
+
+    def _publish(self, node: MetadataNode) -> list[OpResult]:
+        """Scatter the node's metadata shares (PUT_META batch)."""
+        ops = [
+            TransferOp(
+                kind=OpKind.PUT_META,
+                csp_id=provider.csp_id,
+                name=obj_name,
+                data=MetadataStore._pack(share),
+            )
+            for provider, obj_name, share in self.store.shares_for(node)
+        ]
+        results = self.engine.execute(ops)
+        stored = sum(1 for r in results if r.ok)
+        if stored < self.store.t:
+            raise TransferError(
+                f"metadata for {node.name!r}: only {stored} shares stored, "
+                f"need {self.store.t}"
+            )
+        return results
+
+    def publish_tombstone(
+        self, name: str, client_id: str, modified: float | None = None
+    ) -> UploadReport:
+        """Mark a file deleted (Section 5.4): a tombstone version node.
+
+        Shares are left alone — other files may reference the chunks —
+        and the metadata chain is preserved so the file can be
+        recovered by version traversal.
+        """
+        started = self.engine.clock.now()
+        head = self.tree.latest(name)
+        if modified is None:
+            modified = started
+        node = MetadataNode(
+            file_id=head.file_id,
+            prev_id=head.node_id,
+            client_id=client_id,
+            name=name,
+            deleted=True,
+            modified=modified,
+            size=head.size,
+            chunks=head.chunks,
+            shares=head.shares,
+        )
+        meta_results = self._publish(node)
+        self.tree.add(node)
+        finished = self.engine.clock.now()
+        return UploadReport(
+            node=node, started=started, finished=finished,
+            bytes_uploaded=sum(r.op.payload_size() for r in meta_results if r.ok),
+            new_chunks=0, dedup_chunks=len(node.chunks),
+            meta_results=tuple(meta_results),
+        )

@@ -1,0 +1,41 @@
+"""Cloud storage provider (CSP) substrate.
+
+CYRUS deliberately uses only the five most basic cloud primitives —
+authenticate, list, upload, download, delete (paper Section 3.1) — so
+that any provider, down to a bare FTP server, can participate.  This
+package defines that interface and three implementations:
+
+* :class:`InMemoryCSP` — a dict-backed store for tests;
+* :class:`LocalDirectoryCSP` — a directory on disk (a real, persistent
+  provider usable outside simulations);
+* :class:`SimulatedCSP` — an in-memory store dressed with a network
+  link, quota, authentication, outage schedule, and the vendor
+  file-handling quirks Table 2 documents (overwrite-by-name vs
+  duplicate-on-upload).
+
+:mod:`repro.csp.catalog` reproduces the paper's Table 2: the twenty
+commercial CSPs with their protocols, auth schemes, measured RTTs and
+derived throughputs.
+"""
+
+from repro.csp.account import AuthToken, Credentials
+from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.catalog import CSPSpec, TABLE2, amazon_hosted, spec_by_name
+from repro.csp.localfs import LocalDirectoryCSP
+from repro.csp.memory import InMemoryCSP
+from repro.csp.simulated import AvailabilitySchedule, SimulatedCSP
+
+__all__ = [
+    "CloudProvider",
+    "ObjectInfo",
+    "InMemoryCSP",
+    "LocalDirectoryCSP",
+    "SimulatedCSP",
+    "AvailabilitySchedule",
+    "AuthToken",
+    "Credentials",
+    "CSPSpec",
+    "TABLE2",
+    "amazon_hosted",
+    "spec_by_name",
+]

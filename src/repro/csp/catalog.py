@@ -1,0 +1,109 @@
+"""The paper's Table 2: twenty commercial CSPs.
+
+Each entry records the API format, protocol, authentication scheme, and
+the RTT measured from Korea; throughput follows from the RTT via the
+TCP model in :mod:`repro.netsim.tcp` (the paper derives its throughput
+column the same way).  CSPs marked ``amazon_platform`` are the ones the
+paper flags with an asterisk — their destination IPs resolve to Amazon
+infrastructure, so storing two shares of one chunk on them risks
+correlated failure (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import Link
+from repro.netsim.tcp import mathis_throughput
+
+
+@dataclass(frozen=True)
+class CSPSpec:
+    """One row of Table 2."""
+
+    name: str
+    format: str
+    protocol: str
+    auth: str
+    rtt_ms: float
+    amazon_platform: bool = False
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Throughput in Mbit/s via the paper's RTT-based TCP model."""
+        return mathis_throughput(self.rtt_ms / 1000.0) * 8 / 1e6
+
+    @property
+    def throughput_bytes(self) -> float:
+        """Throughput in bytes/s."""
+        return mathis_throughput(self.rtt_ms / 1000.0)
+
+    def link(self) -> Link:
+        """A simulated link with this CSP's RTT-derived capacity."""
+        return Link.from_rtt(self.name, self.rtt_ms)
+
+
+#: The paper's Table 2, in row order.  Asterisked CSPs (Amazon
+#: destination IPs) carry ``amazon_platform=True``.
+TABLE2: tuple[CSPSpec, ...] = (
+    CSPSpec("Amazon S3", "XML", "SOAP/REST", "AWS Signature", 235, True),
+    CSPSpec("Box", "JSON", "REST", "OAuth 2.0", 149),
+    CSPSpec("Dropbox", "JSON", "REST", "OAuth 2.0", 137),
+    CSPSpec("OneDrive", "JSON", "REST", "OAuth 2.0", 142),
+    CSPSpec("Google Drive", "JSON", "REST", "OAuth 2.0", 71),
+    CSPSpec("SugarSync", "XML", "REST", "OAuth-like", 146),
+    CSPSpec("CloudMine", "JSON", "REST", "ID/Password", 215),
+    CSPSpec("Rackspace", "XML/JSON", "REST", "API Key", 186),
+    CSPSpec("Copy", "JSON", "REST", "OAuth", 192),
+    CSPSpec("ShareFile", "JSON", "REST", "OAuth 2.0", 215),
+    CSPSpec("4Shared", "XML", "SOAP", "OAuth 1.0", 186),
+    CSPSpec("DigitalBucket", "XML", "REST", "ID/Password", 217, True),
+    CSPSpec("Bitcasa", "JSON", "REST", "OAuth 2.0", 139, True),
+    CSPSpec("Egnyte", "JSON", "REST", "OAuth 2.0", 153),
+    CSPSpec("MediaFire", "XML/JSON", "REST", "OAuth-like", 192),
+    CSPSpec("HP Cloud", "XML/JSON", "REST", "OpenStack Keystone V3", 210),
+    CSPSpec("CloudApp", "JSON", "REST", "HTTP Digest", 205, True),
+    CSPSpec("Safe Creative", "XML/JSON", "REST", "Two-step authentication", 295, True),
+    CSPSpec("FilesAnywhere", "XML", "SOAP", "Custom", 202),
+    CSPSpec("CenturyLink", "XML/JSON", "SOAP/REST", "SAML 2.0", 293),
+)
+
+#: The paper's expected throughput column (Mbps), for the Table 2 bench.
+TABLE2_THROUGHPUT_MBPS: dict[str, float] = {
+    "Amazon S3": 1.349,
+    "Box": 2.128,
+    "Dropbox": 2.314,
+    "OneDrive": 2.233,
+    "Google Drive": 4.465,
+    "SugarSync": 2.171,
+    "CloudMine": 1.474,
+    "Rackspace": 1.704,
+    "Copy": 1.651,
+    "ShareFile": 1.474,
+    "4Shared": 1.704,
+    "DigitalBucket": 1.461,
+    "Bitcasa": 2.281,
+    "Egnyte": 2.072,
+    "MediaFire": 1.651,
+    "HP Cloud": 1.509,
+    "CloudApp": 1.546,
+    "Safe Creative": 1.075,
+    "FilesAnywhere": 1.569,
+    "CenturyLink": 1.082,
+}
+
+#: The four CSPs the prototype implements connectors for (Section 6).
+PROTOTYPE_CSPS: tuple[str, ...] = ("Dropbox", "Google Drive", "OneDrive", "Box")
+
+
+def spec_by_name(name: str) -> CSPSpec:
+    """Look up a Table 2 row by CSP name."""
+    for spec in TABLE2:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no CSP named {name!r} in Table 2")
+
+
+def amazon_hosted() -> list[CSPSpec]:
+    """The five asterisked (Amazon-platform) CSPs."""
+    return [s for s in TABLE2 if s.amazon_platform]

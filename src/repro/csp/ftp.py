@@ -1,0 +1,163 @@
+"""FTP-style provider.
+
+Paper Section 3.1: CYRUS's five primitives are "available even on FTP
+servers."  This module makes that claim executable: an in-process FTP
+session (USER/PASS/LIST/STOR/RETR/DELE command protocol with reply
+codes) and a provider that drives the five primitives through it.  The
+point is the same as the REST connectors': nothing above the provider
+interface knows the wire protocol changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.csp.account import AuthToken, Credentials
+from repro.csp.base import CloudProvider, ObjectInfo
+from repro.errors import CSPAuthError, CSPError, ObjectNotFoundError
+
+
+@dataclass
+class FtpReply:
+    """One server reply: a 3-digit code plus text/payload."""
+
+    code: int
+    text: str = ""
+    payload: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.code < 300 or self.code in (331,)
+
+
+@dataclass
+class InProcessFtpServer:
+    """A tiny FTP server: command strings in, coded replies out.
+
+    Accounts are (user, password) pairs; files live in a flat
+    directory, as CYRUS needs nothing more.
+    """
+
+    accounts: dict[str, str] = field(default_factory=dict)
+    files: dict[str, tuple[float, bytes]] = field(default_factory=dict)
+    command_log: list[str] = field(default_factory=list)
+    _op_counter: int = 0
+
+    def __post_init__(self) -> None:
+        self._authed_users: set[str] = set()
+        self._pending_user: str | None = None
+
+    def execute(self, command: str, payload: bytes = b"") -> FtpReply:
+        """Run one FTP command line (e.g. ``"STOR name"``)."""
+        self.command_log.append(command)
+        verb, _, arg = command.partition(" ")
+        verb = verb.upper()
+        if verb == "USER":
+            if arg not in self.accounts:
+                return FtpReply(530, "not logged in")
+            self._pending_user = arg
+            return FtpReply(331, "password required")
+        if verb == "PASS":
+            user = self._pending_user
+            self._pending_user = None
+            if user is None or self.accounts.get(user) != arg:
+                return FtpReply(530, "login incorrect")
+            self._authed_users.add(user)
+            return FtpReply(230, "logged in")
+        if not self._authed_users:
+            return FtpReply(530, "please login first")
+        if verb == "LIST":
+            lines = []
+            for name in sorted(self.files):
+                if not name.startswith(arg):
+                    continue
+                modified, data = self.files[name]
+                lines.append(f"{name}\t{len(data)}\t{modified}")
+            return FtpReply(226, "transfer complete",
+                            payload="\n".join(lines).encode("utf-8"))
+        if verb == "STOR":
+            self._op_counter += 1
+            self.files[arg] = (float(self._op_counter), bytes(payload))
+            return FtpReply(226, "stored")
+        if verb == "RETR":
+            entry = self.files.get(arg)
+            if entry is None:
+                return FtpReply(550, "file not found")
+            return FtpReply(226, "transfer complete", payload=entry[1])
+        if verb == "DELE":
+            if arg not in self.files:
+                return FtpReply(550, "file not found")
+            del self.files[arg]
+            return FtpReply(250, "deleted")
+        return FtpReply(502, f"command not implemented: {verb}")
+
+
+class FtpStyleCSP(CloudProvider):
+    """The five primitives over the FTP command protocol."""
+
+    def __init__(self, csp_id: str, server: InProcessFtpServer,
+                 credentials: Credentials):
+        super().__init__(csp_id)
+        self.server = server
+        self.credentials = credentials
+        self._logged_in = False
+
+    def _login(self) -> None:
+        if self._logged_in:
+            return
+        user_reply = self.server.execute(f"USER {self.credentials.account_id}")
+        if user_reply.code != 331:
+            raise CSPAuthError(
+                f"{self.csp_id}: USER rejected ({user_reply.code})",
+                csp_id=self.csp_id,
+            )
+        pass_reply = self.server.execute(f"PASS {self.credentials.secret}")
+        if pass_reply.code != 230:
+            raise CSPAuthError(
+                f"{self.csp_id}: PASS rejected ({pass_reply.code})",
+                csp_id=self.csp_id,
+            )
+        self._logged_in = True
+
+    def _run(self, command: str, payload: bytes = b"") -> FtpReply:
+        self._login()
+        reply = self.server.execute(command, payload)
+        if reply.code == 550:
+            name = command.partition(" ")[2]
+            raise ObjectNotFoundError(
+                f"{self.csp_id}: no object {name!r}", csp_id=self.csp_id
+            )
+        if not reply.ok:
+            raise CSPError(
+                f"{self.csp_id}: {command.split()[0]} failed "
+                f"({reply.code} {reply.text})",
+                csp_id=self.csp_id,
+            )
+        return reply
+
+    # -- the five primitives -------------------------------------------------
+
+    def authenticate(self, credentials: Credentials) -> AuthToken:
+        self.credentials = credentials
+        self._logged_in = False
+        self._login()
+        return AuthToken(token="ftp-session",
+                         account_id=credentials.account_id)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        reply = self._run(f"LIST {prefix}".rstrip())
+        out = []
+        for line in reply.payload.decode("utf-8").splitlines():
+            name, size, modified = line.split("\t")
+            out.append(ObjectInfo(name=name, size=int(size),
+                                  modified=float(modified)))
+        return out
+
+    def upload(self, name: str, data: bytes) -> None:
+        self._run(f"STOR {name}", payload=data)
+
+    def download(self, name: str) -> bytes:
+        return self._run(f"RETR {name}").payload
+
+    def delete(self, name: str) -> None:
+        self._run(f"DELE {name}")

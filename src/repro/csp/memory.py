@@ -1,0 +1,90 @@
+"""Dict-backed provider for tests and as the storage engine of
+:class:`repro.csp.simulated.SimulatedCSP`."""
+
+from __future__ import annotations
+
+from repro.csp.account import AuthToken, Credentials, issue_token
+from repro.csp.base import CloudProvider, ObjectInfo
+from repro.errors import ObjectNotFoundError
+
+
+class InMemoryCSP(CloudProvider):
+    """A provider holding objects in a dict.
+
+    Upload semantics are configurable to emulate the vendor differences
+    the paper calls out (Section 3.1): with ``overwrite=True`` (Dropbox
+    style) an upload to an existing name replaces the object; with
+    ``overwrite=False`` (Google Drive style) it appends a new revision
+    and ``download`` returns the most recent one.  CYRUS's content-
+    derived share names make the two indistinguishable, which is exactly
+    the property the tests pin down.
+    """
+
+    def __init__(self, csp_id: str, overwrite: bool = True):
+        super().__init__(csp_id)
+        self.overwrite = overwrite
+        self._objects: dict[str, list[tuple[float, bytes]]] = {}
+        self._op_count = 0
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes across all revisions (what the account pays for)."""
+        return sum(
+            len(data) for revs in self._objects.values() for _, data in revs
+        )
+
+    @property
+    def object_count(self) -> int:
+        """Number of distinct object names."""
+        return len(self._objects)
+
+    def revision_count(self, name: str) -> int:
+        """Number of stored revisions for one name (0 if absent)."""
+        return len(self._objects.get(name, []))
+
+    def object_size(self, name: str) -> int | None:
+        """Size of the latest revision, or None when absent."""
+        revs = self._objects.get(name)
+        return len(revs[-1][1]) if revs else None
+
+    def _tick(self) -> float:
+        self._op_count += 1
+        return float(self._op_count)
+
+    # -- the five primitives ---------------------------------------------
+
+    def authenticate(self, credentials: Credentials) -> AuthToken:
+        return issue_token(credentials, provider_secret=self.csp_id)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        out = []
+        for name, revs in sorted(self._objects.items()):
+            if not name.startswith(prefix):
+                continue
+            modified, data = revs[-1]
+            out.append(ObjectInfo(name=name, size=len(data), modified=modified))
+        return out
+
+    def upload(self, name: str, data: bytes) -> None:
+        stamp = self._tick()
+        if self.overwrite or name not in self._objects:
+            self._objects[name] = [(stamp, bytes(data))]
+        else:
+            self._objects[name].append((stamp, bytes(data)))
+
+    def download(self, name: str) -> bytes:
+        revs = self._objects.get(name)
+        if not revs:
+            raise ObjectNotFoundError(
+                f"no object {name!r} at {self.csp_id}", csp_id=self.csp_id
+            )
+        return revs[-1][1]
+
+    def delete(self, name: str) -> None:
+        if name not in self._objects:
+            raise ObjectNotFoundError(
+                f"no object {name!r} at {self.csp_id}", csp_id=self.csp_id
+            )
+        del self._objects[name]

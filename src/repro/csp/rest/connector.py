@@ -1,0 +1,146 @@
+"""The CYRUS-side REST connector.
+
+Maps the five provider primitives onto a vendor dialect's wire calls,
+caches the session token (the prototype "locally cach[es]
+authentication keys so that users need only login to their CSPs once",
+Section 7.5), re-authenticates once on a 401, and translates vendor
+status codes into the library's exception hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.csp.account import AuthToken, Credentials
+from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.rest.dialects import Dialect
+from repro.csp.rest.server import InProcessRestServer
+from repro.csp.rest.wire import WireResponse
+from repro.errors import (
+    CSPAuthError,
+    CSPError,
+    CSPQuotaExceededError,
+    CSPUnavailableError,
+    ObjectNotFoundError,
+)
+
+
+class RestConnectorCSP(CloudProvider):
+    """A provider speaking one vendor's REST dialect.
+
+    Args:
+        csp_id: Provider identifier inside CYRUS.
+        server: The endpoint (in-process emulator here; a real HTTP
+            transport would slot in identically).
+        credentials: Account credentials used for (re-)authentication.
+    """
+
+    def __init__(
+        self,
+        csp_id: str,
+        server: InProcessRestServer,
+        credentials: Credentials,
+    ):
+        super().__init__(csp_id)
+        self.server = server
+        self.credentials = credentials
+        self._token: str | None = None
+
+    @property
+    def dialect(self) -> Dialect:
+        return self.server.dialect
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, request) -> WireResponse:
+        try:
+            return self.server.handle(request)
+        except ConnectionError as exc:
+            raise CSPUnavailableError(str(exc), csp_id=self.csp_id) from exc
+
+    def _ensure_token(self) -> str:
+        if self._token is None:
+            self.authenticate(self.credentials)
+        assert self._token is not None
+        return self._token
+
+    def _call(self, build):
+        """Send a token-bearing request, re-authenticating once on 401."""
+        response = self._send(build(self._ensure_token()))
+        if response.status == 401:
+            self._token = None
+            response = self._send(build(self._ensure_token()))
+            if response.status == 401:
+                raise CSPAuthError(
+                    f"{self.csp_id}: authentication rejected",
+                    csp_id=self.csp_id,
+                )
+        return response
+
+    def _raise_for(self, response: WireResponse, name: str) -> None:
+        if response.ok:
+            return
+        if response.status in (404, 409):
+            raise ObjectNotFoundError(
+                f"{self.csp_id}: no object {name!r}", csp_id=self.csp_id
+            )
+        quota_hit = response.status == 507 or (
+            response.status == 403 and b"uota" in response.body
+        )
+        if quota_hit:
+            raise CSPQuotaExceededError(
+                f"{self.csp_id}: quota exceeded storing {name!r}",
+                csp_id=self.csp_id,
+            )
+        if response.status == 403:
+            raise CSPAuthError(
+                f"{self.csp_id}: request rejected (403)", csp_id=self.csp_id
+            )
+        raise CSPError(
+            f"{self.csp_id}: API error {response.status} on {name!r}",
+            csp_id=self.csp_id,
+        )
+
+    # -- the five primitives ---------------------------------------------
+
+    def authenticate(self, credentials: Credentials) -> AuthToken:
+        self.credentials = credentials
+        response = self._send(
+            self.dialect.auth_request(credentials.account_id,
+                                      credentials.secret)
+        )
+        if not response.ok:
+            raise CSPAuthError(
+                f"{self.csp_id}: authentication failed "
+                f"({response.status})",
+                csp_id=self.csp_id,
+            )
+        self._token = self.dialect.make_token(
+            credentials.account_id, credentials.secret, response
+        )
+        return AuthToken(token=self._token or "signed",
+                         account_id=credentials.account_id)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        response = self._call(
+            lambda token: self.dialect.list_request(token, prefix)
+        )
+        self._raise_for(response, prefix or "<all>")
+        return self.dialect.parse_list(response)
+
+    def upload(self, name: str, data: bytes) -> None:
+        response = self._call(
+            lambda token: self.dialect.upload_request(token, name, data)
+        )
+        self._raise_for(response, name)
+
+    def download(self, name: str) -> bytes:
+        response = self._call(
+            lambda token: self.dialect.download_request(token, name)
+        )
+        self._raise_for(response, name)
+        return response.body
+
+    def delete(self, name: str) -> None:
+        response = self._call(
+            lambda token: self.dialect.delete_request(token, name)
+        )
+        self._raise_for(response, name)

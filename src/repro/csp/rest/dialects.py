@@ -1,0 +1,516 @@
+"""Vendor API dialects.
+
+Each dialect captures one real API family's shape — URL layout, payload
+format (JSON or XML), authentication scheme, and file-handling
+semantics — on both sides of the wire: request builders + response
+parsers for the connector, and a server implementation for the
+emulator.  The semantics differences are the ones the paper calls out
+in Section 3.1:
+
+* **Dropbox-style** — files keyed by path; uploading an existing path
+  *overwrites*; JSON over REST; OAuth 2.0 bearer tokens.
+* **Drive-style** — files keyed by opaque ids; uploading an existing
+  name creates a *second* file; clients must search by name and pick a
+  revision; JSON over REST; OAuth 2.0.
+* **S3-style** — objects keyed by name; XML payloads; per-request
+  HMAC signatures ("AWS Signature") instead of bearer tokens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import math
+import urllib.parse
+import xml.etree.ElementTree as ET
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.csp.base import ObjectInfo
+from repro.csp.rest.wire import WireRequest, WireResponse
+from repro.errors import CSPError
+
+
+@dataclass
+class ServerState:
+    """Backing store and account state for one emulated vendor."""
+
+    provider_secret: str
+    quota_bytes: float = math.inf
+    objects: dict[str, list[tuple[str, float, bytes]]] = field(
+        default_factory=dict
+    )  # name -> [(file_id, modified, data)] (revisions, newest last)
+    issued_tokens: set[str] = field(default_factory=set)
+    op_counter: int = 0
+
+    def tick(self) -> float:
+        self.op_counter += 1
+        return float(self.op_counter)
+
+    def stored_bytes(self) -> int:
+        return sum(
+            len(data)
+            for revisions in self.objects.values()
+            for _, _, data in revisions
+        )
+
+    def new_file_id(self, name: str) -> str:
+        return hashlib.sha1(
+            f"{name}:{self.op_counter}".encode("utf-8")
+        ).hexdigest()[:16]
+
+
+class Dialect(ABC):
+    """Client request building + response parsing + server behaviour."""
+
+    name: str = "abstract"
+
+    # -- client side -----------------------------------------------------
+
+    @abstractmethod
+    def auth_request(self, account_id: str, secret: str) -> WireRequest: ...
+
+    def make_token(self, account_id: str, secret: str,
+                   response: WireResponse) -> str:
+        """Session token from the auth exchange (default: OAuth JSON)."""
+        return json.loads(response.body)["access_token"]
+
+    @abstractmethod
+    def list_request(self, token: str, prefix: str) -> WireRequest: ...
+
+    @abstractmethod
+    def parse_list(self, response: WireResponse) -> list[ObjectInfo]: ...
+
+    @abstractmethod
+    def upload_request(self, token: str, name: str,
+                       data: bytes) -> WireRequest: ...
+
+    @abstractmethod
+    def download_request(self, token: str, name: str) -> WireRequest: ...
+
+    @abstractmethod
+    def delete_request(self, token: str, name: str) -> WireRequest: ...
+
+    # -- server side -------------------------------------------------------
+
+    @abstractmethod
+    def serve(self, request: WireRequest, state: ServerState) -> WireResponse: ...
+
+    # -- shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def _json(status: int, payload) -> WireResponse:
+        return WireResponse(
+            status=status,
+            headers={"Content-Type": "application/json"},
+            body=json.dumps(payload).encode("utf-8"),
+        )
+
+    @staticmethod
+    def _check_bearer(request: WireRequest, state: ServerState) -> bool:
+        header = request.headers.get("Authorization", "")
+        return (
+            header.startswith("Bearer ")
+            and header[len("Bearer "):] in state.issued_tokens
+        )
+
+    @staticmethod
+    def _quota_ok(state: ServerState, name: str, data: bytes,
+                  overwrite: bool) -> bool:
+        replaced = 0
+        if overwrite and name in state.objects:
+            replaced = sum(len(d) for _, _, d in state.objects[name])
+        return state.stored_bytes() - replaced + len(data) <= state.quota_bytes
+
+
+# ---------------------------------------------------------------------------
+# Dropbox-style: path-keyed, overwrite, JSON, OAuth 2.0
+# ---------------------------------------------------------------------------
+
+
+class DropboxStyleDialect(Dialect):
+    """Path-keyed JSON API in the shape of Dropbox's v2 endpoints."""
+
+    name = "dropbox-style"
+
+    def auth_request(self, account_id: str, secret: str) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/oauth2/token",
+            body=urllib.parse.urlencode(
+                {"grant_type": "client_credentials",
+                 "client_id": account_id, "client_secret": secret}
+            ).encode("ascii"),
+        )
+
+    def list_request(self, token: str, prefix: str) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/2/files/list_folder",
+            headers={"Authorization": f"Bearer {token}",
+                     "Content-Type": "application/json"},
+            body=json.dumps({"prefix": prefix}).encode("utf-8"),
+        )
+
+    def parse_list(self, response: WireResponse) -> list[ObjectInfo]:
+        entries = json.loads(response.body)["entries"]
+        return [
+            ObjectInfo(name=e["path_display"], size=e["size"],
+                       modified=e["server_modified"])
+            for e in entries
+        ]
+
+    def upload_request(self, token: str, name: str, data: bytes) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/2/files/upload",
+            headers={
+                "Authorization": f"Bearer {token}",
+                "Dropbox-API-Arg": json.dumps(
+                    {"path": name, "mode": "overwrite"}
+                ),
+                "Content-Type": "application/octet-stream",
+            },
+            body=data,
+        )
+
+    def download_request(self, token: str, name: str) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/2/files/download",
+            headers={
+                "Authorization": f"Bearer {token}",
+                "Dropbox-API-Arg": json.dumps({"path": name}),
+            },
+        )
+
+    def delete_request(self, token: str, name: str) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/2/files/delete_v2",
+            headers={"Authorization": f"Bearer {token}",
+                     "Content-Type": "application/json"},
+            body=json.dumps({"path": name}).encode("utf-8"),
+        )
+
+    # -- server ----------------------------------------------------------
+
+    def serve(self, request: WireRequest, state: ServerState) -> WireResponse:
+        if request.path == "/oauth2/token":
+            form = urllib.parse.parse_qs(request.body.decode("ascii"))
+            token = hmac.new(
+                state.provider_secret.encode(),
+                f"{form['client_id'][0]}:{form['client_secret'][0]}".encode(),
+                hashlib.sha256,
+            ).hexdigest()
+            state.issued_tokens.add(token)
+            return self._json(200, {"access_token": token,
+                                    "token_type": "bearer"})
+        if not self._check_bearer(request, state):
+            return self._json(401, {"error": "invalid_access_token"})
+        if request.path == "/2/files/list_folder":
+            prefix = json.loads(request.body)["prefix"]
+            entries = []
+            for name in sorted(state.objects):
+                if not name.startswith(prefix):
+                    continue
+                _, modified, data = state.objects[name][-1]
+                entries.append(
+                    {"path_display": name, "size": len(data),
+                     "server_modified": modified}
+                )
+            return self._json(200, {"entries": entries, "has_more": False})
+        if request.path == "/2/files/upload":
+            arg = json.loads(request.headers["Dropbox-API-Arg"])
+            name = arg["path"]
+            if not self._quota_ok(state, name, request.body, overwrite=True):
+                return self._json(507, {"error": "insufficient_space"})
+            # path-keyed overwrite: one revision per name
+            state.objects[name] = [
+                (state.new_file_id(name), state.tick(), bytes(request.body))
+            ]
+            return self._json(200, {"path_display": name,
+                                    "size": len(request.body)})
+        if request.path == "/2/files/download":
+            arg = json.loads(request.headers["Dropbox-API-Arg"])
+            revisions = state.objects.get(arg["path"])
+            if not revisions:
+                return self._json(409, {"error": "path/not_found"})
+            return WireResponse(status=200, body=revisions[-1][2])
+        if request.path == "/2/files/delete_v2":
+            name = json.loads(request.body)["path"]
+            if name not in state.objects:
+                return self._json(409, {"error": "path_lookup/not_found"})
+            del state.objects[name]
+            return self._json(200, {"path_display": name})
+        return self._json(404, {"error": "unknown_endpoint"})
+
+
+# ---------------------------------------------------------------------------
+# Drive-style: id-keyed, duplicate-on-upload, JSON, OAuth 2.0
+# ---------------------------------------------------------------------------
+
+
+class DriveStyleDialect(Dialect):
+    """Opaque-file-id JSON API in the shape of the Drive v3 endpoints.
+
+    The crucial quirk (paper Section 3.1): "when a client uploads a file
+    with existing filename, Dropbox overwrites the previous file, but
+    Google Drive does not" — every upload creates a new file id, and
+    readers must search by name and pick a revision.
+    """
+
+    name = "drive-style"
+
+    def auth_request(self, account_id: str, secret: str) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/oauth2/v4/token",
+            body=urllib.parse.urlencode(
+                {"grant_type": "client_credentials",
+                 "client_id": account_id, "client_secret": secret}
+            ).encode("ascii"),
+        )
+
+    def list_request(self, token: str, prefix: str) -> WireRequest:
+        return WireRequest(
+            method="GET",
+            path="/drive/v3/files",
+            query={"q": f"name contains '{prefix}'"},
+            headers={"Authorization": f"Bearer {token}"},
+        )
+
+    def parse_list(self, response: WireResponse) -> list[ObjectInfo]:
+        files = json.loads(response.body)["files"]
+        # duplicates possible: report the newest revision per name
+        newest: dict[str, dict] = {}
+        for entry in files:
+            current = newest.get(entry["name"])
+            if current is None or entry["modifiedTime"] > current["modifiedTime"]:
+                newest[entry["name"]] = entry
+        return [
+            ObjectInfo(name=e["name"], size=int(e["size"]),
+                       modified=e["modifiedTime"])
+            for e in sorted(newest.values(), key=lambda e: e["name"])
+        ]
+
+    def upload_request(self, token: str, name: str, data: bytes) -> WireRequest:
+        return WireRequest(
+            method="POST",
+            path="/upload/drive/v3/files",
+            query={"uploadType": "media", "name": name},
+            headers={"Authorization": f"Bearer {token}",
+                     "Content-Type": "application/octet-stream"},
+            body=data,
+        )
+
+    def download_request(self, token: str, name: str) -> WireRequest:
+        # by-name download endpoint does the search server-side; real
+        # connectors issue files.list then files.get(alt=media) — the
+        # emulator folds the two for wire simplicity, preserving the
+        # pick-newest-revision semantics
+        return WireRequest(
+            method="GET",
+            path="/drive/v3/files/by-name",
+            query={"name": name, "alt": "media"},
+            headers={"Authorization": f"Bearer {token}"},
+        )
+
+    def delete_request(self, token: str, name: str) -> WireRequest:
+        return WireRequest(
+            method="DELETE",
+            path="/drive/v3/files/by-name",
+            query={"name": name},
+            headers={"Authorization": f"Bearer {token}"},
+        )
+
+    # -- server -------------------------------------------------------------
+
+    def serve(self, request: WireRequest, state: ServerState) -> WireResponse:
+        if request.path == "/oauth2/v4/token":
+            form = urllib.parse.parse_qs(request.body.decode("ascii"))
+            token = hmac.new(
+                state.provider_secret.encode(),
+                f"{form['client_id'][0]}:{form['client_secret'][0]}".encode(),
+                hashlib.sha256,
+            ).hexdigest()
+            state.issued_tokens.add(token)
+            return self._json(200, {"access_token": token})
+        if not self._check_bearer(request, state):
+            return self._json(401, {"error": {"code": 401}})
+        if request.path == "/drive/v3/files" and request.method == "GET":
+            q = request.query.get("q", "")
+            prefix = ""
+            if "contains" in q:
+                prefix = q.split("'")[1]
+            files = []
+            for name, revisions in sorted(state.objects.items()):
+                if not name.startswith(prefix):
+                    continue
+                for file_id, modified, data in revisions:
+                    files.append(
+                        {"id": file_id, "name": name, "size": str(len(data)),
+                         "modifiedTime": modified}
+                    )
+            return self._json(200, {"files": files})
+        if request.path == "/upload/drive/v3/files":
+            name = request.query["name"]
+            if not self._quota_ok(state, name, request.body, overwrite=False):
+                return self._json(403, {"error": {"code": 403,
+                                                  "reason": "storageQuotaExceeded"}})
+            # id-keyed: appends a NEW file even if the name exists
+            file_id = state.new_file_id(name)
+            state.objects.setdefault(name, []).append(
+                (file_id, state.tick(), bytes(request.body))
+            )
+            return self._json(200, {"id": file_id, "name": name})
+        if request.path == "/drive/v3/files/by-name":
+            name = request.query["name"]
+            revisions = state.objects.get(name)
+            if not revisions:
+                return self._json(404, {"error": {"code": 404}})
+            if request.method == "GET":
+                return WireResponse(status=200, body=revisions[-1][2])
+            if request.method == "DELETE":
+                del state.objects[name]
+                return WireResponse(status=204)
+        return self._json(404, {"error": {"code": 404}})
+
+
+# ---------------------------------------------------------------------------
+# S3-style: key-keyed, XML, HMAC request signatures
+# ---------------------------------------------------------------------------
+
+
+class S3StyleDialect(Dialect):
+    """Bucket/key XML API with per-request HMAC signatures.
+
+    No session: every request carries ``Authorization: AWS
+    <account>:<signature>`` where the signature is an HMAC over the
+    method and path with the account secret (a simplified AWS
+    Signature).  Responses are XML, as Table 2 records for Amazon S3.
+    """
+
+    name = "s3-style"
+
+    @staticmethod
+    def _sign(secret: str, method: str, path: str) -> str:
+        return hmac.new(secret.encode(), f"{method}\n{path}".encode(),
+                        hashlib.sha256).hexdigest()
+
+    def auth_request(self, account_id: str, secret: str) -> WireRequest:
+        # signature auth has no token exchange; probe with a signed list
+        return WireRequest(
+            method="GET", path="/bucket",
+            headers={"Authorization":
+                     f"AWS {account_id}:{self._sign(secret, 'GET', '/bucket')}"},
+        )
+
+    def make_token(self, account_id: str, secret: str,
+                   response: WireResponse) -> str:
+        # no session: the "token" is the signing material itself, held
+        # client-side and used to sign every request
+        return f"{account_id}:{secret}"
+
+    def _signed(self, token: str, method: str, path: str,
+                query: dict[str, str] | None = None,
+                body: bytes = b"") -> WireRequest:
+        account_id, _, secret = token.partition(":")
+        return WireRequest(
+            method=method, path=path, query=dict(query or {}),
+            headers={"Authorization":
+                     f"AWS {account_id}:{self._sign(secret, method, path)}"},
+            body=body,
+        )
+
+    def list_request(self, token: str, prefix: str) -> WireRequest:
+        return self._signed(token, "GET", "/bucket", {"prefix": prefix})
+
+    def parse_list(self, response: WireResponse) -> list[ObjectInfo]:
+        root = ET.fromstring(response.body.decode("utf-8"))
+        out = []
+        for contents in root.findall("Contents"):
+            out.append(
+                ObjectInfo(
+                    name=contents.findtext("Key"),
+                    size=int(contents.findtext("Size")),
+                    modified=float(contents.findtext("LastModified")),
+                )
+            )
+        return out
+
+    def upload_request(self, token: str, name: str, data: bytes) -> WireRequest:
+        return self._signed(token, "PUT", f"/bucket/{name}", body=data)
+
+    def download_request(self, token: str, name: str) -> WireRequest:
+        return self._signed(token, "GET", f"/bucket/{name}")
+
+    def delete_request(self, token: str, name: str) -> WireRequest:
+        return self._signed(token, "DELETE", f"/bucket/{name}")
+
+    # -- server -------------------------------------------------------------
+
+    @staticmethod
+    def _xml_error(status: int, code: str) -> WireResponse:
+        body = f"<Error><Code>{code}</Code></Error>".encode("utf-8")
+        return WireResponse(status=status,
+                            headers={"Content-Type": "application/xml"},
+                            body=body)
+
+    def _check_signature(self, request: WireRequest,
+                         state: ServerState) -> bool:
+        header = request.headers.get("Authorization", "")
+        if not header.startswith("AWS "):
+            return False
+        account, _, signature = header[4:].partition(":")
+        expected = self._sign(
+            self.account_secret(state, account), request.method, request.path
+        )
+        return hmac.compare_digest(signature, expected)
+
+    @staticmethod
+    def account_secret(state: ServerState, account: str) -> str:
+        """The secret key the provider issued to this account."""
+        return hmac.new(state.provider_secret.encode(), account.encode(),
+                        hashlib.sha256).hexdigest()
+
+    def serve(self, request: WireRequest, state: ServerState) -> WireResponse:
+        if not self._check_signature(request, state):
+            return self._xml_error(403, "SignatureDoesNotMatch")
+        if request.path == "/bucket" and request.method == "GET":
+            prefix = request.query.get("prefix", "")
+            root = ET.Element("ListBucketResult")
+            for name in sorted(state.objects):
+                if not name.startswith(prefix):
+                    continue
+                _, modified, data = state.objects[name][-1]
+                contents = ET.SubElement(root, "Contents")
+                ET.SubElement(contents, "Key").text = name
+                ET.SubElement(contents, "Size").text = str(len(data))
+                ET.SubElement(contents, "LastModified").text = str(modified)
+            return WireResponse(status=200,
+                                headers={"Content-Type": "application/xml"},
+                                body=ET.tostring(root))
+        if request.path.startswith("/bucket/"):
+            name = request.path[len("/bucket/"):]
+            if request.method == "PUT":
+                if not self._quota_ok(state, name, request.body,
+                                      overwrite=True):
+                    return self._xml_error(507, "QuotaExceeded")
+                state.objects[name] = [
+                    (state.new_file_id(name), state.tick(),
+                     bytes(request.body))
+                ]
+                return WireResponse(status=200)
+            revisions = state.objects.get(name)
+            if request.method == "GET":
+                if not revisions:
+                    return self._xml_error(404, "NoSuchKey")
+                return WireResponse(status=200, body=revisions[-1][2])
+            if request.method == "DELETE":
+                if not revisions:
+                    return self._xml_error(404, "NoSuchKey")
+                del state.objects[name]
+                return WireResponse(status=204)
+        return self._xml_error(404, "NoSuchEndpoint")

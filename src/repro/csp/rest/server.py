@@ -1,0 +1,50 @@
+"""In-process vendor API server.
+
+Hosts one dialect over a :class:`repro.csp.rest.dialects.ServerState`.
+The server is deliberately dumb — all vendor behaviour lives in the
+dialect's ``serve`` — but it owns the state, enforces a request log
+(useful for asserting wire-level behaviour in tests), and can be
+toggled unreachable to emulate outages at the HTTP layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.csp.rest.dialects import Dialect, ServerState
+from repro.csp.rest.wire import WireRequest, WireResponse
+
+
+class InProcessRestServer:
+    """One emulated vendor endpoint."""
+
+    def __init__(
+        self,
+        dialect: Dialect,
+        provider_secret: str = "server-secret",
+        quota_bytes: float = math.inf,
+    ):
+        self.dialect = dialect
+        self.state = ServerState(
+            provider_secret=provider_secret, quota_bytes=quota_bytes
+        )
+        self.reachable = True
+        self.request_log: list[WireRequest] = []
+
+    def handle(self, request: WireRequest) -> WireResponse:
+        """Dispatch one request; raises ConnectionError when 'down'."""
+        if not self.reachable:
+            raise ConnectionError(f"{self.dialect.name} endpoint unreachable")
+        self.request_log.append(request)
+        return self.dialect.serve(request, self.state)
+
+    # -- test/ops helpers --------------------------------------------------
+
+    def stored_bytes(self) -> int:
+        return self.state.stored_bytes()
+
+    def object_names(self) -> list[str]:
+        return sorted(self.state.objects)
+
+    def revision_count(self, name: str) -> int:
+        return len(self.state.objects.get(name, []))

@@ -1,0 +1,41 @@
+"""HTTP-shaped wire types for the vendor API emulation.
+
+Just enough structure to express real vendor APIs — method, path,
+query parameters, headers, body — without an actual socket.  The
+connector builds :class:`WireRequest` objects exactly as it would build
+HTTP requests; the in-process server dispatches on method + path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WireRequest:
+    """One API call."""
+
+    method: str  # GET / POST / PUT / DELETE
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST", "PUT", "DELETE"):
+            raise ValueError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+
+
+@dataclass
+class WireResponse:
+    """One API reply."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300

@@ -1,0 +1,15 @@
+"""(t, n) secret sharing via non-systematic Reed--Solomon coding.
+
+CYRUS divides each chunk into ``n`` coded shares such that any ``t``
+reconstruct the chunk and any ``t - 1`` reveal nothing directly (the
+coded shares never contain plaintext because the code is
+non-systematic; paper Figure 5).  The dispersal matrix is a Vandermonde
+matrix whose evaluation points are derived from a hash of the user's key
+string, so decoding additionally requires the key (paper Section 7.1).
+"""
+
+from repro.erasure.rs import RSCodec
+from repro.erasure.keyed import KeyedSharer, derive_dispersal_points
+from repro.erasure.share import Share
+
+__all__ = ["RSCodec", "KeyedSharer", "Share", "derive_dispersal_points"]

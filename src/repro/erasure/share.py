@@ -1,0 +1,44 @@
+"""Share container.
+
+A :class:`Share` is one of the ``n`` coded fragments of a chunk.  It
+carries its creation ``index`` (the row of the dispersal matrix that
+produced it) because decoding must know which rows of the matrix to
+invert, and the original ``chunk_size`` because encoding pads the chunk
+to a multiple of ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Share:
+    """One coded fragment of a chunk.
+
+    Attributes:
+        index: Dispersal-matrix row index in ``[0, n)``.
+        data: The coded bytes (``ceil(chunk_size / t)`` bytes).
+        t: Reconstruction threshold used at encoding time.
+        n: Total number of shares produced at encoding time.
+        chunk_size: Unpadded length of the original chunk in bytes.
+    """
+
+    index: int
+    data: bytes = field(repr=False)
+    t: int
+    n: int
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n:
+            raise ValueError(f"share index {self.index} outside [0, {self.n})")
+        if self.t < 1 or self.t > self.n:
+            raise ValueError(f"invalid (t, n) = ({self.t}, {self.n})")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Size of the coded payload in bytes."""
+        return len(self.data)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the CYRUS reproduction.
+
+All library errors derive from :class:`CyrusError` so callers can catch a
+single base class.  Subsystem-specific failures get their own subclasses
+because callers react to them differently: a :class:`CSPUnavailableError`
+during download triggers re-selection of a different provider, while a
+:class:`ShareIntegrityError` indicates corrupted data that no retry fixes.
+"""
+
+from __future__ import annotations
+
+
+class CyrusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(CyrusError):
+    """Invalid user-supplied configuration (e.g. t > n, epsilon <= 0)."""
+
+
+class CodingError(CyrusError):
+    """Erasure coding failure (bad parameters, singular dispersal matrix)."""
+
+
+class InsufficientSharesError(CodingError):
+    """Fewer than ``t`` distinct shares were supplied for reconstruction."""
+
+
+class ShareIntegrityError(CodingError):
+    """A share's content does not match its recorded identity."""
+
+
+class ChunkingError(CyrusError):
+    """Content-defined chunking failed (bad window/boundary parameters)."""
+
+
+class CSPError(CyrusError):
+    """Base class for cloud-provider failures."""
+
+    def __init__(self, message: str, csp_id: str | None = None):
+        super().__init__(message)
+        self.csp_id = csp_id
+
+
+class CSPUnavailableError(CSPError):
+    """The provider could not be contacted (outage or removal)."""
+
+
+class CSPAuthError(CSPError):
+    """Authentication with the provider failed."""
+
+
+class CSPQuotaExceededError(CSPError):
+    """The provider refused an upload because the account is full."""
+
+
+class ObjectNotFoundError(CSPError):
+    """The requested object does not exist at the provider."""
+
+
+class MetadataError(CyrusError):
+    """Metadata tree corruption or decoding failure."""
+
+
+class ConflictError(CyrusError):
+    """An unresolved file conflict blocks the requested operation."""
+
+
+class SelectionError(CyrusError):
+    """The download-selection problem is infeasible (not enough live CSPs)."""
+
+
+class ReliabilityError(CyrusError):
+    """No share count ``n`` can satisfy the requested failure bound."""
+
+
+class TransferError(CyrusError):
+    """A share transfer failed after exhausting retries."""

@@ -1,0 +1,50 @@
+"""Log/exp lookup tables for GF(2^8).
+
+The tables are built once at import time by repeated multiplication by the
+generator 0x03 (a primitive element of GF(2^8) under the AES reduction
+polynomial x^8 + x^4 + x^3 + x + 1, i.e. 0x11B).  ``EXP_TABLE`` is doubled
+in length so that ``EXP_TABLE[log_a + log_b]`` never needs an explicit
+modulo 255 reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reduction polynomial x^8 + x^4 + x^3 + x + 1.
+GF_POLY = 0x11B
+
+#: Field order (number of elements).
+GF_ORDER = 256
+
+#: Multiplicative generator used to build the tables.
+GF_GENERATOR = 0x03
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(510, dtype=np.int32)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03 = x * 2 + x in GF(2^8)
+        x2 = x << 1
+        if x2 & 0x100:
+            x2 ^= GF_POLY
+        x = x2 ^ x
+    # duplicate so exp[i + 255] == exp[i]; avoids % 255 in hot loops
+    exp[255:510] = exp[0:255]
+    log[0] = 0  # log(0) is undefined; callers must special-case zero
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+#: Full 256x256 multiplication table, used by the vectorised codec kernels.
+MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+_nz = np.arange(1, 256)
+_log_a = LOG_TABLE[_nz][:, None]
+_log_b = LOG_TABLE[_nz][None, :]
+MUL_TABLE[1:, 1:] = EXP_TABLE[_log_a + _log_b].astype(np.uint8)
+del _nz, _log_a, _log_b

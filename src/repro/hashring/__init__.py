@@ -1,0 +1,5 @@
+"""Consistent hashing for uplink CSP selection (paper Sections 4.3, 5.3)."""
+
+from repro.hashring.ring import ConsistentHashRing
+
+__all__ = ["ConsistentHashRing"]

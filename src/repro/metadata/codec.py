@@ -1,0 +1,93 @@
+"""Metadata serialization and share naming.
+
+Nodes serialise to canonical JSON (so node bytes — and therefore the
+shares cut from them — are identical across clients).  Metadata share
+object names embed the node id and share index, ``md-<node_id>-<idx>``:
+unlike chunk shares, metadata shares must be *discoverable* by listing
+("Changes at CSPs can be seen by looking up the list of metadata files
+stored in the cloud", Section 5.4), and a node id is itself a hash that
+reveals nothing about file contents.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MetadataError
+from repro.metadata.node import ChunkRecord, MetadataNode, ShareRecord
+from repro.util.serialization import canonical_dumps, canonical_loads
+
+#: Format version embedded in every encoded node.
+CODEC_VERSION = 1
+
+#: Listing prefix for metadata shares.
+METADATA_PREFIX = "md-"
+
+
+def encode_node(node: MetadataNode) -> bytes:
+    """Canonical byte encoding of a metadata node."""
+    doc = {
+        "v": CODEC_VERSION,
+        "fileMap": {
+            "id": node.file_id,
+            "prevId": node.prev_id,
+            "clientId": node.client_id,
+            "name": node.name,
+            "deleted": node.deleted,
+            "modified": node.modified,
+            "size": node.size,
+        },
+        "chunkMap": [
+            [c.chunk_id, c.offset, c.size, c.t, c.n] for c in node.chunks
+        ],
+        "shareMap": [[s.chunk_id, s.index, s.csp_id] for s in node.shares],
+    }
+    return canonical_dumps(doc)
+
+
+def decode_node(data: bytes) -> MetadataNode:
+    """Inverse of :func:`encode_node`."""
+    try:
+        doc = canonical_loads(data)
+        if doc.get("v") != CODEC_VERSION:
+            raise MetadataError(f"unsupported metadata version {doc.get('v')!r}")
+        fm = doc["fileMap"]
+        return MetadataNode(
+            file_id=fm["id"],
+            prev_id=fm["prevId"],
+            client_id=fm["clientId"],
+            name=fm["name"],
+            deleted=fm["deleted"],
+            modified=fm["modified"],
+            size=fm["size"],
+            chunks=tuple(
+                ChunkRecord(chunk_id=c[0], offset=c[1], size=c[2], t=c[3], n=c[4])
+                for c in doc["chunkMap"]
+            ),
+            shares=tuple(
+                ShareRecord(chunk_id=s[0], index=s[1], csp_id=s[2])
+                for s in doc["shareMap"]
+            ),
+        )
+    except MetadataError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise MetadataError(f"corrupt metadata node: {exc}") from exc
+
+
+def metadata_share_name(node_id: str, index: int) -> str:
+    """Object name for one metadata share."""
+    if len(node_id) != 40:
+        raise MetadataError(f"node id must be 40 hex chars, got {node_id!r}")
+    if index < 0:
+        raise MetadataError(f"share index must be non-negative, got {index}")
+    return f"{METADATA_PREFIX}{node_id}-{index:03d}"
+
+
+def parse_metadata_share_name(name: str) -> tuple[str, int]:
+    """Extract ``(node_id, index)``; raises MetadataError on other names."""
+    if not name.startswith(METADATA_PREFIX):
+        raise MetadataError(f"not a metadata share name: {name!r}")
+    body = name[len(METADATA_PREFIX):]
+    node_id, _, idx = body.rpartition("-")
+    if len(node_id) != 40 or not idx.isdigit():
+        raise MetadataError(f"malformed metadata share name: {name!r}")
+    return node_id, int(idx)

@@ -1,0 +1,64 @@
+"""Local metadata-tree persistence.
+
+Paper Section 3.2: "clients maintaining local copies of the metadata
+tree for efficiency."  A snapshot serialises every known node so a
+client can restart without re-fetching all metadata from the CSPs —
+the next sync only pulls nodes published since the snapshot.
+
+The snapshot is a convenience copy, never an authority: it contains
+node documents exactly as they are scattered to CSPs, so a stale or
+deleted snapshot costs only a longer first sync.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import MetadataError
+from repro.metadata.codec import decode_node, encode_node
+from repro.metadata.node import MetadataNode
+from repro.metadata.tree import MetadataTree
+from repro.util.serialization import canonical_dumps, canonical_loads
+
+#: Snapshot format version.
+SNAPSHOT_VERSION = 1
+
+
+def dump_snapshot(nodes: Iterable[MetadataNode]) -> bytes:
+    """Serialise nodes to snapshot bytes."""
+    docs = [encode_node(node).decode("utf-8") for node in nodes]
+    return canonical_dumps({"v": SNAPSHOT_VERSION, "nodes": sorted(docs)})
+
+
+def load_snapshot(blob: bytes) -> list[MetadataNode]:
+    """Parse snapshot bytes back into nodes."""
+    try:
+        doc = canonical_loads(blob)
+        if doc.get("v") != SNAPSHOT_VERSION:
+            raise MetadataError(
+                f"unsupported snapshot version {doc.get('v')!r}"
+            )
+        return [decode_node(raw.encode("utf-8")) for raw in doc["nodes"]]
+    except MetadataError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise MetadataError(f"corrupt metadata snapshot: {exc}") from exc
+
+
+def save_tree(tree: MetadataTree, path: str | Path) -> int:
+    """Write a tree snapshot to disk; returns the node count."""
+    nodes = list(tree)
+    Path(path).write_bytes(dump_snapshot(nodes))
+    return len(nodes)
+
+
+def load_tree(tree: MetadataTree, path: str | Path) -> int:
+    """Merge a disk snapshot into a tree; returns newly added nodes.
+
+    A missing file is not an error (fresh client): returns 0.
+    """
+    target = Path(path)
+    if not target.exists():
+        return 0
+    return tree.merge(load_snapshot(target.read_bytes()))

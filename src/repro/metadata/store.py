@@ -1,0 +1,162 @@
+"""Scattered metadata storage (paper Section 5.2, footnote 3).
+
+Metadata nodes are secret-shared with (t, m) coding "at a fixed set of m
+CSPs" — the paper stores metadata pieces at *all* CSPs so clients can
+always find them.  The store handles encode -> split -> upload and
+list -> download -> join, tolerating up to ``m - t`` unreachable
+providers on both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.csp.base import CloudProvider
+from repro.erasure import KeyedSharer, Share
+from repro.errors import CSPError, InsufficientSharesError, MetadataError
+from repro.metadata.codec import (
+    METADATA_PREFIX,
+    decode_node,
+    encode_node,
+    metadata_share_name,
+    parse_metadata_share_name,
+)
+from repro.metadata.node import MetadataNode
+
+
+class MetadataStore:
+    """Reads and writes metadata nodes across a fixed provider set.
+
+    Args:
+        providers: The m metadata CSPs, in a stable order — share index
+            i goes to ``providers[i]`` on every client, so the key-
+            derived codec lines up.
+        key: The user key string (drives the dispersal matrix).
+        t: Shares needed to reconstruct a node (privacy threshold).
+    """
+
+    def __init__(
+        self,
+        providers: Sequence[CloudProvider],
+        key: str,
+        t: int = 2,
+    ):
+        if len(providers) < t:
+            raise MetadataError(
+                f"need at least t={t} metadata providers, got {len(providers)}"
+            )
+        self.providers = list(providers)
+        self.key = key
+        self.t = t
+        self._sharer = KeyedSharer(key, t, len(self.providers))
+
+    @property
+    def m(self) -> int:
+        """Number of metadata providers."""
+        return len(self.providers)
+
+    # -- encoding helpers (used by the timed transfer engine too) --------
+
+    def shares_for(self, node: MetadataNode) -> list[tuple[CloudProvider, str, Share]]:
+        """(provider, object name, share) triples for one node."""
+        payload = encode_node(node)
+        shares = self._sharer.split(payload)
+        node_id = node.node_id
+        return [
+            (self.providers[s.index], metadata_share_name(node_id, s.index), s)
+            for s in shares
+        ]
+
+    def decode_shares(self, shares: Sequence[Share]) -> MetadataNode:
+        """Reassemble a node from t+ shares."""
+        return decode_node(self._sharer.join(shares))
+
+    def share_size(self, node: MetadataNode) -> int:
+        """Byte size of one metadata share (for transfer accounting)."""
+        payload_len = len(encode_node(node))
+        return max(1, -(-payload_len // self.t))
+
+    # -- direct (untimed) data plane ------------------------------------
+
+    def publish(self, node: MetadataNode) -> None:
+        """Upload the node's m shares; tolerates m - t provider failures."""
+        failures = 0
+        for provider, name, share in self.shares_for(node):
+            try:
+                provider.upload(name, self._pack(share))
+            except CSPError:
+                failures += 1
+        if self.m - failures < self.t:
+            raise MetadataError(
+                f"only {self.m - failures} metadata shares stored, "
+                f"need {self.t} for recoverability"
+            )
+
+    def fetch(self, node_id: str) -> MetadataNode:
+        """Download any t shares of the node and decode it."""
+        shares: list[Share] = []
+        for index, provider in enumerate(self.providers):
+            if len(shares) >= self.t:
+                break
+            try:
+                blob = provider.download(metadata_share_name(node_id, index))
+            except CSPError:
+                continue
+            shares.append(self._unpack(blob, index))
+        if len(shares) < self.t:
+            raise InsufficientSharesError(
+                f"metadata node {node_id[:8]}: found {len(shares)} shares, "
+                f"need {self.t}"
+            )
+        return self.decode_shares(shares)
+
+    def list_node_ids(self) -> set[str]:
+        """Node ids with at least t shares visible across providers.
+
+        The union of per-provider listings, filtered to reconstructible
+        nodes — a node mid-upload (fewer than t shares landed) is
+        invisible, which is what delays visibility until the uploader's
+        final metadata write completes.
+        """
+        counts: dict[str, int] = {}
+        reachable = 0
+        for provider in self.providers:
+            try:
+                infos = provider.list(METADATA_PREFIX)
+            except CSPError:
+                continue
+            reachable += 1
+            for info in infos:
+                try:
+                    node_id, _ = parse_metadata_share_name(info.name)
+                except MetadataError:
+                    continue
+                counts[node_id] = counts.get(node_id, 0) + 1
+        if reachable < self.t:
+            raise MetadataError(
+                f"only {reachable} metadata providers reachable, need {self.t}"
+            )
+        return {nid for nid, c in counts.items() if c >= self.t}
+
+    def fetch_all(self) -> list[MetadataNode]:
+        """Every reconstructible node (full sync)."""
+        return [self.fetch(nid) for nid in sorted(self.list_node_ids())]
+
+    # -- share (de)framing -------------------------------------------------
+
+    @staticmethod
+    def _pack(share: Share) -> bytes:
+        """Frame a share for storage: chunk_size header + payload."""
+        return share.chunk_size.to_bytes(8, "big") + share.data
+
+    def _unpack(self, blob: bytes, index: int) -> Share:
+        if len(blob) < 8:
+            raise MetadataError("metadata share too short")
+        size = int.from_bytes(blob[:8], "big")
+        return Share(
+            index=index,
+            data=blob[8:],
+            t=self.t,
+            n=self.m,
+            chunk_size=size,
+        )

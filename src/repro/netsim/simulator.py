@@ -1,0 +1,320 @@
+"""Event-driven flow-level transfer simulator.
+
+Models a single client exchanging objects with multiple CSPs over
+parallel connections.  Bandwidth is shared max--min fairly subject to
+
+* a per-link, per-direction capacity (the paper's beta-bar_c), and
+* a client-wide per-direction capacity shared by all links (beta).
+
+This is the contention structure of the paper's Section 4.3 problem; the
+simulator is the "testbed" on which all completion-time experiments run.
+Each transfer is charged one link RTT before data flows (request
+latency), matching how a REST upload/download behaves.
+
+Group quotas implement DepSky-style redundant transfers: requests that
+share a ``group`` are all started, and once ``group_quota[group]`` of
+them complete the remainder are cancelled (paper Section 7.3: DepSky
+"starts uploads to all CSPs and cancels pending requests when n uploads
+complete").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import TransferError
+from repro.netsim.link import Link
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One object transfer to schedule.
+
+    Attributes:
+        link_id: Target link (CSP).
+        size: Payload size in bytes.
+        direction: ``"up"`` or ``"down"``.
+        start_at: Absolute simulation time at which the request is issued.
+        tag: Opaque caller correlation value (returned on the result).
+        group: Optional cancellation-group key (see module docstring).
+    """
+
+    link_id: str
+    size: int
+    direction: str
+    start_at: float = 0.0
+    tag: Any = None
+    group: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up'/'down', got {self.direction!r}")
+        if self.start_at < 0:
+            raise ValueError(f"start_at must be non-negative, got {self.start_at}")
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one transfer.
+
+    ``end`` is the completion (or cancellation) time; ``completed`` is
+    False only for quota-cancelled transfers.  ``bytes_done`` reports
+    partial progress for cancelled flows.
+    """
+
+    request: TransferRequest
+    start: float
+    end: float
+    completed: bool
+    bytes_done: int
+
+    @property
+    def duration(self) -> float:
+        """Wall time from request issue to completion/cancellation."""
+        return self.end - self.start
+
+
+@dataclass
+class _Flow:
+    order: int
+    request: TransferRequest
+    issue: float  # absolute time the request was issued
+    activation: float  # issue + link RTT
+    remaining: float
+    rate: float = 0.0
+    result: TransferResult | None = None
+    pool: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.pool = self.request.direction
+
+
+class FlowSimulator:
+    """Simulate batches of parallel transfers over a set of links.
+
+    Args:
+        links: Links indexed by ``link_id``.
+        client_up: Client total upload capacity (bytes/s; inf = unbounded).
+        client_down: Client total download capacity.
+    """
+
+    def __init__(
+        self,
+        links: Mapping[str, Link],
+        client_up: float = math.inf,
+        client_down: float = math.inf,
+    ):
+        if client_up <= 0 or client_down <= 0:
+            raise ValueError("client capacities must be positive")
+        self.links = dict(links)
+        self.client_up = client_up
+        self.client_down = client_down
+
+    def client_capacity(self, direction: str) -> float:
+        """The client-wide capacity for one direction."""
+        return self.client_up if direction == "up" else self.client_down
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[TransferRequest],
+        group_quota: Mapping[Hashable, int] | None = None,
+        start_time: float = 0.0,
+    ) -> list[TransferResult]:
+        """Simulate all ``requests``; returns results in request order.
+
+        ``start_time`` shifts the whole batch (requests' ``start_at`` are
+        relative offsets added to it).  Raises :class:`TransferError` if
+        progress stalls forever (zero capacity with no future change).
+        """
+        group_quota = dict(group_quota or {})
+        flows = []
+        for order, req in enumerate(requests):
+            link = self.links.get(req.link_id)
+            if link is None:
+                raise TransferError(f"unknown link {req.link_id!r}")
+            issue = start_time + req.start_at
+            flows.append(
+                _Flow(
+                    order=order,
+                    request=req,
+                    issue=issue,
+                    activation=issue + link.rtt_s,
+                    remaining=float(req.size),
+                )
+            )
+        pending = sorted(flows, key=lambda f: (f.activation, f.order))
+        active: list[_Flow] = []
+        done_in_group: dict[Hashable, int] = {}
+        now = start_time
+        pending_iter = iter(pending)
+        next_pending = next(pending_iter, None)
+
+        def activate_up_to(t: float) -> None:
+            nonlocal next_pending
+            while next_pending is not None and next_pending.activation <= t + _EPS:
+                flow = next_pending
+                next_pending = next(pending_iter, None)
+                if flow.remaining <= _EPS:
+                    self._finish(flow, max(t, flow.activation), done_in_group)
+                else:
+                    active.append(flow)
+
+        activate_up_to(now)
+        while active or next_pending is not None:
+            if not active:
+                now = max(now, next_pending.activation)
+                activate_up_to(now)
+                continue
+            self._assign_rates(active, now)
+            horizon = math.inf
+            if next_pending is not None:
+                horizon = next_pending.activation
+            for flow in active:
+                link = self.links[flow.request.link_id]
+                horizon = min(horizon, link.next_change_after(now, flow.pool))
+                if math.isinf(flow.rate):
+                    horizon = now
+                elif flow.rate > _EPS:
+                    completion = now + flow.remaining / flow.rate
+                    if completion <= now:
+                        # residual too small to advance the clock (float
+                        # absorption): the flow is effectively done now
+                        flow.remaining = 0.0
+                        horizon = now
+                    else:
+                        horizon = min(horizon, completion)
+            if math.isinf(horizon):
+                stalled = [f.request.link_id for f in active if f.rate <= _EPS]
+                raise TransferError(
+                    f"transfers stalled with zero capacity forever: {stalled}"
+                )
+            dt = max(0.0, horizon - now)
+            for flow in active:
+                if math.isinf(flow.rate):
+                    flow.remaining = 0.0
+                else:
+                    flow.remaining -= flow.rate * dt
+            now = horizon
+            finished = [f for f in active if f.remaining <= _EPS]
+            for flow in finished:
+                active.remove(flow)
+                self._finish(flow, now, done_in_group)
+            # quota cancellation: drop incomplete flows of satisfied groups
+            if group_quota and finished:
+                satisfied = {
+                    g
+                    for g, quota in group_quota.items()
+                    if done_in_group.get(g, 0) >= quota
+                }
+                if satisfied:
+                    cancelled = [
+                        f for f in active if f.request.group in satisfied
+                    ]
+                    for flow in cancelled:
+                        active.remove(flow)
+                        self._cancel(flow, now)
+                    # cancel not-yet-activated members too
+                    if next_pending is not None:
+                        requeue = []
+                        if next_pending.request.group in satisfied:
+                            self._cancel(next_pending, now)
+                        else:
+                            requeue.append(next_pending)
+                        for flow in pending_iter:
+                            if flow.request.group in satisfied:
+                                self._cancel(flow, now)
+                            else:
+                                requeue.append(flow)
+                        pending_iter = iter(requeue)
+                        next_pending = next(pending_iter, None)
+            activate_up_to(now)
+        return [f.result for f in flows]  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self, flow: _Flow, t: float, done_in_group: dict[Hashable, int]
+    ) -> None:
+        req = flow.request
+        flow.result = TransferResult(
+            request=req,
+            start=flow.issue,
+            end=t,
+            completed=True,
+            bytes_done=req.size,
+        )
+        if req.group is not None:
+            done_in_group[req.group] = done_in_group.get(req.group, 0) + 1
+
+    def _cancel(self, flow: _Flow, t: float) -> None:
+        req = flow.request
+        flow.result = TransferResult(
+            request=req,
+            start=flow.issue,
+            end=t,
+            completed=False,
+            bytes_done=int(req.size - flow.remaining),
+        )
+
+    def _assign_rates(self, active: list[_Flow], now: float) -> None:
+        """Max--min fair allocation via progressive filling.
+
+        Constraints: one per (link, direction) with that link's current
+        capacity, plus one per direction with the client-wide capacity.
+        All unfrozen flows grow at the same rate; when a constraint
+        saturates, its flows freeze at their current allocation.
+        """
+        constraints: list[tuple[float, list[_Flow]]] = []
+        by_link: dict[tuple[str, str], list[_Flow]] = {}
+        by_pool: dict[str, list[_Flow]] = {"up": [], "down": []}
+        for flow in active:
+            flow.rate = 0.0
+            key = (flow.request.link_id, flow.pool)
+            by_link.setdefault(key, []).append(flow)
+            by_pool[flow.pool].append(flow)
+        for (link_id, direction), members in by_link.items():
+            cap = self.links[link_id].capacity_at(now, direction)
+            constraints.append((cap, members))
+        for direction, members in by_pool.items():
+            if members:
+                constraints.append((self.client_capacity(direction), members))
+        unfrozen = set(id(f) for f in active)
+        flows_by_id = {id(f): f for f in active}
+        while unfrozen:
+            best_inc = math.inf
+            for cap, members in constraints:
+                live = [f for f in members if id(f) in unfrozen]
+                if not live or math.isinf(cap):
+                    continue
+                used = sum(f.rate for f in members)
+                best_inc = min(best_inc, (cap - used) / len(live))
+            if math.isinf(best_inc):
+                # every remaining constraint is infinite: unbounded rate
+                for fid in unfrozen:
+                    flows_by_id[fid].rate = math.inf
+                return
+            best_inc = max(0.0, best_inc)
+            for fid in unfrozen:
+                flows_by_id[fid].rate += best_inc
+            newly_frozen: set[int] = set()
+            for cap, members in constraints:
+                if math.isinf(cap):
+                    continue
+                used = sum(f.rate for f in members)
+                if used >= cap - _EPS * max(1.0, cap):
+                    for f in members:
+                        if id(f) in unfrozen:
+                            newly_frozen.add(id(f))
+            if not newly_frozen:
+                # numerical safety: freeze everything rather than loop
+                break
+            unfrozen -= newly_frozen

@@ -1,0 +1,78 @@
+"""Time-varying rate traces.
+
+Figure 17 of the paper samples upload/download completion times every
+hour for two days, capturing diurnal variation in CSP throughput.  A
+:class:`RateTrace` is a piecewise-constant capacity schedule; links can
+be given one per direction, and the flow simulator re-solves its
+bandwidth allocation at every breakpoint.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence
+
+
+class RateTrace:
+    """Piecewise-constant capacity over time.
+
+    Args:
+        breakpoints: Ascending times (seconds) at which capacity changes.
+        rates: ``len(breakpoints) + 1`` capacities in bytes/second;
+            ``rates[0]`` applies before the first breakpoint.
+    """
+
+    def __init__(self, breakpoints: Sequence[float], rates: Sequence[float]):
+        if len(rates) != len(breakpoints) + 1:
+            raise ValueError(
+                f"need len(rates) == len(breakpoints) + 1, got "
+                f"{len(rates)} rates for {len(breakpoints)} breakpoints"
+            )
+        if any(r < 0 for r in rates):
+            raise ValueError("rates must be non-negative")
+        if list(breakpoints) != sorted(breakpoints):
+            raise ValueError("breakpoints must be ascending")
+        self._breaks = list(breakpoints)
+        self._rates = list(rates)
+
+    @classmethod
+    def constant(cls, rate: float) -> "RateTrace":
+        """A trace that never changes."""
+        return cls([], [rate])
+
+    @classmethod
+    def diurnal(
+        cls,
+        base_rate: float,
+        amplitude: float,
+        period_s: float = 24 * 3600.0,
+        steps_per_period: int = 24,
+        periods: int = 2,
+        phase: float = 0.0,
+    ) -> "RateTrace":
+        """A sampled sinusoid: rate = base * (1 + amplitude * sin(...)).
+
+        Used by the Figure 17 benchmark to emulate the diurnal load swing
+        observed on commercial CSPs over the two-day measurement.
+        """
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        step = period_s / steps_per_period
+        count = steps_per_period * periods
+        breaks = [step * (i + 1) for i in range(count - 1)]
+        rates = [
+            base_rate
+            * (1 + amplitude * math.sin(2 * math.pi * (i * step) / period_s + phase))
+            for i in range(count)
+        ]
+        return cls(breaks, rates)
+
+    def rate_at(self, t: float) -> float:
+        """Capacity in effect at time ``t``."""
+        return self._rates[bisect.bisect_right(self._breaks, t)]
+
+    def next_change_after(self, t: float) -> float:
+        """Next breakpoint strictly after ``t``, or ``inf`` if none."""
+        i = bisect.bisect_right(self._breaks, t)
+        return self._breaks[i] if i < len(self._breaks) else math.inf

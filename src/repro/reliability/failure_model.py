@@ -1,0 +1,136 @@
+"""CSP failure estimation and Monte Carlo failure simulation.
+
+Two pieces:
+
+* :class:`FailureEstimator` — the client-side estimator the paper
+  describes in Section 4.2: a CSP counts as failed when it cannot be
+  contacted for longer than a user threshold (e.g. one day); the failure
+  probability ``p`` is estimated from the fraction of such events.
+
+* :func:`simulate_request_failures` — the Figure 13 experiment: draw
+  independent request trials against CSPs with given unavailability
+  probabilities and count, cumulatively, how many requests fail for (a)
+  each single CSP and (b) CYRUS configurations that survive as long as
+  at least ``t`` of ``n`` providers are up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Hours per (non-leap) year; converts annual downtime to probability.
+HOURS_PER_YEAR = 365.0 * 24.0
+
+
+def downtime_to_probability(hours_per_year: float) -> float:
+    """Unavailability probability from annual downtime hours."""
+    if hours_per_year < 0:
+        raise ConfigurationError("downtime must be non-negative")
+    return min(1.0, hours_per_year / HOURS_PER_YEAR)
+
+
+@dataclass
+class FailureEstimator:
+    """Streaming estimator of one CSP's failure probability.
+
+    Contact attempts are reported with timestamps; when consecutive
+    failures span longer than ``outage_threshold_s`` (paper suggests one
+    day) a *CSP failure* is counted.  ``probability`` is the fraction of
+    observation windows containing a failure, floored at ``prior`` so a
+    short observation history never reports an implausible zero.
+    """
+
+    outage_threshold_s: float = 24 * 3600.0
+    prior: float = 1e-4
+    _failure_events: int = field(default=0, init=False)
+    _windows: int = field(default=0, init=False)
+    _run_start: float | None = field(default=None, init=False)
+    _counted_current_run: bool = field(default=False, init=False)
+
+    def record_success(self, timestamp: float) -> None:
+        """A successful contact ends any failure run."""
+        self._windows += 1
+        self._run_start = None
+        self._counted_current_run = False
+
+    def record_failure(self, timestamp: float) -> None:
+        """A failed contact; long-enough runs count as one CSP failure."""
+        self._windows += 1
+        if self._run_start is None:
+            self._run_start = timestamp
+            return
+        run = timestamp - self._run_start
+        if run >= self.outage_threshold_s and not self._counted_current_run:
+            self._failure_events += 1
+            self._counted_current_run = True
+
+    @property
+    def failure_events(self) -> int:
+        """Number of threshold-exceeding outages observed."""
+        return self._failure_events
+
+    @property
+    def probability(self) -> float:
+        """Estimated per-request failure probability."""
+        if self._windows == 0:
+            return self.prior
+        return max(self.prior, self._failure_events / self._windows)
+
+
+def simulate_request_failures(
+    csp_downtime_hours: Mapping[str, float],
+    configs: Sequence[tuple[int, int]],
+    trials: int,
+    seed: int = 0,
+    batch: int = 1_000_000,
+) -> dict[str, np.ndarray]:
+    """The Figure 13 Monte Carlo.
+
+    For each trial, every CSP is independently down with its
+    downtime-derived probability.  A *single-CSP* request fails when that
+    CSP is down; a *CYRUS (t, n)* request (using the ``n``
+    most-listed... precisely: the first ``n`` CSPs in mapping order)
+    fails when more than ``n - t`` of its CSPs are down.
+
+    Returns cumulative failure counts per trial (length ``trials``
+    arrays) keyed by CSP name or ``"CYRUS (t,n)"``.
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+    names = list(csp_downtime_hours)
+    probs = np.array(
+        [downtime_to_probability(csp_downtime_hours[c]) for c in names]
+    )
+    for t, n in configs:
+        if n > len(names):
+            raise ConfigurationError(
+                f"config (t, n) = ({t}, {n}) needs {n} CSPs, have {len(names)}"
+            )
+        if not 1 <= t <= n:
+            raise ConfigurationError(f"bad config (t, n) = ({t}, {n})")
+    rng = np.random.default_rng(seed)
+    single_fail = {c: np.zeros(0, dtype=np.int64) for c in names}
+    cyrus_fail = {f"CYRUS ({t},{n})": np.zeros(0, dtype=np.int64) for t, n in configs}
+    single_chunks: dict[str, list[np.ndarray]] = {c: [] for c in names}
+    cyrus_chunks: dict[str, list[np.ndarray]] = {k: [] for k in cyrus_fail}
+    done = 0
+    while done < trials:
+        size = min(batch, trials - done)
+        down = rng.random((size, len(names))) < probs[None, :]
+        for i, c in enumerate(names):
+            single_chunks[c].append(down[:, i].astype(np.int64))
+        for t, n in configs:
+            down_count = down[:, :n].sum(axis=1)
+            cyrus_chunks[f"CYRUS ({t},{n})"].append(
+                (down_count > (n - t)).astype(np.int64)
+            )
+        done += size
+    out: dict[str, np.ndarray] = {}
+    for key, chunks in {**single_chunks, **cyrus_chunks}.items():
+        out[key] = np.cumsum(np.concatenate(chunks))
+    return out

@@ -1,0 +1,61 @@
+"""Share-count planning: the paper's Equation (1).
+
+The user picks the privacy threshold ``t`` (CSPs needed to reconstruct)
+and a failure bound ``epsilon``; CYRUS finds the minimum number of
+shares ``n`` such that the probability of fewer than ``t`` CSPs
+surviving stays below ``epsilon``:
+
+    sum_{s=0}^{t-1} C(n, s) (1-p)^s p^(n-s) <= epsilon
+
+where ``p`` is the per-CSP failure probability — taken as the largest
+observed value to be conservative (footnote 6).  Minimising ``n`` also
+minimises stored data, since share size is independent of ``n``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.errors import ConfigurationError, ReliabilityError
+
+
+def chunk_failure_probability(t: int, n: int, p: float) -> float:
+    """Probability that fewer than ``t`` of ``n`` CSPs survive.
+
+    Each CSP independently fails with probability ``p`` (uniform and
+    independent by construction: CYRUS places shares on CSPs with
+    distinct physical infrastructure, Section 4.1).
+    """
+    if not 1 <= t <= n:
+        raise ConfigurationError(f"need 1 <= t <= n, got (t, n) = ({t}, {n})")
+    if not 0 <= p <= 1:
+        raise ConfigurationError(f"failure probability must be in [0, 1], got {p}")
+    return sum(
+        comb(n, s) * (1 - p) ** s * p ** (n - s) for s in range(t)
+    )
+
+
+def minimum_shares(t: int, p: float, epsilon: float, max_n: int) -> int:
+    """Smallest ``n`` in ``[t, max_n]`` meeting the failure bound.
+
+    Args:
+        t: Privacy threshold (shares needed to reconstruct).
+        p: Per-CSP failure probability (use the worst observed).
+        epsilon: Acceptable chunk-loss probability.
+        max_n: Number of usable CSPs (or platform clusters).
+
+    Raises:
+        ReliabilityError: No ``n`` up to ``max_n`` satisfies the bound —
+            the user must add CSPs, raise ``epsilon``, or lower ``t``.
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if max_n < t:
+        raise ConfigurationError(f"max_n ({max_n}) below t ({t})")
+    for n in range(t, max_n + 1):
+        if chunk_failure_probability(t, n, p) <= epsilon:
+            return n
+    raise ReliabilityError(
+        f"no n <= {max_n} meets failure bound {epsilon} with t={t}, p={p}; "
+        f"best achievable is {chunk_failure_probability(t, max_n, p):.3e}"
+    )

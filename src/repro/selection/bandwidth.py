@@ -1,0 +1,63 @@
+"""The bandwidth sub-problem, solved exactly.
+
+For a *fixed* share assignment, the remaining optimisation over
+bandwidths is
+
+    minimise   y = max_c  L_c / beta_c
+    subject to sum_c beta_c <= beta,   beta_c <= beta-bar_c
+
+with per-CSP loads ``L_c``.  This has a closed form: y is feasible iff
+``beta_c >= L_c / y`` fits under both cap types, i.e.
+
+    y* = max( max_c L_c / beta-bar_c,  (sum_c L_c) / beta )
+
+and ``beta_c = L_c / y*`` (idle CSPs get zero).  Algorithm 1's "fix the
+bandwidths" step uses exactly this allocation, which is why the
+alternation converges quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SelectionError
+
+
+def optimal_bandwidth_allocation(
+    loads: Mapping[str, float],
+    link_caps: Mapping[str, float],
+    client_cap: float,
+) -> tuple[float, dict[str, float]]:
+    """Optimal (y, beta) for fixed per-CSP loads.
+
+    Args:
+        loads: Bytes to fetch from each CSP (zero entries allowed).
+        link_caps: Per-CSP bandwidth caps (bytes/s).
+        client_cap: Client-wide cap shared by all CSPs.
+
+    Returns:
+        ``(y, betas)``: minimal bottleneck time and the bandwidth split
+        achieving it.  ``y`` is 0 when all loads are zero.
+
+    Raises:
+        SelectionError: A CSP has positive load but zero capacity.
+    """
+    if client_cap <= 0:
+        raise SelectionError("client_cap must be positive")
+    total = 0.0
+    worst_link = 0.0
+    for csp, load in loads.items():
+        if load < 0:
+            raise SelectionError(f"negative load for {csp}")
+        if load == 0:
+            continue
+        cap = link_caps.get(csp, 0.0)
+        if cap <= 0:
+            raise SelectionError(f"CSP {csp} has load {load} but no capacity")
+        total += load
+        worst_link = max(worst_link, load / cap)
+    y = max(worst_link, total / client_cap)
+    if y == 0.0:
+        return 0.0, {csp: 0.0 for csp in loads}
+    betas = {csp: (load / y if load > 0 else 0.0) for csp, load in loads.items()}
+    return y, betas

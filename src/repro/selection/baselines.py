@@ -1,0 +1,141 @@
+"""Baseline download selectors (paper Section 7.2 and 7.3).
+
+* :class:`RandomSelector` — "chooses CSPs randomly with uniform
+  probability";
+* :class:`RoundRobinSelector` — the paper's "heuristic algorithm ... a
+  round-robin scheme";
+* :class:`GreedySelector` — DepSky's policy: "a greedy algorithm that
+  always downloads shares from the fastest CSPs";
+* :class:`BruteForceSelector` — exhaustive search over all C(t, n)^R
+  joint selections, feasible only for tiny instances (the paper skips
+  it for this reason, footnote 12); tests use it to verify that
+  :class:`repro.selection.cyrus.CyrusSelector` is near-optimal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+from repro.errors import SelectionError
+from repro.selection.bandwidth import optimal_bandwidth_allocation
+from repro.selection.problem import DownloadProblem, SelectionPlan, evaluate_plan
+
+
+def _usable(problem: DownloadProblem, chunk) -> list[str]:
+    out = [c for c in chunk.available if problem.link_caps.get(c, 0.0) > 0]
+    if len(out) < problem.t:
+        raise SelectionError(
+            f"chunk {chunk.chunk_id}: {len(out)} usable CSPs < t={problem.t}"
+        )
+    return sorted(out)
+
+
+class RandomSelector:
+    """Uniform random choice of t CSPs per chunk."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def select(self, problem: DownloadProblem) -> SelectionPlan:
+        rng = random.Random(self.seed)
+        assignments = {
+            chunk.chunk_id: tuple(rng.sample(_usable(problem, chunk), problem.t))
+            for chunk in problem.chunks
+        }
+        plan = SelectionPlan(assignments=assignments)
+        evaluate_plan(problem, plan)
+        return plan
+
+
+class RoundRobinSelector:
+    """Cycle through the CSP list, taking the next t that hold a share."""
+
+    name = "round-robin"
+
+    def select(self, problem: DownloadProblem) -> SelectionPlan:
+        order = problem.csps
+        if not order:
+            raise SelectionError("no CSPs in problem")
+        cursor = 0
+        assignments: dict[str, tuple[str, ...]] = {}
+        for chunk in problem.chunks:
+            usable = set(_usable(problem, chunk))
+            chosen: list[str] = []
+            scanned = 0
+            while len(chosen) < problem.t and scanned < 2 * len(order):
+                csp = order[cursor % len(order)]
+                cursor += 1
+                scanned += 1
+                if csp in usable and csp not in chosen:
+                    chosen.append(csp)
+            if len(chosen) < problem.t:  # pragma: no cover - guarded above
+                raise SelectionError(f"round-robin starved on {chunk.chunk_id}")
+            assignments[chunk.chunk_id] = tuple(chosen)
+        plan = SelectionPlan(assignments=assignments)
+        evaluate_plan(problem, plan)
+        return plan
+
+
+class GreedySelector:
+    """Always take the t fastest CSPs holding a share (DepSky policy)."""
+
+    name = "greedy-fastest"
+
+    def select(self, problem: DownloadProblem) -> SelectionPlan:
+        assignments: dict[str, tuple[str, ...]] = {}
+        for chunk in problem.chunks:
+            usable = _usable(problem, chunk)
+            fastest = sorted(
+                usable, key=lambda c: (-problem.link_caps[c], c)
+            )[: problem.t]
+            assignments[chunk.chunk_id] = tuple(fastest)
+        plan = SelectionPlan(assignments=assignments)
+        evaluate_plan(problem, plan)
+        return plan
+
+
+class BruteForceSelector:
+    """Exact minimiser by exhaustive enumeration (tiny instances only)."""
+
+    name = "brute-force"
+
+    def __init__(self, combo_limit: int = 200_000):
+        self.combo_limit = combo_limit
+
+    def select(self, problem: DownloadProblem) -> SelectionPlan:
+        per_chunk: list[list[tuple[str, ...]]] = []
+        total = 1
+        for chunk in problem.chunks:
+            combos = list(
+                itertools.combinations(_usable(problem, chunk), problem.t)
+            )
+            per_chunk.append(combos)
+            total *= len(combos)
+            if total > self.combo_limit:
+                raise SelectionError(
+                    f"brute force infeasible: > {self.combo_limit} joint "
+                    f"selections"
+                )
+        best_y = math.inf
+        best: dict[str, tuple[str, ...]] | None = None
+        caps = dict(problem.link_caps)
+        for joint in itertools.product(*per_chunk):
+            loads: dict[str, float] = {}
+            for chunk, combo in zip(problem.chunks, joint):
+                for c in combo:
+                    loads[c] = loads.get(c, 0.0) + chunk.share_size
+            y, _ = optimal_bandwidth_allocation(loads, caps, problem.client_cap)
+            if y < best_y - 1e-12:
+                best_y = y
+                best = {
+                    chunk.chunk_id: combo
+                    for chunk, combo in zip(problem.chunks, joint)
+                }
+        assert best is not None
+        plan = SelectionPlan(assignments=best)
+        evaluate_plan(problem, plan)
+        return plan

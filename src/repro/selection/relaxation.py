@@ -1,0 +1,296 @@
+"""Fractional relaxations of the download-selection problem.
+
+Two engines produce a fractional assignment ``d_{r,c}``:
+
+* ``alternating`` — coordinate descent between the two exactly-solvable
+  sub-problems: an LP in ``(d, y)`` for fixed bandwidths (scipy HiGHS)
+  and the closed-form bandwidth allocation for fixed ``d``
+  (:mod:`repro.selection.bandwidth`).  Converges in a few rounds.
+
+* ``convexified`` — the paper's construction: substitute
+  ``D_{r,c} = d_{r,c}^(1/2)``, over-estimate it with the closest linear
+  function ``D-hat = 3^(1/4) d / 2 + 3^(-1/4) / 2`` and solve the
+  resulting jointly convex program in ``(d, beta, y)`` with SLSQP.
+  Because D-hat is an over-estimator, any feasible point of the
+  convexified program is feasible for the true problem.
+
+Both yield near-identical fractional solutions; the ablation benchmark
+compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.errors import SelectionError
+from repro.selection.bandwidth import optimal_bandwidth_allocation
+from repro.selection.problem import DownloadProblem
+
+#: Linear over-estimator coefficients for sqrt(d) on [0, 1] (paper §4.3).
+DHAT_SLOPE = 3.0 ** 0.25 / 2.0
+DHAT_INTERCEPT = 3.0 ** -0.25 / 2.0
+
+
+@dataclass
+class FractionalSolution:
+    """A fractional assignment with its loads and bandwidth split."""
+
+    d: dict[tuple[str, str], float]  # (chunk_id, csp) -> fraction in [0, 1]
+    loads: dict[str, float]
+    bandwidths: dict[str, float]
+    y: float
+
+    def chunk_fractions(self, chunk_id: str) -> dict[str, float]:
+        """CSP -> fraction for one chunk."""
+        return {c: v for (r, c), v in self.d.items() if r == chunk_id}
+
+
+def _index_problem(problem: DownloadProblem, skip: set[str]):
+    """Variable indexing for the unfixed chunks."""
+    chunks = [c for c in problem.chunks if c.chunk_id not in skip]
+    csps = problem.csps
+    csp_index = {c: i for i, c in enumerate(csps)}
+    var_index: dict[tuple[str, str], int] = {}
+    for chunk in chunks:
+        for csp in chunk.available:
+            if problem.link_caps.get(csp, 0.0) > 0:
+                var_index[(chunk.chunk_id, csp)] = len(var_index)
+    return chunks, csps, csp_index, var_index
+
+
+def lp_given_bandwidth(
+    problem: DownloadProblem,
+    bandwidths: dict[str, float],
+    fixed_loads: dict[str, float] | None = None,
+    fixed_chunks: set[str] | None = None,
+) -> FractionalSolution:
+    """LP over (d, y) with bandwidths held constant.
+
+    ``fixed_loads`` are byte loads from already-integrally-assigned
+    chunks (Algorithm 1's ``r < eta``); those chunks are listed in
+    ``fixed_chunks`` and excluded from the variables.
+    """
+    fixed_loads = fixed_loads or {}
+    fixed_chunks = fixed_chunks or set()
+    chunks, csps, csp_index, var_index = _index_problem(problem, fixed_chunks)
+    n_d = len(var_index)
+    n_vars = n_d + 1  # + y
+    y_col = n_d
+    if not chunks:
+        loads = {c: fixed_loads.get(c, 0.0) for c in csps}
+        y, betas = optimal_bandwidth_allocation(
+            loads, dict(problem.link_caps), problem.client_cap
+        )
+        return FractionalSolution(d={}, loads=loads, bandwidths=betas, y=y)
+
+    cost = np.zeros(n_vars)
+    cost[y_col] = 1.0
+
+    rows, cols, vals = [], [], []
+    b_ub = []
+    row = 0
+    for csp in csps:
+        beta = bandwidths.get(csp, 0.0)
+        members = [
+            (var_index[(ch.chunk_id, csp)], ch.share_size)
+            for ch in chunks
+            if (ch.chunk_id, csp) in var_index
+        ]
+        if not members:
+            continue
+        if beta <= 0:
+            # unusable this round: forbid by bounding those d at 0 below
+            for col, _ in members:
+                rows.append(row)
+                cols.append(col)
+                vals.append(1.0)
+            b_ub.append(0.0)
+            row += 1
+            continue
+        for col, size in members:
+            rows.append(row)
+            cols.append(col)
+            vals.append(float(size))
+        rows.append(row)
+        cols.append(y_col)
+        vals.append(-beta)
+        b_ub.append(-fixed_loads.get(csp, 0.0))
+        row += 1
+    a_ub = sparse.coo_matrix((vals, (rows, cols)), shape=(row, n_vars))
+
+    e_rows, e_cols, e_vals = [], [], []
+    for i, chunk in enumerate(chunks):
+        for csp in chunk.available:
+            key = (chunk.chunk_id, csp)
+            if key in var_index:
+                e_rows.append(i)
+                e_cols.append(var_index[key])
+                e_vals.append(1.0)
+    a_eq = sparse.coo_matrix((e_vals, (e_rows, e_cols)), shape=(len(chunks), n_vars))
+    b_eq = np.full(len(chunks), float(problem.t))
+
+    bounds = [(0.0, 1.0)] * n_d + [(0.0, None)]
+    res = optimize.linprog(
+        cost, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise SelectionError(f"LP relaxation failed: {res.message}")
+    d = {key: float(res.x[i]) for key, i in var_index.items()}
+    loads = {c: fixed_loads.get(c, 0.0) for c in csps}
+    for (chunk_id, csp), frac in d.items():
+        size = next(
+            ch.share_size for ch in chunks if ch.chunk_id == chunk_id
+        )
+        loads[csp] += size * frac
+    y, betas = optimal_bandwidth_allocation(
+        loads, dict(problem.link_caps), problem.client_cap
+    )
+    return FractionalSolution(d=d, loads=loads, bandwidths=betas, y=y)
+
+
+def solve_fractional_alternating(
+    problem: DownloadProblem,
+    rounds: int = 3,
+    fixed_loads: dict[str, float] | None = None,
+    fixed_chunks: set[str] | None = None,
+) -> FractionalSolution:
+    """Alternate the LP and the closed-form bandwidth allocation."""
+    caps = dict(problem.link_caps)
+    total_cap = sum(caps.values())
+    scale = min(1.0, problem.client_cap / total_cap) if total_cap > 0 else 1.0
+    bandwidths = {c: caps[c] * scale for c in caps}
+    best: FractionalSolution | None = None
+    for _ in range(max(1, rounds)):
+        sol = lp_given_bandwidth(problem, bandwidths, fixed_loads, fixed_chunks)
+        if best is None or sol.y < best.y - 1e-12:
+            best = sol
+        # keep idle CSPs usable next round with a small bandwidth floor
+        floor = {c: 0.01 * caps[c] for c in caps}
+        bandwidths = {
+            c: max(sol.bandwidths.get(c, 0.0), floor[c]) for c in caps
+        }
+    assert best is not None
+    return best
+
+
+def solve_fractional_convexified(
+    problem: DownloadProblem,
+    fixed_loads: dict[str, float] | None = None,
+    fixed_chunks: set[str] | None = None,
+) -> FractionalSolution:
+    """The paper's convexified program, solved with SLSQP.
+
+    Variables are ``d`` (per usable chunk/CSP pair), ``beta`` (per CSP)
+    and ``y``; constraints use the linear over-estimator
+    ``D-hat(d) = 3^(1/4) d / 2 + 3^(-1/4) / 2`` so that
+    ``sum_r b_r D-hat^2 <= y beta_c`` implies the true constraint.
+    """
+    fixed_loads = fixed_loads or {}
+    fixed_chunks = fixed_chunks or set()
+    chunks, csps, csp_index, var_index = _index_problem(problem, fixed_chunks)
+    if not chunks:
+        return lp_given_bandwidth(problem, dict(problem.link_caps),
+                                  fixed_loads, fixed_chunks)
+    n_d = len(var_index)
+    n_c = len(csps)
+    n_vars = n_d + n_c + 1
+    y_col = n_d + n_c
+    sizes = {ch.chunk_id: ch.share_size for ch in chunks}
+
+    def beta_col(csp: str) -> int:
+        return n_d + csp_index[csp]
+
+    def objective(x: np.ndarray) -> float:
+        return x[y_col]
+
+    def objective_grad(x: np.ndarray) -> np.ndarray:
+        g = np.zeros(n_vars)
+        g[y_col] = 1.0
+        return g
+
+    constraints = []
+    # per-CSP: y * beta_c - sum_r b_r Dhat(d_rc)^2 - F_c >= 0
+    for csp in csps:
+        members = [
+            (i, sizes[chunk_id])
+            for (chunk_id, c2), i in var_index.items()
+            if c2 == csp
+        ]
+        f_c = fixed_loads.get(csp, 0.0)
+        if not members and f_c == 0.0:
+            continue
+        bc = beta_col(csp)
+
+        def make(members=members, bc=bc, f_c=f_c):
+            def fun(x: np.ndarray) -> float:
+                acc = x[y_col] * x[bc] - f_c
+                for i, size in members:
+                    dhat = DHAT_SLOPE * x[i] + DHAT_INTERCEPT
+                    acc -= size * dhat * dhat
+                return acc
+
+            return fun
+
+        constraints.append({"type": "ineq", "fun": make()})
+    # client cap: beta - sum beta_c >= 0
+    constraints.append(
+        {
+            "type": "ineq",
+            "fun": lambda x: problem.client_cap - x[n_d : n_d + n_c].sum(),
+        }
+    )
+    # per-chunk: sum_c d_rc == t
+    for chunk in chunks:
+        idxs = [
+            var_index[(chunk.chunk_id, c)]
+            for c in chunk.available
+            if (chunk.chunk_id, c) in var_index
+        ]
+
+        def make_eq(idxs=idxs):
+            return lambda x: x[idxs].sum() - problem.t
+
+        constraints.append({"type": "eq", "fun": make_eq()})
+
+    bounds = (
+        [(0.0, 1.0)] * n_d
+        + [(0.0, problem.link_caps.get(c, 0.0)) for c in csps]
+        + [(0.0, None)]
+    )
+    x0 = np.zeros(n_vars)
+    for chunk in chunks:
+        usable = [
+            c for c in chunk.available if (chunk.chunk_id, c) in var_index
+        ]
+        for c in usable:
+            x0[var_index[(chunk.chunk_id, c)]] = problem.t / len(usable)
+    total_cap = sum(problem.link_caps.get(c, 0.0) for c in csps)
+    scale = min(1.0, problem.client_cap / total_cap) if total_cap else 1.0
+    for c in csps:
+        x0[beta_col(c)] = problem.link_caps.get(c, 0.0) * scale
+    x0[y_col] = 1.0
+    res = optimize.minimize(
+        objective,
+        x0,
+        jac=objective_grad,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 200, "ftol": 1e-9},
+    )
+    if not res.success and res.status != 8:  # 8: iteration limit; accept best
+        raise SelectionError(f"convexified solve failed: {res.message}")
+    x = res.x
+    d = {key: float(np.clip(x[i], 0.0, 1.0)) for key, i in var_index.items()}
+    loads = {c: fixed_loads.get(c, 0.0) for c in csps}
+    for (chunk_id, csp), frac in d.items():
+        loads[csp] += sizes[chunk_id] * frac
+    y, betas = optimal_bandwidth_allocation(
+        loads, dict(problem.link_caps), problem.client_cap
+    )
+    return FractionalSolution(d=d, loads=loads, bandwidths=betas, y=y)

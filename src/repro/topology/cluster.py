@@ -1,0 +1,94 @@
+"""Hierarchical clustering by tree cut (paper Section 4.1, Figure 3).
+
+"We hierarchically cluster the CSPs by horizontally cutting the tree at
+a given level."  CSPs whose routes still share an ancestor at the cut
+depth land in one cluster — they share infrastructure at least that deep
+and should hold at most one share of any chunk between them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.topology.routes import Route
+from repro.topology.tree import CLIENT_NODE, route_tree
+
+
+def _csp_leaves(tree: nx.DiGraph) -> dict[str, str]:
+    """CSP name -> endpoint node."""
+    return {
+        data["csp"]: node
+        for node, data in tree.nodes(data=True)
+        if "csp" in data
+    }
+
+
+def cluster_at_level(tree: nx.DiGraph, level: int) -> list[set[str]]:
+    """Cut the tree at ``level`` and group CSPs by ancestor.
+
+    ``level`` is a depth from the client root (depth 0).  CSPs whose
+    path to the root passes through the same node at that depth form one
+    cluster.  CSPs whose endpoint is shallower than the cut form
+    singleton clusters.
+    """
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    leaves = _csp_leaves(tree)
+    groups: dict[str, set[str]] = {}
+    for csp, leaf in leaves.items():
+        path = nx.shortest_path(tree, CLIENT_NODE, leaf)
+        anchor = path[level] if level < len(path) else leaf
+        groups.setdefault(anchor, set()).add(csp)
+    return sorted(groups.values(), key=lambda s: (-len(s), sorted(s)))
+
+
+def cluster_csps(
+    routes: Sequence[Route], level: int | None = None
+) -> list[set[str]]:
+    """End-to-end clustering: routes -> tree -> cut.
+
+    When ``level`` is None, picks the deepest cut that still merges some
+    CSPs (the informative level: any deeper and everything is a
+    singleton), falling back to the first level past the shared
+    client-ISP hops.
+    """
+    tree = route_tree(routes)
+    if level is not None:
+        return cluster_at_level(tree, level)
+    max_depth = max(
+        data["depth"] for _, data in tree.nodes(data=True) if "csp" in data
+    )
+    best = None
+    for lvl in range(max_depth, 0, -1):
+        clusters = cluster_at_level(tree, lvl)
+        if any(len(c) > 1 for c in clusters):
+            return clusters
+        best = clusters
+    return best if best is not None else []
+
+
+def render_tree(tree: nx.DiGraph) -> str:
+    """ASCII rendering of the route tree (for the Figure 3 benchmark)."""
+    lines: list[str] = []
+
+    def walk(node: str, prefix: str, is_last: bool) -> None:
+        label = node
+        csp = tree.nodes[node].get("csp")
+        if csp:
+            label = f"{node} [{csp}]"
+        connector = "`-- " if is_last else "|-- "
+        if node == CLIENT_NODE:
+            lines.append(label)
+        else:
+            lines.append(prefix + connector + label)
+        children = sorted(tree.successors(node))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        if node == CLIENT_NODE:
+            child_prefix = ""
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1)
+
+    walk(CLIENT_NODE, "", True)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Synthetic traceroute generation.
+
+A route is the hop sequence from the client to one CSP's storage
+endpoint.  Real routes to CSPs on a shared platform converge on that
+platform's backbone routers before fanning out to per-service endpoints;
+we synthesise exactly that structure: common client-ISP hops, then
+platform backbone hops (shared by all CSPs of one platform), then a
+per-CSP endpoint hop.
+
+The paper notes (footnote 5) that some CSPs front their storage with
+separate API endpoints; reading the internal connection reveals the true
+storage IP.  ``synthesize_routes`` models this with an optional
+``api_indirection`` set: those CSPs get a decoy API hop which is
+replaced by the resolved storage path, as the paper's probe does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Route:
+    """A hop path from the client to one CSP."""
+
+    csp: str
+    hops: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("route must have at least one hop")
+
+
+def synthesize_routes(
+    csps: Sequence[str],
+    platforms: Mapping[str, str],
+    isp_hops: int = 2,
+    backbone_hops: int = 2,
+    seed: int = 0,
+    api_indirection: Iterable[str] = (),
+) -> list[Route]:
+    """Generate one route per CSP.
+
+    Args:
+        csps: CSP names.
+        platforms: CSP name -> platform label; CSPs mapping to the same
+            label share backbone hops.  CSPs absent from the mapping get
+            a private platform (their own infrastructure).
+        isp_hops: Client-side hops shared by every route.
+        backbone_hops: Hops inside each platform's network.
+        seed: Deterministic hop-name generation.
+        api_indirection: CSPs whose public endpoint is an API proxy; the
+            generator emits the *resolved* storage route for them (the
+            paper reads the internal connection to find the true IP).
+    """
+    rng = random.Random(seed)
+    indirect = set(api_indirection)
+
+    def hop_name(scope: str, i: int) -> str:
+        return f"{scope}-r{i}-{rng.randrange(16**4):04x}"
+
+    client_path = [hop_name("isp", i) for i in range(isp_hops)]
+    platform_paths: dict[str, list[str]] = {}
+    routes: list[Route] = []
+    for csp in csps:
+        platform = platforms.get(csp, f"self-{csp}")
+        if platform not in platform_paths:
+            platform_paths[platform] = [
+                hop_name(f"net-{platform}", i) for i in range(backbone_hops)
+            ]
+        endpoint = f"storage-{csp}"
+        # API-fronted CSPs still end at their resolved storage endpoint;
+        # the decoy api hop is what a naive geolocation would see instead
+        hops = tuple(client_path + platform_paths[platform] + [endpoint])
+        routes.append(Route(csp=csp, hops=hops))
+    return routes

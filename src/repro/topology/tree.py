@@ -1,0 +1,50 @@
+"""Spanning tree of the client->CSP route graph.
+
+The union of all routes forms a graph rooted at the client; the paper
+takes its minimal spanning tree ("we use traceroute to find the path
+between a given user and each CSP and construct the minimal spanning
+tree of the resulting graph", Section 4.1).  Routes are unweighted hop
+lists here, so the BFS tree from the client is a minimal spanning tree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.topology.routes import Route
+
+#: Name of the root (client) node in the route tree.
+CLIENT_NODE = "client"
+
+
+def route_graph(routes: Sequence[Route]) -> nx.Graph:
+    """Union of all routes as an undirected graph rooted at the client."""
+    g = nx.Graph()
+    g.add_node(CLIENT_NODE)
+    for route in routes:
+        prev = CLIENT_NODE
+        for hop in route.hops:
+            g.add_edge(prev, hop)
+            prev = hop
+        g.nodes[prev]["csp"] = route.csp
+    return g
+
+
+def route_tree(routes: Sequence[Route]) -> nx.DiGraph:
+    """Spanning tree of the route graph, directed away from the client.
+
+    Each node carries a ``depth`` attribute; CSP endpoint nodes carry a
+    ``csp`` attribute naming the provider (Figure 3's leaves).
+    """
+    if not routes:
+        raise ValueError("need at least one route")
+    g = route_graph(routes)
+    tree = nx.bfs_tree(g, CLIENT_NODE)
+    for node, data in g.nodes(data=True):
+        if "csp" in data:
+            tree.nodes[node]["csp"] = data["csp"]
+    for node, depth in nx.shortest_path_length(tree, CLIENT_NODE).items():
+        tree.nodes[node]["depth"] = depth
+    return tree

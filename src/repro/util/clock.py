@@ -1,0 +1,56 @@
+"""Clock abstraction.
+
+All time-dependent code takes a :class:`Clock` so that experiments run on
+a deterministic :class:`SimClock` (advanced by the network simulator)
+while the library still works against real providers with a
+:class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class WallClock:
+    """Real time (``time.monotonic``)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimClock:
+    """A manually advanced simulation clock.
+
+    Time never goes backwards; ``advance`` rejects negative deltas and
+    ``advance_to`` rejects targets in the past, so an out-of-order event
+    schedule fails loudly instead of silently corrupting timings.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, target: float) -> float:
+        if target < self._now - 1e-9:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, target={target}"
+            )
+        self._now = max(self._now, target)
+        return self._now

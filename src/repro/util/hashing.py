@@ -1,0 +1,37 @@
+"""Hashing helpers.
+
+Share names follow the paper's scheme H'(index, H(chunk.content)) from
+Section 5.1: the inner SHA-1 identifies the chunk, the outer hash mixes
+in the share index so no CSP can learn which index it holds, yet any
+client can recompute the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha1_hex(data: bytes) -> str:
+    """Hex SHA-1 digest — the paper's H, used for chunk and file IDs."""
+    return hashlib.sha1(data).hexdigest()
+
+
+def share_name(index: int, chunk_id: str) -> str:
+    """Share object name H'(index, H(chunk.content)).
+
+    ``chunk_id`` is the hex SHA-1 of the chunk content.  H' is SHA-1 over
+    the index and the chunk id; the paper allows any hash here.
+    """
+    if index < 0:
+        raise ValueError("share index must be non-negative")
+    payload = index.to_bytes(4, "big") + bytes.fromhex(chunk_id)
+    return hashlib.sha1(payload).hexdigest()
+
+
+def stable_hash64(text: str) -> int:
+    """A stable 64-bit hash of a string (SHA-1 prefix).
+
+    Used wherever we need deterministic pseudo-randomness that must not
+    vary across Python processes (``hash()`` is salted per process).
+    """
+    return int.from_bytes(hashlib.sha1(text.encode("utf-8")).digest()[:8], "big")

@@ -1,0 +1,24 @@
+"""Canonical JSON serialization.
+
+Metadata nodes are content-addressed (their name includes a hash of
+their bytes), so the byte encoding must be canonical: sorted keys, no
+insignificant whitespace, UTF-8.  Two clients serialising the same
+logical node must produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def canonical_dumps(obj: Any) -> bytes:
+    """Serialize to canonical JSON bytes (sorted keys, compact separators)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def canonical_loads(data: bytes) -> Any:
+    """Inverse of :func:`canonical_dumps`."""
+    return json.loads(data.decode("utf-8"))

@@ -1,0 +1,24 @@
+"""Byte and rate units with human-readable formatting."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def format_bytes(size: float) -> str:
+    """Render a byte count like ``'3.71 MB'``."""
+    value = float(size)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a transfer rate like ``'2.31 MB/s'``."""
+    return format_bytes(bytes_per_second) + "/s"

@@ -1,0 +1,25 @@
+"""Workload generation: the Table 4 dataset and the user-trial scenarios."""
+
+from repro.workloads.dataset import (
+    TABLE4_PROFILE,
+    DatasetFile,
+    DatasetProfile,
+    ExtensionProfile,
+    generate_dataset,
+)
+from repro.workloads.generator import redundant_bytes, random_bytes, edited_copy
+from repro.workloads.trial import TRIAL_PROFILES, TrialProfile, trial_environment
+
+__all__ = [
+    "DatasetFile",
+    "DatasetProfile",
+    "ExtensionProfile",
+    "TABLE4_PROFILE",
+    "generate_dataset",
+    "random_bytes",
+    "redundant_bytes",
+    "edited_copy",
+    "TrialProfile",
+    "TRIAL_PROFILES",
+    "trial_environment",
+]

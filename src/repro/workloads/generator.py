@@ -1,0 +1,82 @@
+"""Byte-content generators with controllable redundancy.
+
+Real user files are compressible and partially redundant; what matters
+for CYRUS is redundancy at *chunk granularity*, since that is what
+deduplication sees.  :func:`redundant_bytes` interleaves fresh random
+spans with repeats of earlier spans, giving a tunable dedup ratio;
+:func:`edited_copy` produces a realistic "user edited the file" variant
+(insertions/deletions/overwrites at random positions).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def random_bytes(size: int, seed: int) -> bytes:
+    """Deterministic incompressible content."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = random.Random(seed)
+    return rng.randbytes(size)
+
+
+def redundant_bytes(
+    size: int,
+    seed: int,
+    redundancy: float = 0.3,
+    span: int = 64 * 1024,
+) -> bytes:
+    """Content where ~``redundancy`` of spans repeat earlier spans.
+
+    Args:
+        size: Total length.
+        seed: RNG seed.
+        redundancy: Fraction of spans drawn from already-emitted spans.
+        span: Span length (should exceed the chunker's average so a
+            repeated span yields at least one repeated chunk).
+    """
+    if not 0 <= redundancy < 1:
+        raise ValueError(f"redundancy must be in [0, 1), got {redundancy}")
+    rng = random.Random(seed)
+    out = bytearray()
+    history: list[bytes] = []
+    while len(out) < size:
+        if history and rng.random() < redundancy:
+            piece = rng.choice(history)
+        else:
+            piece = rng.randbytes(span)
+            history.append(piece)
+        out.extend(piece)
+    return bytes(out[:size])
+
+
+def edited_copy(
+    data: bytes,
+    seed: int,
+    edits: int = 3,
+    max_edit: int = 4 * 1024,
+) -> bytes:
+    """Apply a few local insertions/deletions/overwrites.
+
+    Mimics a user saving a modified document: most content survives at
+    chunk granularity, so content-defined chunking should dedup the
+    bulk of the re-upload.
+    """
+    rng = random.Random(seed)
+    out = bytearray(data)
+    for _ in range(edits):
+        if not out:
+            break
+        pos = rng.randrange(len(out))
+        length = rng.randint(1, max_edit)
+        kind = rng.choice(("insert", "delete", "overwrite"))
+        if kind == "insert":
+            out[pos:pos] = rng.randbytes(length)
+        elif kind == "delete":
+            del out[pos : pos + length]
+        else:
+            out[pos : pos + length] = rng.randbytes(
+                min(length, len(out) - pos)
+            )
+    return bytes(out)

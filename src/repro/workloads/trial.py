@@ -1,0 +1,128 @@
+"""The deployment-trial scenarios (paper Section 7.4, Figure 19).
+
+Twenty users in the US and Korea ran CYRUS against Dropbox, Google
+Drive, SkyDrive (OneDrive) and Box.  The figure's qualitative structure
+is fixed by environmental facts the paper states outright:
+
+* **US** — "CYRUS encounters a bottleneck of limited total uplink
+  throughput from the client": per-CSP uplinks are fast relative to the
+  client's (residential, asymmetric) uplink, so a (2,3) upload (1.5x
+  the data) is competitive but a (2,4) upload (2x) is slower than any
+  single-CSP upload.  Downlinks are fast and not client-bound.
+* **Korea** — "connections to individual CSPs are much slower than in
+  the U.S.": the client link is never binding.  Uplink rates are close
+  to Table 2's (measured in Korea); downlink rates are skewed across
+  providers, which is why the paper measures a large (33.8 s on 20 MB)
+  download saving from (2,4) — the fourth share lets the selector avoid
+  the slow providers entirely.
+
+Rates are calibrated to land in those regimes and documented per
+experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import Link
+from repro.netsim.trace import RateTrace
+
+#: The four prototype CSPs (Section 6; SkyDrive is OneDrive's old name).
+TRIAL_CSPS: tuple[str, ...] = ("Dropbox", "Google Drive", "OneDrive", "Box")
+
+
+@dataclass(frozen=True)
+class TrialProfile:
+    """One country's network environment (rates in bytes/s, RTT in s)."""
+
+    country: str
+    up_rates: dict[str, float]
+    down_rates: dict[str, float]
+    csp_rtts: dict[str, float]
+    client_up: float
+    client_down: float
+
+    def links(self) -> dict[str, Link]:
+        """Simulated links for this environment."""
+        return {
+            name: Link(
+                link_id=name,
+                rtt_s=self.csp_rtts[name],
+                up=RateTrace.constant(self.up_rates[name]),
+                down=RateTrace.constant(self.down_rates[name]),
+            )
+            for name in self.up_rates
+        }
+
+
+def _korea_profile() -> TrialProfile:
+    # uplink: near Table 2's Korea measurements (balanced, all slow);
+    # downlink: skewed — Google Drive and Dropbox far ahead
+    return TrialProfile(
+        country="Korea",
+        up_rates={
+            "Google Drive": 0.45e6,
+            "Dropbox": 0.30e6,
+            "OneDrive": 0.28e6,
+            "Box": 0.26e6,
+        },
+        down_rates={
+            "Google Drive": 0.60e6,
+            "Dropbox": 0.40e6,
+            "OneDrive": 0.18e6,
+            "Box": 0.15e6,
+        },
+        csp_rtts={
+            "Google Drive": 0.071,
+            "Dropbox": 0.137,
+            "OneDrive": 0.142,
+            "Box": 0.149,
+        },
+        # 100 Mbps residential fibre: never the bottleneck here
+        client_up=100e6 / 8,
+        client_down=100e6 / 8,
+    )
+
+
+def _us_profile() -> TrialProfile:
+    # per-CSP links fast; the 10 Mbps residential uplink is what a
+    # (2,4) upload saturates
+    return TrialProfile(
+        country="US",
+        up_rates={
+            "Dropbox": 1.5e6,
+            "Google Drive": 0.72e6,
+            "OneDrive": 0.7e6,
+            "Box": 0.65e6,
+        },
+        down_rates={
+            "Google Drive": 6.0e6,
+            "Dropbox": 5.0e6,
+            "OneDrive": 4.0e6,
+            "Box": 2.0e6,
+        },
+        csp_rtts={
+            "Google Drive": 0.024,
+            "Dropbox": 0.046,
+            "OneDrive": 0.047,
+            "Box": 0.050,
+        },
+        client_up=10e6 / 8,
+        client_down=100e6 / 8,
+    )
+
+
+TRIAL_PROFILES: dict[str, TrialProfile] = {
+    "US": _us_profile(),
+    "Korea": _korea_profile(),
+}
+
+
+def trial_environment(country: str) -> TrialProfile:
+    """Look up a trial environment by country name."""
+    profile = TRIAL_PROFILES.get(country)
+    if profile is None:
+        raise KeyError(
+            f"no trial profile for {country!r}; have {sorted(TRIAL_PROFILES)}"
+        )
+    return profile

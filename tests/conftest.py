@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+The small chunk sizes here keep tests fast while still producing
+multi-chunk files; they do not change any algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.client import CyrusClient
+from repro.core.config import CyrusConfig
+from repro.csp.memory import InMemoryCSP
+
+
+SMALL_CHUNKS = dict(chunk_min=128, chunk_avg=512, chunk_max=4096)
+
+
+@pytest.fixture
+def config() -> CyrusConfig:
+    """A (2, 3) config with test-size chunks."""
+    return CyrusConfig(key="test-key", t=2, n=3, **SMALL_CHUNKS)
+
+
+@pytest.fixture
+def csps() -> list[InMemoryCSP]:
+    """Four in-memory providers."""
+    return [InMemoryCSP(f"csp{i}") for i in range(4)]
+
+
+@pytest.fixture
+def client(csps, config) -> CyrusClient:
+    """A ready CYRUS client over the four providers."""
+    return CyrusClient.create(csps, config, client_id="alice")
+
+
+@pytest.fixture
+def second_client(csps, config) -> CyrusClient:
+    """An independent client over the same providers (another device)."""
+    return CyrusClient.create(csps, config, client_id="bob")
+
+
+def deterministic_bytes(size: int, seed: int = 0) -> bytes:
+    """Seeded random content (not a fixture so tests can vary params)."""
+    return random.Random(seed).randbytes(size)

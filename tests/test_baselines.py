@@ -1,0 +1,92 @@
+"""Unit tests for full replication and full striping baselines."""
+
+import os
+
+import pytest
+
+from repro.baselines import FullReplicationClient, FullStripingClient
+from repro.bench import build_paper_testbed
+from repro.core.transfer import DirectEngine
+from repro.csp import InMemoryCSP
+from repro.errors import ObjectNotFoundError, TransferError
+
+
+def direct_engine(count=4):
+    providers = {f"c{i}": InMemoryCSP(f"c{i}") for i in range(count)}
+    return DirectEngine(providers), sorted(providers)
+
+
+class TestReplication:
+    def test_roundtrip_from_any_csp(self):
+        engine, ids = direct_engine()
+        client = FullReplicationClient(engine, ids)
+        data = os.urandom(5000)
+        client.upload("f", data)
+        for csp in ids:
+            assert client.download("f", csp, len(data)).data == data
+
+    def test_bytes_moved_is_n_copies(self):
+        engine, ids = direct_engine()
+        client = FullReplicationClient(engine, ids)
+        report = client.upload("f", b"x" * 1000)
+        assert report.bytes_moved == 4000
+
+    def test_survives_single_csp(self):
+        engine, ids = direct_engine()
+        client = FullReplicationClient(engine, ids)
+        client.upload("f", b"data")
+        provider = engine.provider(ids[0])
+        for info in list(provider.list()):
+            provider.delete(info.name)
+        assert client.download("f", ids[1], 4).data == b"data"
+        with pytest.raises(ObjectNotFoundError):
+            client.download("f", ids[0], 4)
+
+    def test_no_csps_rejected(self):
+        engine, _ = direct_engine()
+        with pytest.raises(TransferError):
+            FullReplicationClient(engine, [])
+
+
+class TestStriping:
+    def test_roundtrip(self):
+        engine, ids = direct_engine()
+        client = FullStripingClient(engine, ids)
+        data = os.urandom(10_003)  # not a multiple of 4
+        client.upload("f", data)
+        assert client.download("f", len(data)).data == data
+
+    def test_bytes_moved_is_one_copy(self):
+        engine, ids = direct_engine()
+        client = FullStripingClient(engine, ids)
+        report = client.upload("f", b"x" * 1000)
+        assert report.bytes_moved == pytest.approx(1000, abs=4)
+
+    def test_any_loss_is_fatal(self):
+        # the paper's point: striping is fast but has zero redundancy
+        engine, ids = direct_engine()
+        client = FullStripingClient(engine, ids)
+        client.upload("f", os.urandom(4000))
+        provider = engine.provider(ids[2])
+        for info in list(provider.list()):
+            provider.delete(info.name)
+        with pytest.raises(ObjectNotFoundError):
+            client.download("f", 4000)
+
+    def test_small_file(self):
+        engine, ids = direct_engine()
+        client = FullStripingClient(engine, ids)
+        client.upload("f", b"ab")
+        assert client.download("f", 2).data == b"ab"
+
+
+class TestRelativeSpeeds:
+    def test_upload_ordering_matches_figure16(self):
+        # striping moves the least data -> fastest upload;
+        # replication moves the most -> slowest of the lock-free schemes
+        env = build_paper_testbed()
+        data = os.urandom(4_000_000)
+        ids = sorted(env.csp_ids())[:4]
+        striping = FullStripingClient(env.engine, ids).upload("s", data)
+        replication = FullReplicationClient(env.engine, ids).upload("r", data)
+        assert striping.duration < replication.duration

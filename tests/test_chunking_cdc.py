@@ -1,0 +1,169 @@
+"""Unit tests for the content-defined chunker (both engines)."""
+
+import os
+
+import pytest
+
+from repro.chunking import ContentDefinedChunker, FixedSizeChunker
+from repro.chunking.cdc import select_boundaries
+from repro.errors import ChunkingError
+
+PARAMS = dict(min_size=64, avg_size=256, max_size=1024, window=16)
+
+
+@pytest.fixture(params=["vectorized", "reference"])
+def chunker(request):
+    return ContentDefinedChunker(engine=request.param, **PARAMS)
+
+
+class TestBoundaries:
+    def test_deterministic(self, chunker):
+        data = os.urandom(20_000)
+        assert chunker.boundaries(data) == chunker.boundaries(data)
+
+    def test_reassembly(self, chunker):
+        data = os.urandom(10_000)
+        chunks = chunker.chunk_bytes(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_offsets_contiguous(self, chunker):
+        data = os.urandom(8_000)
+        chunks = chunker.chunk_bytes(data)
+        pos = 0
+        for c in chunks:
+            assert c.offset == pos
+            pos += c.size
+        assert pos == len(data)
+
+    def test_size_bounds(self, chunker):
+        data = os.urandom(50_000)
+        chunks = chunker.chunk_bytes(data)
+        for c in chunks[:-1]:
+            assert PARAMS["min_size"] <= c.size <= PARAMS["max_size"]
+        assert chunks[-1].size <= PARAMS["max_size"]
+
+    def test_average_near_target(self):
+        cdc = ContentDefinedChunker(**PARAMS)
+        data = os.urandom(200_000)
+        sizes = [c.size for c in cdc.chunk_bytes(data)]
+        avg = sum(sizes) / len(sizes)
+        # min-size filtering skews the mean upward; just sanity-band it
+        assert PARAMS["avg_size"] * 0.5 < avg < PARAMS["avg_size"] * 3
+
+    def test_empty_input(self, chunker):
+        assert chunker.boundaries(b"") == []
+        assert chunker.chunk_bytes(b"") == []
+
+    def test_tiny_input_single_chunk(self, chunker):
+        chunks = chunker.chunk_bytes(b"tiny")
+        assert len(chunks) == 1
+        assert chunks[0].data == b"tiny"
+
+    def test_constant_data_forced_cuts(self, chunker):
+        # constant bytes rarely hit the boundary criterion; max_size
+        # must force cuts regardless
+        data = b"\x00" * 10_000
+        chunks = chunker.chunk_bytes(data)
+        assert all(c.size <= PARAMS["max_size"] for c in chunks)
+        assert b"".join(c.data for c in chunks) == data
+
+
+class TestLocality:
+    def test_edit_preserves_most_chunks(self, chunker):
+        data = os.urandom(60_000)
+        before = {c.id for c in chunker.chunk_bytes(data)}
+        edited = data[:100] + b"INSERTED" + data[100:]
+        after = {c.id for c in chunker.chunk_bytes(edited)}
+        assert len(before & after) / len(before) > 0.7
+
+    def test_shift_invariance(self, chunker):
+        # dropping a prefix only perturbs early cuts
+        data = os.urandom(60_000)
+        cuts = set(chunker.boundaries(data)[3:-1])
+        shifted = {c + 997 for c in chunker.boundaries(data[997:])[3:-1]}
+        if cuts:
+            assert len(cuts & shifted) / len(cuts) > 0.7
+
+    def test_fixed_size_has_no_locality(self):
+        # the contrast that motivates CDC (ablation baseline)
+        fixed = FixedSizeChunker(chunk_size=256)
+        data = os.urandom(20_000)
+        before = {c.id for c in fixed.chunk_bytes(data)}
+        after = {c.id for c in fixed.chunk_bytes(b"X" + data)}
+        assert len(before & after) <= 2
+
+
+class TestSelectBoundaries:
+    def test_respects_min(self):
+        cuts = select_boundaries([10, 20, 200], 300, min_size=50, max_size=400)
+        assert cuts == [200, 300]
+
+    def test_forces_max(self):
+        cuts = select_boundaries([], 1000, min_size=10, max_size=300)
+        assert cuts == [300, 600, 900, 1000]
+
+    def test_empty_input(self):
+        assert select_boundaries([], 0, 10, 100) == []
+
+    def test_final_cut_is_length(self):
+        cuts = select_boundaries([64], 100, min_size=10, max_size=200)
+        assert cuts[-1] == 100
+
+    def test_candidate_at_length_ignored(self):
+        cuts = select_boundaries([100], 100, min_size=10, max_size=200)
+        assert cuts == [100]
+
+
+class TestValidation:
+    def test_avg_power_of_two(self):
+        with pytest.raises(ChunkingError):
+            ContentDefinedChunker(min_size=10, avg_size=100, max_size=1000)
+
+    def test_ordering(self):
+        with pytest.raises(ChunkingError):
+            ContentDefinedChunker(min_size=1024, avg_size=256, max_size=2048)
+
+    def test_bad_engine(self):
+        with pytest.raises(ChunkingError):
+            ContentDefinedChunker(engine="gpu")
+
+    def test_bad_window(self):
+        with pytest.raises(ChunkingError):
+            ContentDefinedChunker(window=1)
+
+    def test_avg_cap(self):
+        with pytest.raises(ChunkingError):
+            ContentDefinedChunker(min_size=1, avg_size=1 << 25, max_size=1 << 26)
+
+
+class TestSeeds:
+    def test_different_seed_different_cuts(self):
+        data = os.urandom(50_000)
+        a = ContentDefinedChunker(seed=1, **PARAMS).boundaries(data)
+        b = ContentDefinedChunker(seed=2, **PARAMS).boundaries(data)
+        assert a != b
+
+    def test_same_seed_shared_across_instances(self):
+        # clients of one cloud share the seed => identical chunking
+        data = os.urandom(30_000)
+        a = ContentDefinedChunker(seed=9, **PARAMS).boundaries(data)
+        b = ContentDefinedChunker(seed=9, **PARAMS).boundaries(data)
+        assert a == b
+
+
+class TestFixedChunker:
+    def test_sizes(self):
+        fixed = FixedSizeChunker(chunk_size=100)
+        chunks = fixed.chunk_bytes(b"z" * 250)
+        assert [c.size for c in chunks] == [100, 100, 50]
+
+    def test_empty(self):
+        assert FixedSizeChunker().chunk_bytes(b"") == []
+
+    def test_exact_multiple(self):
+        chunks = FixedSizeChunker(chunk_size=50).chunk_bytes(b"y" * 100)
+        assert [c.size for c in chunks] == [50, 50]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ChunkingError):
+            FixedSizeChunker(chunk_size=0)

@@ -1,0 +1,65 @@
+"""Property-based tests for chunking invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import ContentDefinedChunker, FixedSizeChunker
+from repro.chunking.cdc import select_boundaries
+
+
+def make_chunker():
+    return ContentDefinedChunker(min_size=32, avg_size=128, max_size=512, window=8)
+
+
+@given(data=st.binary(min_size=0, max_size=5000))
+@settings(max_examples=60, deadline=None)
+def test_chunks_partition_input(data):
+    chunks = make_chunker().chunk_bytes(data)
+    assert b"".join(c.data for c in chunks) == data
+    if data:
+        assert chunks[0].offset == 0
+        assert chunks[-1].offset + chunks[-1].size == len(data)
+
+
+@given(data=st.binary(min_size=1, max_size=5000))
+@settings(max_examples=60, deadline=None)
+def test_chunk_size_bounds(data):
+    chunks = make_chunker().chunk_bytes(data)
+    for c in chunks[:-1]:
+        assert 32 <= c.size <= 512
+    assert 1 <= chunks[-1].size <= 512
+
+
+@given(data=st.binary(min_size=0, max_size=3000), size=st.integers(1, 500))
+@settings(max_examples=60, deadline=None)
+def test_fixed_chunker_partition(data, size):
+    chunks = FixedSizeChunker(chunk_size=size).chunk_bytes(data)
+    assert b"".join(c.data for c in chunks) == data
+    for c in chunks[:-1]:
+        assert c.size == size
+
+
+@given(
+    candidates=st.lists(st.integers(1, 999), max_size=30).map(sorted),
+    length=st.integers(1, 1000),
+    min_size=st.integers(1, 100),
+    span=st.integers(1, 400),
+)
+@settings(max_examples=100, deadline=None)
+def test_select_boundaries_invariants(candidates, length, min_size, span):
+    max_size = min_size + span
+    cuts = select_boundaries(candidates, length, min_size, max_size)
+    assert cuts[-1] == length
+    assert cuts == sorted(set(cuts))
+    prev = 0
+    for cut in cuts:
+        assert cut - prev <= max_size
+        prev = cut
+
+
+@given(data=st.binary(min_size=200, max_size=3000))
+@settings(max_examples=40, deadline=None)
+def test_chunk_ids_are_content_hashes(data):
+    from repro.util.hashing import sha1_hex
+
+    for chunk in make_chunker().chunk_bytes(data):
+        assert chunk.id == sha1_hex(chunk.data)

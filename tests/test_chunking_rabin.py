@@ -1,0 +1,78 @@
+"""Unit tests for the Rabin fingerprint reference implementation."""
+
+import os
+
+import pytest
+
+from repro.chunking import RabinFingerprint
+
+
+class TestRolling:
+    def test_rolling_equals_fresh(self):
+        # after any prefix, the fingerprint must equal a from-scratch
+        # fingerprint of just the window — the defining rolling property
+        data = os.urandom(300)
+        rf = RabinFingerprint(window=16)
+        fresh = RabinFingerprint(window=16)
+        for i, b in enumerate(data):
+            rf.push(b)
+            if i >= 15:
+                assert rf.value == fresh.fingerprint(data[i - 15 : i + 1]), i
+
+    def test_small_window(self):
+        data = os.urandom(100)
+        rf = RabinFingerprint(window=2)
+        fresh = RabinFingerprint(window=2)
+        rf.update(data)
+        assert rf.value == fresh.fingerprint(data[-2:])
+
+    def test_content_defined(self):
+        # same window content at different positions -> same fingerprint
+        window = os.urandom(16)
+        a = RabinFingerprint(window=16).fingerprint(b"AAA" + window)
+        b = RabinFingerprint(window=16).fingerprint(b"much longer prefix!" + window)
+        assert a == b
+
+    def test_different_content_differs(self):
+        rf = RabinFingerprint(window=8)
+        a = rf.fingerprint(b"12345678")
+        b = rf.fingerprint(b"12345679")
+        assert a != b
+
+    def test_update_returns_final(self):
+        rf = RabinFingerprint(window=4)
+        assert rf.update(b"abcdef") == rf.value
+
+    def test_reset(self):
+        rf = RabinFingerprint(window=4)
+        rf.update(b"state")
+        rf.reset()
+        assert rf.value == 0
+
+    def test_fingerprint_bounded_by_degree(self):
+        rf = RabinFingerprint(window=16)
+        fp = rf.fingerprint(os.urandom(64))
+        assert fp < (1 << (rf.poly.bit_length() - 1))
+
+
+class TestValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            RabinFingerprint(window=0)
+
+    def test_rejects_trivial_poly(self):
+        with pytest.raises(ValueError):
+            RabinFingerprint(poly=1)
+
+    def test_rejects_bad_byte(self):
+        rf = RabinFingerprint()
+        with pytest.raises(ValueError):
+            rf.push(256)
+
+    def test_small_degree_poly(self):
+        # degree-7 polynomial exercises the generic reduction path
+        rf = RabinFingerprint(poly=0x83, window=4)  # x^7 + x + 1
+        fresh = RabinFingerprint(poly=0x83, window=4)
+        data = os.urandom(50)
+        rf.update(data)
+        assert rf.value == fresh.fingerprint(data[-4:])

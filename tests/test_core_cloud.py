@@ -1,0 +1,153 @@
+"""Unit tests for CyrusCloud: membership, clusters, placement, slots."""
+
+import pytest
+
+from repro.core.cloud import CSPStatus, CyrusCloud
+from repro.csp import InMemoryCSP
+from repro.errors import ConfigurationError, CSPUnavailableError, SelectionError
+
+
+def make_cloud(count=5, clusters=None):
+    providers = [InMemoryCSP(f"csp{i}") for i in range(count)]
+    return CyrusCloud(providers, clusters=clusters), providers
+
+
+class TestMembership:
+    def test_initial_all_active(self):
+        cloud, _ = make_cloud(3)
+        assert cloud.active_csps() == ["csp0", "csp1", "csp2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CyrusCloud([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CyrusCloud([InMemoryCSP("x"), InMemoryCSP("x")])
+
+    def test_add(self):
+        cloud, _ = make_cloud(2)
+        cloud.add_csp(InMemoryCSP("new"))
+        assert "new" in cloud.active_csps()
+        assert "new" in cloud.metadata_slot_ids()
+
+    def test_add_duplicate_rejected(self):
+        cloud, _ = make_cloud(2)
+        with pytest.raises(ConfigurationError):
+            cloud.add_csp(InMemoryCSP("csp0"))
+
+    def test_remove(self):
+        cloud, _ = make_cloud(3)
+        cloud.remove_csp("csp1")
+        assert cloud.status_of("csp1") is CSPStatus.REMOVED
+        assert "csp1" not in cloud.active_csps()
+        assert "csp1" in cloud.unusable_csps()
+
+    def test_fail_and_recover(self):
+        cloud, _ = make_cloud(3)
+        cloud.mark_failed("csp0")
+        assert cloud.status_of("csp0") is CSPStatus.FAILED
+        cloud.mark_recovered("csp0")
+        assert cloud.status_of("csp0") is CSPStatus.ACTIVE
+
+    def test_recover_does_not_resurrect_removed(self):
+        cloud, _ = make_cloud(3)
+        cloud.remove_csp("csp0")
+        cloud.mark_recovered("csp0")
+        assert cloud.status_of("csp0") is CSPStatus.REMOVED
+
+    def test_unknown_csp(self):
+        cloud, _ = make_cloud(2)
+        with pytest.raises(KeyError):
+            cloud.status_of("ghost")
+        with pytest.raises(KeyError):
+            cloud.provider("ghost")
+
+
+class TestPlacement:
+    def test_distinct_csps(self):
+        cloud, _ = make_cloud(5)
+        chosen = cloud.place_chunk("a" * 40, 3)
+        assert len(set(chosen)) == 3
+
+    def test_deterministic(self):
+        cloud, _ = make_cloud(5)
+        assert cloud.place_chunk("b" * 40, 3) == cloud.place_chunk("b" * 40, 3)
+
+    def test_skips_failed(self):
+        cloud, _ = make_cloud(4)
+        cloud.mark_failed("csp0")
+        for key in ("k1", "k2", "k3"):
+            assert "csp0" not in cloud.place_chunk(key, 3)
+
+    def test_too_few_active(self):
+        cloud, _ = make_cloud(3)
+        cloud.remove_csp("csp0")
+        with pytest.raises(SelectionError):
+            cloud.place_chunk("k", 3)
+
+    def test_cluster_disjoint_placement(self):
+        cloud, _ = make_cloud(5, clusters=[["csp0", "csp1", "csp2"]])
+        for key in (f"key{i}" for i in range(20)):
+            chosen = cloud.place_chunk(key, 3)
+            in_cluster = [c for c in chosen if c in {"csp0", "csp1", "csp2"}]
+            assert len(in_cluster) <= 1, chosen
+
+    def test_cluster_overflow_degrades_gracefully(self):
+        # only 2 clusters but n=3: fill from the same cluster rather
+        # than refuse the upload
+        cloud, _ = make_cloud(4, clusters=[["csp0", "csp1", "csp2"]])
+        chosen = cloud.place_chunk("key", 3, respect_clusters=True)
+        assert len(set(chosen)) == 3
+
+    def test_clusters_ignorable(self):
+        cloud, _ = make_cloud(4, clusters=[["csp0", "csp1", "csp2", "csp3"]])
+        chosen = cloud.place_chunk("key", 3, respect_clusters=False)
+        assert len(set(chosen)) == 3
+
+    def test_cluster_count(self):
+        cloud, _ = make_cloud(5, clusters=[["csp0", "csp1"]])
+        assert cloud.cluster_count() == 4  # 1 pair + 3 singletons
+
+    def test_replacement_csp(self):
+        cloud, _ = make_cloud(4)
+        holder = cloud.place_chunk("key", 3)
+        replacement = cloud.replacement_csp("key", holder)
+        assert replacement is not None
+        assert replacement not in holder
+
+    def test_replacement_none_when_all_hold(self):
+        cloud, _ = make_cloud(3)
+        assert cloud.replacement_csp("key", ["csp0", "csp1", "csp2"]) is None
+
+
+class TestMetadataSlots:
+    def test_slots_fixed_order(self):
+        cloud, _ = make_cloud(3)
+        assert cloud.metadata_slot_ids() == ["csp0", "csp1", "csp2"]
+
+    def test_slots_append_only_on_add(self):
+        cloud, _ = make_cloud(2)
+        cloud.add_csp(InMemoryCSP("zzz"))
+        assert cloud.metadata_slot_ids() == ["csp0", "csp1", "zzz"]
+
+    def test_removed_slot_raises_but_keeps_position(self):
+        cloud, providers = make_cloud(3)
+        cloud.remove_csp("csp1")
+        slots = cloud.metadata_slots()
+        assert [s.csp_id for s in slots] == ["csp0", "csp1", "csp2"]
+        with pytest.raises(CSPUnavailableError):
+            slots[1].upload("x", b"data")
+        slots[0].upload("x", b"data")  # active slots still work
+        assert slots[0].download("x") == b"data"
+
+    def test_slot_proxies_all_primitives(self):
+        cloud, providers = make_cloud(2)
+        slot = cloud.metadata_slots()[0]
+        slot.upload("o", b"v")
+        assert slot.download("o") == b"v"
+        assert [i.name for i in slot.list()] == ["o"]
+        slot.delete("o")
+        from repro.csp import Credentials
+
+        slot.authenticate(Credentials("u"))

@@ -1,0 +1,112 @@
+"""Unit tests for the download pipeline (Algorithm 3)."""
+
+import pytest
+
+from repro.errors import InsufficientSharesError, MetadataError
+from tests.conftest import deterministic_bytes
+
+
+class TestBasicDownload:
+    def test_roundtrip(self, client):
+        data = deterministic_bytes(12_000, 1)
+        client.put("f.bin", data)
+        report = client.get("f.bin")
+        assert report.data == data
+        assert report.bytes_downloaded > 0
+        assert report.plans
+
+    def test_downloads_only_t_shares_per_chunk(self, client, config):
+        data = deterministic_bytes(8000, 2)
+        client.put("f.bin", data)
+        report = client.get("f.bin")
+        per_chunk: dict[str, int] = {}
+        for res in report.share_results:
+            if res.ok:
+                per_chunk[res.op.chunk_id] = per_chunk.get(res.op.chunk_id, 0) + 1
+        assert all(count == config.t for count in per_chunk.values())
+
+    def test_version_traversal(self, client):
+        v1 = deterministic_bytes(4000, 3)
+        v2 = deterministic_bytes(4200, 4)
+        client.put("f.bin", v1)
+        client.put("f.bin", v2)
+        assert client.get("f.bin", version=0).data == v2
+        assert client.get("f.bin", version=1).data == v1
+
+    def test_unknown_file(self, client):
+        with pytest.raises(MetadataError):
+            client.get("missing.bin")
+
+    def test_get_specific_node(self, client):
+        data = deterministic_bytes(3000, 5)
+        node = client.put("f.bin", data).node
+        assert client.get_node(node).data == data
+
+
+class TestFailover:
+    def test_reroutes_after_share_loss(self, client, csps, config):
+        data = deterministic_bytes(10_000, 6)
+        node = client.put("f.bin", data).node
+        # wipe every share stored at one provider
+        victim = csps[0]
+        for info in list(victim.list()):
+            victim.delete(info.name)
+        report = client.get("f.bin")
+        assert report.data == data
+
+    def test_fails_when_too_many_csps_lost(self, client, csps, config):
+        data = deterministic_bytes(5000, 7)
+        client.put("f.bin", data)
+        # losing n - t + 1 providers' shares makes some chunk short
+        for victim in csps[:3]:
+            for info in list(victim.list()):
+                victim.delete(info.name)
+        with pytest.raises(InsufficientSharesError):
+            client.get("f.bin")
+
+    def test_integrity_check(self, client, csps):
+        from repro.core.naming import chunk_share_object_name
+        from repro.errors import CyrusError
+
+        data = deterministic_bytes(4000, 8)
+        node = client.put("f.bin", data).node
+        # corrupt every stored copy of one chunk's shares
+        target = node.chunks[0].chunk_id
+        for share in node.shares_of(target):
+            name = chunk_share_object_name(share.index, share.chunk_id)
+            provider = next(c for c in csps if c.csp_id == share.csp_id)
+            blob = bytearray(provider.download(name))
+            blob[0] ^= 0xFF
+            provider.upload(name, bytes(blob))
+        with pytest.raises(CyrusError):
+            client.get("f.bin")
+
+
+class TestConflictsSurfaced:
+    def test_download_reports_conflicts(self, client, second_client):
+        client.put("f.txt", b"base content " * 50)
+        second_client.sync()
+        client.uploader.upload("f.txt", b"alice edit " * 60, client_id="alice")
+        second_client.uploader.upload("f.txt", b"bob edit " * 60, client_id="bob")
+        client.sync()
+        report = client.get("f.txt")
+        assert any(c.kind == "divergence" for c in report.conflicts)
+
+
+class TestDeletedFiles:
+    def test_tombstone_resolves_to_live_version(self, client):
+        data = deterministic_bytes(2000, 9)
+        client.put("f.bin", data)
+        client.delete("f.bin")
+        assert client.get("f.bin").data == data
+
+    def test_never_lived_file(self, client):
+        # tombstone with no live ancestor
+        client.put("f.bin", deterministic_bytes(100, 10))
+        client.delete("f.bin")
+        client.delete("f.bin") if False else None
+        # direct node download of the tombstone is refused
+        tomb = client.tree.latest("f.bin")
+        assert tomb.deleted
+        with pytest.raises(MetadataError):
+            client.downloader.download(tomb)

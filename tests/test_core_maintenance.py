@@ -1,0 +1,221 @@
+"""Unit tests for maintenance: import, pruning, GC, and the chunk cache."""
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.client import CyrusClient
+from repro.errors import CSPError, MetadataError
+from tests.conftest import deterministic_bytes
+
+
+class TestImportObject:
+    def test_adopts_plain_object(self, client, csps):
+        # a file the user uploaded directly to one provider, pre-CYRUS
+        legacy = deterministic_bytes(8000, 1)
+        csps[1].upload("vacation.jpg", legacy)
+        report = client.import_object("csp1", "vacation.jpg")
+        assert report.node.name == "vacation.jpg"
+        assert client.get("vacation.jpg").data == legacy
+
+    def test_target_name(self, client, csps):
+        csps[0].upload("old-name.bin", b"payload " * 100)
+        client.import_object("csp0", "old-name.bin",
+                             target_name="imported/new-name.bin")
+        assert client.get("imported/new-name.bin").data == b"payload " * 100
+
+    def test_original_left_in_place(self, client, csps):
+        csps[2].upload("keep-me", b"original")
+        client.import_object("csp2", "keep-me")
+        assert csps[2].download("keep-me") == b"original"
+
+    def test_missing_object(self, client):
+        with pytest.raises(CSPError):
+            client.import_object("csp0", "no-such-object")
+
+    def test_imported_data_is_scattered(self, client, csps):
+        legacy = deterministic_bytes(9000, 2)
+        csps[3].upload("solo.bin", legacy)
+        report = client.import_object("csp3", "solo.bin")
+        holders = {s.csp_id for s in report.node.shares}
+        assert len(holders) >= client.config.t
+
+
+class TestPruneHistory:
+    def put_versions(self, client, count=4):
+        versions = []
+        for i in range(count):
+            data = deterministic_bytes(3000 + i * 100, 10 + i)
+            client.put("doc.bin", data)
+            versions.append(data)
+        return versions
+
+    def test_prunes_old_versions(self, client):
+        versions = self.put_versions(client)
+        report = client.prune_history("doc.bin", keep_versions=2)
+        assert report.nodes_deleted == 2
+        assert len(client.history("doc.bin")) == 2
+        assert client.get("doc.bin").data == versions[-1]
+        assert client.get("doc.bin", version=1).data == versions[-2]
+
+    def test_pruned_versions_unreachable(self, client):
+        self.put_versions(client)
+        client.prune_history("doc.bin", keep_versions=1)
+        with pytest.raises(MetadataError):
+            client.get("doc.bin", version=1)
+
+    def test_prune_removes_remote_metadata(self, client, csps, config):
+        self.put_versions(client)
+        client.prune_history("doc.bin", keep_versions=1)
+        fresh = CyrusClient.create(csps, config, client_id="verifier")
+        fresh.recover()
+        assert len(fresh.history("doc.bin")) == 1
+
+    def test_noop_when_short(self, client):
+        self.put_versions(client, count=2)
+        report = client.prune_history("doc.bin", keep_versions=5)
+        assert report.nodes_deleted == 0
+
+    def test_requires_resolved_conflicts(self, client, second_client):
+        client.put("doc.bin", b"base " * 50)
+        second_client.sync()
+        client.uploader.upload("doc.bin", b"AA " * 60, client_id="alice")
+        second_client.uploader.upload("doc.bin", b"BB " * 60, client_id="bob")
+        client.sync()
+        with pytest.raises(MetadataError):
+            client.prune_history("doc.bin")
+
+    def test_keep_zero_rejected(self, client):
+        self.put_versions(client, count=1)
+        with pytest.raises(MetadataError):
+            client.prune_history("doc.bin", keep_versions=0)
+
+
+class TestGarbageCollection:
+    def test_nothing_to_collect_when_referenced(self, client):
+        client.put("a.bin", deterministic_bytes(5000, 20))
+        report = client.collect_garbage()
+        assert report.chunks_deleted == 0
+
+    def test_reclaims_pruned_chunks(self, client, csps):
+        old = deterministic_bytes(6000, 21)
+        new = deterministic_bytes(6000, 22)  # fully different content
+        client.put("doc.bin", old)
+        client.put("doc.bin", new)
+        before = sum(c.stored_bytes for c in csps)
+        client.prune_history("doc.bin", keep_versions=1)
+        report = client.collect_garbage()
+        after = sum(c.stored_bytes for c in csps)
+        assert report.chunks_deleted > 0
+        assert report.bytes_reclaimed > 0
+        assert after < before
+        # the kept version still reads back
+        assert client.get("doc.bin").data == new
+
+    def test_shared_chunks_survive(self, client):
+        shared = deterministic_bytes(5000, 23)
+        client.put("a.bin", shared)
+        client.put("b.bin", shared)
+        client.put("a.bin", deterministic_bytes(5000, 24))
+        client.prune_history("a.bin", keep_versions=1)
+        client.collect_garbage()
+        # b.bin still references the shared chunks
+        assert client.get("b.bin").data == shared
+
+    def test_tombstoned_files_keep_chunks(self, client):
+        data = deterministic_bytes(4000, 25)
+        client.put("f.bin", data)
+        client.delete("f.bin")
+        report = client.collect_garbage()
+        assert report.chunks_deleted == 0  # history still references them
+        assert client.get("f.bin").data == data
+
+
+class TestChunkCache:
+    def test_lru_semantics(self):
+        cache = ChunkCache(capacity_bytes=100)
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"y" * 40)
+        assert cache.get("a") == b"x" * 40  # refresh a
+        cache.put("c", b"z" * 40)  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_size_accounting(self):
+        cache = ChunkCache(capacity_bytes=1000)
+        cache.put("a", b"1" * 300)
+        cache.put("a", b"2" * 500)  # replace
+        assert cache.size_bytes == 500
+        assert len(cache) == 1
+
+    def test_oversized_entry_skipped(self):
+        cache = ChunkCache(capacity_bytes=10)
+        cache.put("big", b"x" * 100)
+        assert cache.get("big") is None
+
+    def test_zero_capacity_disables(self):
+        cache = ChunkCache(capacity_bytes=0)
+        cache.put("a", b"x")
+        assert cache.get("a") is None
+
+    def test_clear(self):
+        cache = ChunkCache()
+        cache.put("a", b"x")
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkCache(capacity_bytes=-1)
+
+    def test_hit_miss_counters(self):
+        cache = ChunkCache()
+        cache.put("a", b"x")
+        cache.get("a")
+        cache.get("ghost")
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestCachedDownloads:
+    def test_second_download_skips_network(self, csps, config):
+        cache = ChunkCache()
+        client = CyrusClient.create(csps, config, client_id="c",
+                                    cache=cache)
+        data = deterministic_bytes(10_000, 30)
+        client.put("f.bin", data)
+        first = client.get("f.bin")
+        assert first.data == data
+        second = client.get("f.bin")
+        assert second.data == data
+        assert second.bytes_downloaded == 0  # everything came from cache
+        assert not second.share_results
+
+    def test_cache_shared_across_versions(self, csps, config):
+        cache = ChunkCache()
+        client = CyrusClient.create(csps, config, client_id="c",
+                                    cache=cache)
+        v1 = deterministic_bytes(20_000, 31)
+        client.put("f.bin", v1)
+        client.get("f.bin")
+        v2 = v1[:10_000] + b"EDIT" + v1[10_000:]
+        client.put("f.bin", v2)
+        report = client.get("f.bin")
+        assert report.data == v2
+        # most chunks were already cached from v1
+        assert report.bytes_downloaded < len(v2) // 2
+
+    def test_cached_download_timed_as_instant(self, config):
+        from repro.bench import build_paper_testbed
+
+        env = build_paper_testbed()
+        cache = ChunkCache()
+        client = env.new_client(
+            config.with_params(chunk_min=32 * 1024, chunk_avg=128 * 1024,
+                               chunk_max=1024 * 1024),
+            cache=cache,
+        )
+        data = deterministic_bytes(2_000_000, 32)
+        client.put("f.bin", data)
+        cold = client.get("f.bin")
+        warm = client.get("f.bin")
+        assert warm.duration < cold.duration / 5

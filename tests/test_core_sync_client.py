@@ -1,0 +1,192 @@
+"""Unit tests for sync, multi-client flows, and the Table 3 API surface."""
+
+import pytest
+
+from repro.core.sync import LocalChangeDetector
+from repro.errors import ConflictError, MetadataError
+from tests.conftest import deterministic_bytes
+
+
+class TestSync:
+    def test_new_nodes_pulled(self, client, second_client):
+        client.put("f.bin", deterministic_bytes(3000, 1))
+        report = second_client.sync()
+        assert report.new_nodes == 1
+        assert second_client.get("f.bin", sync_first=False).data == (
+            deterministic_bytes(3000, 1)
+        )
+
+    def test_idempotent(self, client, second_client):
+        client.put("f.bin", deterministic_bytes(1000, 2))
+        second_client.sync()
+        again = second_client.sync()
+        assert again.new_nodes == 0
+
+    def test_sync_rebuilds_chunk_table(self, client, second_client):
+        node = client.put("f.bin", deterministic_bytes(2000, 3)).node
+        second_client.sync()
+        for record in node.chunks:
+            assert second_client.chunk_table.is_stored(record.chunk_id)
+
+    def test_sync_surfaces_conflicts(self, client, second_client):
+        client.put("f.txt", b"v1 " * 100)
+        second_client.sync()
+        client.uploader.upload("f.txt", b"A " * 150, client_id="alice")
+        second_client.uploader.upload("f.txt", b"B " * 150, client_id="bob")
+        report = client.sync()
+        assert any(c.kind == "divergence" for c in report.conflicts)
+
+    def test_sync_with_one_metadata_slot_down(self, client, second_client,
+                                              csps, monkeypatch):
+        from repro.errors import CSPUnavailableError
+
+        client.put("f.bin", deterministic_bytes(2000, 4))
+
+        original = type(csps[0]).list
+
+        def flaky_list(self, prefix=""):
+            if self.csp_id == "csp0":
+                raise CSPUnavailableError("down", csp_id="csp0")
+            return original(self, prefix)
+
+        monkeypatch.setattr(type(csps[0]), "list", flaky_list)
+        report = second_client.sync()
+        assert report.new_nodes == 1
+
+
+class TestRecover:
+    def test_fresh_client_rebuilds_everything(self, client, csps, config):
+        from repro.core.client import CyrusClient
+
+        files = {
+            f"f{i}.bin": deterministic_bytes(1000 + i * 500, 10 + i)
+            for i in range(3)
+        }
+        for name, data in files.items():
+            client.put(name, data)
+        client.delete("f0.bin")
+
+        fresh = CyrusClient.create(csps, config, client_id="recovered")
+        report = fresh.recover()
+        assert report.new_nodes == 4  # 3 puts + 1 tombstone
+        assert sorted(e.name for e in fresh.list_files(sync_first=False)) == [
+            "f1.bin", "f2.bin",
+        ]
+
+    def test_recover_content_matches(self, client, csps, config):
+        from repro.core.client import CyrusClient
+
+        data = deterministic_bytes(7000, 20)
+        client.put("x.bin", data)
+        fresh = CyrusClient.create(csps, config, client_id="r")
+        fresh.recover()
+        assert fresh.get("x.bin", sync_first=False).data == data
+
+    def test_recover_requires_key(self, client, csps, config):
+        from repro.core.client import CyrusClient
+        from repro.errors import CyrusError
+
+        client.put("x.bin", deterministic_bytes(3000, 21))
+        wrong = CyrusClient.create(
+            csps, config.with_params(key="wrong-key"), client_id="attacker"
+        )
+        # metadata decode with the wrong key yields garbage -> error
+        with pytest.raises(CyrusError):
+            wrong.recover()
+            wrong.get("x.bin", sync_first=False)
+
+
+class TestListAndHistory:
+    def test_list_files(self, client):
+        client.put("a/x.bin", deterministic_bytes(500, 30))
+        client.put("a/y.bin", deterministic_bytes(500, 31))
+        client.put("b/z.bin", deterministic_bytes(500, 32))
+        all_files = [e.name for e in client.list_files()]
+        assert all_files == ["a/x.bin", "a/y.bin", "b/z.bin"]
+        under_a = [e.name for e in client.list_files("a/")]
+        assert under_a == ["a/x.bin", "a/y.bin"]
+
+    def test_entry_metadata(self, client):
+        client.put("f.bin", deterministic_bytes(1234, 33))
+        entry = client.list_files()[0]
+        assert entry.size == 1234
+        assert entry.modified >= 0
+
+    def test_history_newest_first(self, client):
+        for i in range(3):
+            client.put("f.bin", deterministic_bytes(1000 + i, 40 + i))
+        history = client.history("f.bin")
+        assert len(history) == 3
+        assert history[0].size == 1002
+
+    def test_require_no_conflicts(self, client, second_client):
+        client.put("f.txt", b"base" * 100)
+        second_client.sync()
+        client.uploader.upload("f.txt", b"AAAA" * 120, client_id="alice")
+        second_client.uploader.upload("f.txt", b"BBBB" * 120, client_id="bob")
+        client.sync()
+        with pytest.raises(ConflictError):
+            client.require_no_conflicts("f.txt")
+
+
+class TestConflictResolution:
+    def make_conflict(self, client, second_client):
+        client.put("doc.txt", b"base content " * 40)
+        second_client.sync()
+        client.uploader.upload("doc.txt", b"alice version " * 50,
+                               client_id="alice")
+        second_client.uploader.upload("doc.txt", b"bob version " * 50,
+                                      client_id="bob")
+        client.sync()
+
+    def test_resolution_creates_copy(self, client, second_client):
+        self.make_conflict(client, second_client)
+        created = client.resolve_conflicts()
+        assert len(created) == 1
+        assert "conflicted copy" in created[0]
+
+    def test_winner_survives_under_original_name(self, client, second_client):
+        self.make_conflict(client, second_client)
+        client.resolve_conflicts()
+        assert client.get("doc.txt").data == b"bob version " * 50
+
+    def test_loser_data_preserved(self, client, second_client):
+        self.make_conflict(client, second_client)
+        copy_name = client.resolve_conflicts()[0]
+        assert client.get(copy_name).data == b"alice version " * 50
+
+    def test_resolution_visible_to_other_clients(self, client, second_client):
+        self.make_conflict(client, second_client)
+        copy_name = client.resolve_conflicts()[0]
+        second_client.sync()
+        assert second_client.get(copy_name, sync_first=False).data == (
+            b"alice version " * 50
+        )
+        assert not second_client.conflicts()
+
+    def test_resolution_idempotent(self, client, second_client):
+        self.make_conflict(client, second_client)
+        client.resolve_conflicts()
+        assert client.resolve_conflicts() == []
+
+
+class TestLocalChangeDetector:
+    def test_first_scan_reports_all(self):
+        det = LocalChangeDetector()
+        changed = det.scan({"a": (1.0, b"x"), "b": (1.0, b"y")})
+        assert changed == ["a", "b"]
+
+    def test_unchanged_mtime_skipped(self):
+        det = LocalChangeDetector()
+        det.scan({"a": (1.0, b"x")})
+        assert det.scan({"a": (1.0, b"DIFFERENT")}) == []  # mtime gate
+
+    def test_touched_but_identical(self):
+        det = LocalChangeDetector()
+        det.scan({"a": (1.0, b"x")})
+        assert det.scan({"a": (2.0, b"x")}) == []
+
+    def test_real_change(self):
+        det = LocalChangeDetector()
+        det.scan({"a": (1.0, b"x")})
+        assert det.scan({"a": (2.0, b"y")}) == ["a"]

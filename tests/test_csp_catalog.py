@@ -1,0 +1,61 @@
+"""Unit tests for the Table 2 CSP catalog."""
+
+import pytest
+
+from repro.csp.catalog import (
+    PROTOTYPE_CSPS,
+    TABLE2,
+    TABLE2_THROUGHPUT_MBPS,
+    amazon_hosted,
+    spec_by_name,
+)
+
+
+class TestCatalog:
+    def test_twenty_rows(self):
+        assert len(TABLE2) == 20
+
+    def test_names_unique(self):
+        names = [s.name for s in TABLE2]
+        assert len(set(names)) == 20
+
+    def test_five_amazon_hosted(self):
+        starred = amazon_hosted()
+        assert {s.name for s in starred} == {
+            "Amazon S3", "DigitalBucket", "Bitcasa", "CloudApp",
+            "Safe Creative",
+        }
+
+    def test_throughput_column_matches_paper(self):
+        for spec in TABLE2:
+            assert spec.throughput_mbps == pytest.approx(
+                TABLE2_THROUGHPUT_MBPS[spec.name], abs=0.02
+            )
+
+    def test_throughput_orders_inverse_to_rtt(self):
+        ordered = sorted(TABLE2, key=lambda s: s.rtt_ms)
+        tps = [s.throughput_mbps for s in ordered]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_lookup(self):
+        assert spec_by_name("Dropbox").rtt_ms == 137
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            spec_by_name("MySpace Drive")
+
+    def test_prototype_csps_in_catalog(self):
+        for name in PROTOTYPE_CSPS:
+            spec_by_name(name)
+
+    def test_link_construction(self):
+        link = spec_by_name("Google Drive").link()
+        assert link.rtt_s == pytest.approx(0.071)
+        assert link.capacity_at(0.0, "down") == pytest.approx(
+            spec_by_name("Google Drive").throughput_bytes
+        )
+
+    def test_auth_schemes_recorded(self):
+        assert spec_by_name("Amazon S3").auth == "AWS Signature"
+        assert spec_by_name("Box").auth == "OAuth 2.0"
+        assert spec_by_name("CenturyLink").auth == "SAML 2.0"

@@ -1,0 +1,94 @@
+"""Tests for the FTP-style provider ("available even on FTP servers")."""
+
+import pytest
+
+from repro.csp import Credentials
+from repro.csp.ftp import FtpStyleCSP, InProcessFtpServer
+from repro.errors import CSPAuthError, ObjectNotFoundError
+
+
+def make_ftp(csp_id="ftp0", user="alice", password="pw"):
+    server = InProcessFtpServer(accounts={user: password})
+    return FtpStyleCSP(csp_id, server, Credentials(user, password)), server
+
+
+class TestProtocol:
+    def test_login_handshake(self):
+        csp, server = make_ftp()
+        csp.authenticate(csp.credentials)
+        assert server.command_log[:2] == ["USER alice", "PASS pw"]
+
+    def test_wrong_password(self):
+        csp, _ = make_ftp()
+        with pytest.raises(CSPAuthError):
+            csp.authenticate(Credentials("alice", "wrong"))
+
+    def test_unknown_user(self):
+        csp, _ = make_ftp()
+        with pytest.raises(CSPAuthError):
+            csp.authenticate(Credentials("mallory", "pw"))
+
+    def test_commands_require_login(self):
+        server = InProcessFtpServer(accounts={"a": "b"})
+        assert server.execute("LIST").code == 530
+
+    def test_unimplemented_command(self):
+        server = InProcessFtpServer(accounts={"a": "b"})
+        server.execute("USER a")
+        server.execute("PASS b")
+        assert server.execute("SITE CHMOD").code == 502
+
+
+class TestFivePrimitives:
+    def test_roundtrip(self):
+        csp, _ = make_ftp()
+        csp.upload("share-1", b"bytes over ftp")
+        assert csp.download("share-1") == b"bytes over ftp"
+
+    def test_list_prefix(self):
+        csp, _ = make_ftp()
+        csp.upload("md-a", b"1")
+        csp.upload("md-b", b"22")
+        csp.upload("xx", b"3")
+        infos = csp.list("md-")
+        assert [i.name for i in infos] == ["md-a", "md-b"]
+        assert [i.size for i in infos] == [1, 2]
+
+    def test_delete(self):
+        csp, _ = make_ftp()
+        csp.upload("obj", b"x")
+        csp.delete("obj")
+        with pytest.raises(ObjectNotFoundError):
+            csp.download("obj")
+
+    def test_missing(self):
+        csp, _ = make_ftp()
+        with pytest.raises(ObjectNotFoundError):
+            csp.download("ghost")
+
+    def test_lazy_login(self):
+        csp, server = make_ftp()
+        csp.upload("o", b"1")  # no explicit authenticate
+        assert "USER alice" in server.command_log
+
+
+class TestCyrusOverFtp:
+    def test_mixed_ftp_and_memory_federation(self):
+        from repro.core.client import CyrusClient
+        from repro.core.config import CyrusConfig
+        from repro.csp import InMemoryCSP
+        from tests.conftest import deterministic_bytes
+
+        ftp1, _ = make_ftp("ftp1")
+        ftp2, _ = make_ftp("ftp2", user="bob", password="hunter2")
+        providers = [ftp1, ftp2, InMemoryCSP("mem0"), InMemoryCSP("mem1")]
+        config = CyrusConfig(key="k", t=2, n=3, chunk_min=256,
+                             chunk_avg=1024, chunk_max=8192)
+        client = CyrusClient.create(providers, config, client_id="c")
+        data = deterministic_bytes(10_000, 42)
+        client.put("over-ftp.bin", data)
+        assert client.get("over-ftp.bin").data == data
+
+        reader = CyrusClient.create(providers, config, client_id="r")
+        reader.recover()
+        assert reader.get("over-ftp.bin", sync_first=False).data == data

@@ -1,0 +1,222 @@
+"""Unit + integration tests for the vendor REST connector layer."""
+
+import pytest
+
+from repro.csp import Credentials
+from repro.csp.rest import (
+    DriveStyleDialect,
+    DropboxStyleDialect,
+    InProcessRestServer,
+    RestConnectorCSP,
+    S3StyleDialect,
+)
+from repro.csp.rest.dialects import S3StyleDialect as S3D
+from repro.csp.rest.wire import WireRequest
+from repro.errors import (
+    CSPAuthError,
+    CSPQuotaExceededError,
+    CSPUnavailableError,
+    ObjectNotFoundError,
+)
+
+
+def make_connector(dialect, csp_id="vendor", quota=float("inf")):
+    server = InProcessRestServer(dialect, provider_secret=f"{csp_id}-secret",
+                                 quota_bytes=quota)
+    if isinstance(dialect, S3StyleDialect):
+        secret = S3D.account_secret(server.state, "acct")
+    else:
+        secret = "client-secret"
+    connector = RestConnectorCSP(
+        csp_id, server, Credentials("acct", secret)
+    )
+    return connector, server
+
+
+DIALECTS = [DropboxStyleDialect(), DriveStyleDialect(), S3StyleDialect()]
+
+
+@pytest.fixture(params=DIALECTS, ids=lambda d: d.name)
+def connector_server(request):
+    return make_connector(request.param)
+
+
+class TestFivePrimitives:
+    """Every dialect must satisfy the same provider contract."""
+
+    def test_upload_download(self, connector_server):
+        connector, _ = connector_server
+        connector.upload("abc123", b"share bytes")
+        assert connector.download("abc123") == b"share bytes"
+
+    def test_list_with_prefix(self, connector_server):
+        connector, _ = connector_server
+        connector.upload("md-0001", b"a")
+        connector.upload("md-0002", b"bb")
+        connector.upload("zz-0003", b"c")
+        infos = connector.list("md-")
+        assert [i.name for i in infos] == ["md-0001", "md-0002"]
+        assert [i.size for i in infos] == [1, 2]
+
+    def test_delete(self, connector_server):
+        connector, _ = connector_server
+        connector.upload("obj", b"x")
+        connector.delete("obj")
+        with pytest.raises(ObjectNotFoundError):
+            connector.download("obj")
+
+    def test_missing_object(self, connector_server):
+        connector, _ = connector_server
+        with pytest.raises(ObjectNotFoundError):
+            connector.download("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            connector.delete("ghost")
+
+    def test_authenticate_explicitly(self, connector_server):
+        connector, _ = connector_server
+        token = connector.authenticate(connector.credentials)
+        assert token.account_id == "acct"
+
+    def test_lazy_auth_on_first_call(self, connector_server):
+        connector, server = connector_server
+        connector.upload("x", b"1")  # no explicit authenticate()
+        assert connector.download("x") == b"1"
+
+    def test_unreachable_endpoint(self, connector_server):
+        connector, server = connector_server
+        server.reachable = False
+        with pytest.raises(CSPUnavailableError):
+            connector.list()
+
+    def test_same_name_same_content_idempotent(self, connector_server):
+        # the CYRUS share-naming invariant: identical name => identical
+        # bytes; both vendor semantics must end up equivalent
+        connector, _ = connector_server
+        connector.upload("deadbeef", b"identical")
+        connector.upload("deadbeef", b"identical")
+        assert connector.download("deadbeef") == b"identical"
+        assert [i.name for i in connector.list("deadbeef")] == ["deadbeef"]
+
+
+class TestVendorQuirks:
+    def test_dropbox_overwrites(self):
+        connector, server = make_connector(DropboxStyleDialect())
+        connector.upload("f", b"v1")
+        connector.upload("f", b"v2")
+        assert connector.download("f") == b"v2"
+        assert server.revision_count("f") == 1  # replaced
+
+    def test_drive_duplicates(self):
+        connector, server = make_connector(DriveStyleDialect())
+        connector.upload("f", b"v1")
+        connector.upload("f", b"v2")
+        assert server.revision_count("f") == 2  # both files exist
+        assert connector.download("f") == b"v2"  # newest revision wins
+        # listing still reports one logical entry per name
+        assert [i.name for i in connector.list()] == ["f"]
+
+    def test_s3_uses_xml(self):
+        connector, server = make_connector(S3StyleDialect())
+        connector.upload("key1", b"data")
+        connector.list()
+        list_responses = [
+            r for r in server.request_log if r.path == "/bucket"
+            and r.method == "GET"
+        ]
+        assert list_responses, "list must hit the bucket endpoint"
+
+    def test_s3_signature_required(self):
+        _, server = make_connector(S3StyleDialect())
+        bad = WireRequest(method="GET", path="/bucket",
+                          headers={"Authorization": "AWS acct:forged"})
+        assert server.handle(bad).status == 403
+
+    def test_s3_wrong_secret_rejected(self):
+        server = InProcessRestServer(S3StyleDialect(),
+                                     provider_secret="s3-secret")
+        connector = RestConnectorCSP(
+            "s3", server, Credentials("acct", "not-the-issued-secret")
+        )
+        with pytest.raises(CSPAuthError):
+            connector.list()
+
+    def test_oauth_token_cached(self):
+        connector, server = make_connector(DropboxStyleDialect())
+        connector.upload("a", b"1")
+        connector.upload("b", b"2")
+        connector.download("a")
+        auth_calls = [
+            r for r in server.request_log if r.path == "/oauth2/token"
+        ]
+        assert len(auth_calls) == 1  # login once, reuse the token
+
+    def test_reauth_on_expired_token(self):
+        connector, server = make_connector(DriveStyleDialect())
+        connector.upload("a", b"1")
+        server.state.issued_tokens.clear()  # server-side revocation
+        assert connector.download("a") == b"1"  # transparent re-auth
+        auth_calls = [
+            r for r in server.request_log if r.path == "/oauth2/v4/token"
+        ]
+        assert len(auth_calls) == 2
+
+    def test_quota_exceeded_mapped(self):
+        for dialect in DIALECTS:
+            connector, _ = make_connector(dialect, quota=10)
+            connector.upload("small", b"12345")
+            with pytest.raises(CSPQuotaExceededError):
+                connector.upload("big", b"123456789abc")
+
+
+class TestCyrusOverConnectors:
+    """CYRUS runs unmodified over a mixed-vendor federation."""
+
+    @pytest.fixture
+    def mixed_cloud(self):
+        providers = []
+        for i, dialect in enumerate(
+            [DropboxStyleDialect(), DriveStyleDialect(), S3StyleDialect(),
+             DropboxStyleDialect()]
+        ):
+            connector, _ = make_connector(dialect, csp_id=f"vendor{i}")
+            providers.append(connector)
+        return providers
+
+    def test_roundtrip_over_mixed_vendors(self, mixed_cloud):
+        from repro.core.client import CyrusClient
+        from repro.core.config import CyrusConfig
+        from tests.conftest import deterministic_bytes
+
+        config = CyrusConfig(key="mixed", t=2, n=3, chunk_min=256,
+                             chunk_avg=1024, chunk_max=8192)
+        client = CyrusClient.create(mixed_cloud, config, client_id="c")
+        data = deterministic_bytes(20_000, 77)
+        client.put("over-rest.bin", data)
+        assert client.get("over-rest.bin").data == data
+
+    def test_multi_client_over_mixed_vendors(self, mixed_cloud):
+        from repro.core.client import CyrusClient
+        from repro.core.config import CyrusConfig
+        from tests.conftest import deterministic_bytes
+
+        config = CyrusConfig(key="mixed", t=2, n=3, chunk_min=256,
+                             chunk_avg=1024, chunk_max=8192)
+        writer = CyrusClient.create(mixed_cloud, config, client_id="w")
+        data = deterministic_bytes(8_000, 78)
+        writer.put("shared.bin", data)
+        reader = CyrusClient.create(mixed_cloud, config, client_id="r")
+        reader.recover()
+        assert reader.get("shared.bin", sync_first=False).data == data
+
+    def test_versioning_and_delete_over_vendors(self, mixed_cloud):
+        from repro.core.client import CyrusClient
+        from repro.core.config import CyrusConfig
+
+        config = CyrusConfig(key="mixed", t=2, n=3, chunk_min=256,
+                             chunk_avg=1024, chunk_max=8192)
+        client = CyrusClient.create(mixed_cloud, config, client_id="c")
+        client.put("doc.txt", b"one " * 100)
+        client.put("doc.txt", b"two " * 120)
+        assert client.get("doc.txt", version=1).data == b"one " * 100
+        client.delete("doc.txt")
+        assert client.get("doc.txt").data == b"two " * 120

@@ -1,0 +1,66 @@
+"""Property-based tests for erasure coding (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure import KeyedSharer, RSCodec
+
+params = st.tuples(st.integers(1, 5), st.integers(0, 4)).map(
+    lambda tn: (tn[0], tn[0] + tn[1])
+)
+
+
+@given(data=st.binary(min_size=0, max_size=2000), tn=params)
+@settings(max_examples=60, deadline=None)
+def test_any_t_subset_roundtrips(data, tn):
+    t, n = tn
+    codec = RSCodec(t, n)
+    shares = codec.encode(data)
+    # try up to 5 random-ish subsets rather than all C(n, t)
+    for combo in itertools.islice(itertools.combinations(shares, t), 5):
+        assert codec.decode(list(combo)) == data
+
+
+@given(data=st.binary(min_size=1, max_size=1000), key=st.text(min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_keyed_sharer_determinism(data, key):
+    a = KeyedSharer(key, 2, 4)
+    b = KeyedSharer(key, 2, 4)
+    assert [s.data for s in a.split(data)] == [s.data for s in b.split(data)]
+    assert b.join(a.split(data)[1:3]) == data
+
+
+@given(data=st.binary(min_size=0, max_size=1500), tn=params)
+@settings(max_examples=60, deadline=None)
+def test_share_sizes_are_ceil_div(data, tn):
+    t, n = tn
+    shares = RSCodec(t, n).encode(data)
+    expected = max(1, -(-len(data) // t))
+    assert all(s.size == expected for s in shares)
+
+
+@given(tn=params)
+@settings(max_examples=40, deadline=None)
+def test_dispersal_matrix_is_non_systematic(tn):
+    # the structural guarantee behind Figure 5: for t >= 2 no encoding
+    # row is a unit vector, so no share is a verbatim data stripe
+    # (degenerate data like all-zeros still maps to equal bytes, which
+    # is why the guarantee is about the matrix, not specific payloads)
+    t, n = tn
+    if t < 2:
+        return
+    matrix = RSCodec(t, n).dispersal_matrix
+    for row in matrix:
+        nonzero = [int(x) for x in row if x != 0]
+        assert not (len(nonzero) == 1 and nonzero[0] == 1)
+
+
+@given(
+    data=st.binary(min_size=1, max_size=800),
+    idx=st.integers(0, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_encode_rows_consistent_with_full(data, idx):
+    codec = RSCodec(2, 5)
+    assert codec.encode_rows(data, [idx])[0].data == codec.encode(data)[idx].data

@@ -1,0 +1,176 @@
+"""Unit tests for the non-systematic Reed--Solomon codec."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.erasure import RSCodec, Share
+from repro.errors import CodingError, InsufficientSharesError
+
+
+class TestEncode:
+    def test_share_count_and_size(self):
+        codec = RSCodec(2, 4)
+        shares = codec.encode(b"x" * 1001)
+        assert len(shares) == 4
+        assert all(s.size == 501 for s in shares)  # ceil(1001/2)
+
+    def test_share_metadata(self):
+        codec = RSCodec(3, 5)
+        shares = codec.encode(b"hello world")
+        assert [s.index for s in shares] == [0, 1, 2, 3, 4]
+        assert all((s.t, s.n, s.chunk_size) == (3, 5, 11) for s in shares)
+
+    def test_non_systematic(self):
+        # no share may contain the plaintext (Figure 5's whole point)
+        data = os.urandom(4096)
+        codec = RSCodec(2, 4)
+        for share in codec.encode(data):
+            assert share.data != data[: len(share.data)]
+            assert share.data != data[len(share.data):]
+
+    def test_empty_chunk(self):
+        codec = RSCodec(2, 3)
+        shares = codec.encode(b"")
+        assert codec.decode(shares[:2]) == b""
+
+    def test_single_byte(self):
+        codec = RSCodec(2, 3)
+        shares = codec.encode(b"A")
+        assert codec.decode(shares[1:]) == b"A"
+
+    def test_t_equals_n(self):
+        codec = RSCodec(3, 3)
+        data = os.urandom(100)
+        shares = codec.encode(data)
+        assert codec.decode(shares) == data
+
+    def test_t_equals_one_is_replication_coded(self):
+        codec = RSCodec(1, 3)
+        data = os.urandom(64)
+        shares = codec.encode(data)
+        for share in shares:
+            assert codec.decode([share]) == data
+
+    def test_encode_rows_matches_full_encode(self):
+        codec = RSCodec(2, 5)
+        data = os.urandom(999)
+        full = codec.encode(data)
+        partial = codec.encode_rows(data, [1, 4])
+        assert partial[0].data == full[1].data
+        assert partial[1].data == full[4].data
+
+    def test_encode_rows_bad_index(self):
+        with pytest.raises(CodingError):
+            RSCodec(2, 3).encode_rows(b"xy", [3])
+
+
+class TestDecode:
+    def test_every_t_subset_decodes(self):
+        import itertools
+
+        data = os.urandom(1234)
+        codec = RSCodec(2, 4)
+        shares = codec.encode(data)
+        for combo in itertools.combinations(shares, 2):
+            assert codec.decode(list(combo)) == data
+
+    def test_extra_shares_ignored(self):
+        data = os.urandom(500)
+        codec = RSCodec(2, 4)
+        shares = codec.encode(data)
+        assert codec.decode(shares) == data
+
+    def test_duplicate_shares_dont_count(self):
+        codec = RSCodec(2, 4)
+        shares = codec.encode(b"payload")
+        with pytest.raises(InsufficientSharesError):
+            codec.decode([shares[0], shares[0]])
+
+    def test_too_few_shares(self):
+        codec = RSCodec(3, 5)
+        shares = codec.encode(b"data!")
+        with pytest.raises(InsufficientSharesError):
+            codec.decode(shares[:2])
+
+    def test_mismatched_params_rejected(self):
+        a = RSCodec(2, 4)
+        b = RSCodec(2, 5)
+        shares = b.encode(b"hello")
+        with pytest.raises(CodingError):
+            a.decode(shares[:2])
+
+    def test_mismatched_chunk_size_rejected(self):
+        codec = RSCodec(2, 3)
+        s1 = codec.encode(b"abcd")[0]
+        s2 = codec.encode(b"abcdef")[1]
+        with pytest.raises(CodingError):
+            codec.decode([s1, s2])
+
+    def test_truncated_share_rejected(self):
+        codec = RSCodec(2, 3)
+        shares = codec.encode(b"x" * 100)
+        bad = Share(index=shares[0].index, data=shares[0].data[:-1],
+                    t=2, n=3, chunk_size=100)
+        with pytest.raises(CodingError):
+            codec.decode([bad, shares[1]])
+
+    def test_odd_sizes_roundtrip(self):
+        codec = RSCodec(3, 5)
+        for size in (1, 2, 3, 7, 1000, 1001, 1002):
+            data = os.urandom(size)
+            assert codec.decode(codec.encode(data)[:3]) == data
+
+
+class TestParams:
+    def test_rejects_t_below_one(self):
+        with pytest.raises(CodingError):
+            RSCodec(0, 3)
+
+    def test_rejects_n_below_t(self):
+        with pytest.raises(CodingError):
+            RSCodec(4, 3)
+
+    def test_rejects_n_above_255(self):
+        with pytest.raises(CodingError):
+            RSCodec(2, 256)
+
+    def test_rejects_wrong_point_count(self):
+        with pytest.raises(CodingError):
+            RSCodec(2, 3, points=[1, 2])
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(CodingError):
+            RSCodec(2, 3, points=[1, 1, 2])
+
+    def test_dispersal_matrix_is_copy(self):
+        codec = RSCodec(2, 3)
+        m = codec.dispersal_matrix
+        m[0, 0] ^= 1
+        assert (codec.dispersal_matrix != m).any()
+
+    def test_custom_points_change_shares(self):
+        data = b"secret chunk content"
+        default = RSCodec(2, 3)
+        custom = RSCodec(2, 3, points=[7, 50, 200])
+        assert [s.data for s in default.encode(data)] != [
+            s.data for s in custom.encode(data)
+        ]
+
+
+class TestShareContainer:
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            Share(index=3, data=b"x", t=2, n=3, chunk_size=1)
+
+    def test_rejects_bad_tn(self):
+        with pytest.raises(ValueError):
+            Share(index=0, data=b"x", t=4, n=3, chunk_size=1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Share(index=0, data=b"x", t=2, n=3, chunk_size=-1)
+
+    def test_size_property(self):
+        assert Share(index=0, data=b"abc", t=1, n=1, chunk_size=3).size == 3

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are executable documentation; a broken example is a broken
+promise.  Each is imported as a module and its ``main()`` run in
+process (stdout captured by pytest).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    module = load_example(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    module.main()  # must not raise

@@ -1,0 +1,132 @@
+"""Unit tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+
+from repro.gf import gf_mat_inv, gf_mat_mul, gf_mat_rank, gf_mat_vec, vandermonde
+from repro.gf.field import gf_mul
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestMatMul:
+    def test_identity(self):
+        rng = np.random.default_rng(0)
+        m = random_matrix(rng, 4, 4)
+        eye = np.eye(4, dtype=np.uint8)
+        assert (gf_mat_mul(m, eye) == m).all()
+        assert (gf_mat_mul(eye, m) == m).all()
+
+    def test_matches_scalar_definition(self):
+        rng = np.random.default_rng(1)
+        a = random_matrix(rng, 3, 5)
+        b = random_matrix(rng, 5, 2)
+        got = gf_mat_mul(a, b)
+        for i in range(3):
+            for j in range(2):
+                acc = 0
+                for k in range(5):
+                    acc ^= gf_mul(int(a[i, k]), int(b[k, j]))
+                assert got[i, j] == acc
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_mat_mul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+    def test_zero_matrix(self):
+        z = np.zeros((3, 3), np.uint8)
+        m = np.full((3, 3), 7, np.uint8)
+        assert (gf_mat_mul(z, m) == 0).all()
+
+    def test_mat_vec(self):
+        rng = np.random.default_rng(2)
+        a = random_matrix(rng, 4, 3)
+        x = rng.integers(0, 256, size=3, dtype=np.uint8)
+        assert (gf_mat_vec(a, x) == gf_mat_mul(a, x[:, None])[:, 0]).all()
+
+    def test_mat_vec_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            gf_mat_vec(np.zeros((2, 2), np.uint8), np.zeros((2, 2), np.uint8))
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self):
+        v = vandermonde(np.arange(1, 5, dtype=np.uint8), 4)
+        inv = gf_mat_inv(v)
+        assert (gf_mat_mul(inv, v) == np.eye(4, dtype=np.uint8)).all()
+        assert (gf_mat_mul(v, inv) == np.eye(4, dtype=np.uint8)).all()
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(singular)
+
+    def test_zero_matrix_singular(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(np.zeros((3, 3), np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_inv(np.zeros((2, 3), np.uint8))
+
+    def test_identity_self_inverse(self):
+        eye = np.eye(5, dtype=np.uint8)
+        assert (gf_mat_inv(eye) == eye).all()
+
+    def test_requires_pivot_swap(self):
+        # leading zero forces a row swap inside elimination
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        inv = gf_mat_inv(m)
+        assert (gf_mat_mul(inv, m) == np.eye(2, dtype=np.uint8)).all()
+
+
+class TestRank:
+    def test_full_rank_vandermonde(self):
+        v = vandermonde(np.arange(1, 7, dtype=np.uint8), 3)
+        assert gf_mat_rank(v) == 3
+
+    def test_rank_deficient(self):
+        m = np.array([[1, 2, 3], [1, 2, 3], [0, 0, 0]], dtype=np.uint8)
+        assert gf_mat_rank(m) == 1
+
+    def test_zero_rank(self):
+        assert gf_mat_rank(np.zeros((4, 4), np.uint8)) == 0
+
+    def test_rank_bounded_by_dims(self):
+        rng = np.random.default_rng(3)
+        m = random_matrix(rng, 3, 7)
+        assert gf_mat_rank(m) <= 3
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = vandermonde(np.array([1, 2, 3], dtype=np.uint8), 4)
+        assert v.shape == (3, 4)
+        assert (v[:, 0] == 1).all()
+
+    def test_second_column_is_points(self):
+        pts = np.array([5, 9, 200], dtype=np.uint8)
+        v = vandermonde(pts, 3)
+        assert (v[:, 1] == pts).all()
+
+    def test_every_square_submatrix_invertible(self):
+        # the MDS property that makes RS erasure decoding always work
+        import itertools
+
+        v = vandermonde(np.arange(1, 8, dtype=np.uint8), 3)
+        for rows in itertools.combinations(range(7), 3):
+            gf_mat_inv(v[list(rows)])  # must not raise
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            vandermonde(np.array([1, 1, 2], dtype=np.uint8), 2)
+
+    def test_rejects_zero_point(self):
+        with pytest.raises(ValueError):
+            vandermonde(np.array([0, 1], dtype=np.uint8), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            vandermonde(np.zeros((2, 2), np.uint8), 2)

@@ -1,0 +1,92 @@
+"""Property-based tests: GF(2^8) field axioms (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gf import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mul,
+    gf_pow,
+    vandermonde,
+)
+
+elem = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+@given(a=elem, b=elem)
+def test_addition_commutes(a, b):
+    assert gf_add(a, b) == gf_add(b, a)
+
+
+@given(a=elem, b=elem, c=elem)
+def test_addition_associates(a, b, c):
+    assert gf_add(gf_add(a, b), c) == gf_add(a, gf_add(b, c))
+
+
+@given(a=elem, b=elem)
+def test_multiplication_commutes(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(a=elem, b=elem, c=elem)
+def test_multiplication_associates(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(a=elem, b=elem, c=elem)
+def test_distributivity(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(a=nonzero, b=nonzero)
+def test_division_inverts_multiplication(a, b):
+    assert gf_div(gf_mul(a, b), b) == a
+    assert gf_mul(gf_div(a, b), b) == a
+
+
+@given(a=nonzero)
+def test_inverse_is_two_sided(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+    assert gf_mul(gf_inv(a), a) == 1
+
+
+@given(a=nonzero, j=st.integers(0, 50), k=st.integers(0, 50))
+def test_power_laws(a, j, k):
+    assert gf_mul(gf_pow(a, j), gf_pow(a, k)) == gf_pow(a, j + k)
+
+
+@given(
+    points=st.lists(nonzero, min_size=3, max_size=8, unique=True),
+    width=st.integers(2, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_vandermonde_square_submatrices_invertible(points, width):
+    if len(points) < width:
+        return
+    matrix = vandermonde(np.array(points, dtype=np.uint8), width)
+    square = matrix[:width]
+    inv = gf_mat_inv(square)
+    eye = np.eye(width, dtype=np.uint8)
+    assert (gf_mat_mul(inv, square) == eye).all()
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    size=st.integers(2, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_matrix_inverse_roundtrip_when_invertible(seed, size):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 256, size=(size, size), dtype=np.uint8)
+    try:
+        inv = gf_mat_inv(matrix)
+    except np.linalg.LinAlgError:
+        return  # singular draw; nothing to check
+    eye = np.eye(size, dtype=np.uint8)
+    assert (gf_mat_mul(inv, matrix) == eye).all()
+    assert (gf_mat_mul(matrix, inv) == eye).all()

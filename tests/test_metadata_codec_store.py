@@ -1,0 +1,201 @@
+"""Unit tests for metadata serialization and scattered storage."""
+
+import pytest
+
+from repro.csp import InMemoryCSP
+from repro.errors import InsufficientSharesError, MetadataError
+from repro.metadata import (
+    GlobalChunkTable,
+    MetadataStore,
+    decode_node,
+    encode_node,
+    metadata_share_name,
+    parse_metadata_share_name,
+)
+from tests.test_metadata_tree import mk
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        node = mk("file.txt", "v1")
+        assert decode_node(encode_node(node)) == node
+
+    def test_canonical_bytes(self):
+        node = mk("file.txt", "v1")
+        assert encode_node(node) == encode_node(node)
+
+    def test_corrupt_rejected(self):
+        with pytest.raises(MetadataError):
+            decode_node(b"not json at all")
+        with pytest.raises(MetadataError):
+            decode_node(b"{}")
+
+    def test_version_rejected(self):
+        blob = encode_node(mk("f", "v1")).replace(b'"v":1', b'"v":99')
+        with pytest.raises(MetadataError):
+            decode_node(blob)
+
+    def test_share_names(self):
+        node = mk("f", "v1")
+        name = metadata_share_name(node.node_id, 7)
+        parsed = parse_metadata_share_name(name)
+        assert parsed == (node.node_id, 7)
+
+    def test_share_name_validation(self):
+        with pytest.raises(MetadataError):
+            metadata_share_name("short", 0)
+        with pytest.raises(MetadataError):
+            metadata_share_name("a" * 40, -1)
+        with pytest.raises(MetadataError):
+            parse_metadata_share_name("sh-whatever")
+        with pytest.raises(MetadataError):
+            parse_metadata_share_name("md-tooshort-1")
+
+
+class TestStore:
+    def make(self, m=4, t=2):
+        providers = [InMemoryCSP(f"p{i}") for i in range(m)]
+        return MetadataStore(providers, key="key", t=t), providers
+
+    def test_publish_fetch(self):
+        store, _ = self.make()
+        node = mk("f", "v1")
+        store.publish(node)
+        assert store.fetch(node.node_id) == node
+
+    def test_shares_land_on_every_slot(self):
+        store, providers = self.make()
+        store.publish(mk("f", "v1"))
+        assert all(p.object_count == 1 for p in providers)
+
+    def test_survives_m_minus_t_failures(self):
+        store, providers = self.make(m=4, t=2)
+        node = mk("f", "v1")
+        store.publish(node)
+        # two providers lose their shares
+        for p in providers[:2]:
+            for info in p.list():
+                p.delete(info.name)
+        assert store.fetch(node.node_id) == node
+
+    def test_fails_below_t_shares(self):
+        store, providers = self.make(m=3, t=2)
+        node = mk("f", "v1")
+        store.publish(node)
+        for p in providers[:2]:
+            for info in p.list():
+                p.delete(info.name)
+        with pytest.raises(InsufficientSharesError):
+            store.fetch(node.node_id)
+
+    def test_list_node_ids(self):
+        store, _ = self.make()
+        a, b = mk("f", "v1"), mk("g", "w1")
+        store.publish(a)
+        store.publish(b)
+        assert store.list_node_ids() == {a.node_id, b.node_id}
+
+    def test_partial_upload_invisible(self):
+        # fewer than t shares visible => node not listed (mid-upload)
+        store, providers = self.make(m=4, t=3)
+        node = mk("f", "v1")
+        trio = store.shares_for(node)
+        provider, name, share = trio[0]
+        provider.upload(name, MetadataStore._pack(share))
+        assert store.list_node_ids() == set()
+
+    def test_fetch_all(self):
+        store, _ = self.make()
+        nodes = [mk("f", f"v{i}") if i == 0 else mk(f"g{i}", f"w{i}")
+                 for i in range(3)]
+        for n in nodes:
+            store.publish(n)
+        assert {n.node_id for n in store.fetch_all()} == {
+            n.node_id for n in nodes
+        }
+
+    def test_needs_t_providers(self):
+        with pytest.raises(MetadataError):
+            MetadataStore([InMemoryCSP("only")], key="k", t=2)
+
+    def test_share_size_positive(self):
+        store, _ = self.make()
+        assert store.share_size(mk("f", "v1")) > 0
+
+    def test_slot_growth_keeps_old_nodes_decodable(self):
+        # metadata slots are append-only; the key-derived dispersal
+        # points are prefix-stable, so nodes published at m=4 must stay
+        # decodable by a store rebuilt at m=5
+        store4, providers = self.make(m=4, t=2)
+        node = mk("f", "v1")
+        store4.publish(node)
+        providers.append(InMemoryCSP("p-new"))
+        store5 = MetadataStore(providers, key="key", t=2)
+        assert store5.fetch(node.node_id) == node
+
+    def test_new_nodes_span_grown_slot_set(self):
+        store4, providers = self.make(m=4, t=2)
+        providers.append(InMemoryCSP("p-new"))
+        store5 = MetadataStore(providers, key="key", t=2)
+        node = mk("g", "w1")
+        store5.publish(node)
+        assert providers[-1].object_count == 1  # new slot got a share
+        # and a client still on m=4 can read it (needs only t=2 shares)
+        assert store4.fetch(node.node_id) == node
+
+
+class TestChunkTable:
+    def test_record_and_query(self):
+        table = GlobalChunkTable()
+        node = mk("f", "v1")
+        table.record_node(node)
+        cid = node.chunks[0].chunk_id
+        assert table.is_stored(cid)
+        loc = table.get(cid)
+        assert loc.csps() == ["a", "b"]
+        assert loc.indices_at("a") == [0]
+
+    def test_unknown_chunk(self):
+        table = GlobalChunkTable()
+        assert table.get("f" * 40) is None
+        assert not table.is_stored("f" * 40)
+
+    def test_chunks_at(self):
+        table = GlobalChunkTable()
+        node = mk("f", "v1")
+        table.record_node(node)
+        assert table.chunks_at("a") == [node.chunks[0].chunk_id]
+        assert table.chunks_at("zzz") == []
+
+    def test_rebuild_resets(self):
+        table = GlobalChunkTable()
+        a, b = mk("f", "v1"), mk("g", "w1")
+        table.record_node(a)
+        table.rebuild([b])
+        assert not table.is_stored(a.chunks[0].chunk_id)
+        assert table.is_stored(b.chunks[0].chunk_id)
+
+    def test_add_placement(self):
+        table = GlobalChunkTable()
+        node = mk("f", "v1")
+        table.record_node(node)
+        cid = node.chunks[0].chunk_id
+        table.add_placement(cid, 2, "new-csp")
+        assert "new-csp" in table.get(cid).csps()
+
+    def test_add_placement_unknown_chunk(self):
+        with pytest.raises(KeyError):
+            GlobalChunkTable().add_placement("e" * 40, 0, "x")
+
+    def test_drop_csp(self):
+        table = GlobalChunkTable()
+        node = mk("f", "v1")
+        table.record_node(node)
+        assert table.drop_csp("a") == 1
+        assert "a" not in table.get(node.chunks[0].chunk_id).csps()
+
+    def test_bytes_at(self):
+        table = GlobalChunkTable()
+        node = mk("f", "v1")  # one chunk of 5 bytes, t=2 -> share 3 bytes
+        table.record_node(node)
+        assert table.bytes_at("a") == 3

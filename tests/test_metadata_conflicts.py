@@ -1,0 +1,112 @@
+"""Unit tests for the two-type conflict detection (Section 5.4, Figure 8)."""
+
+from repro.metadata import MetadataTree, ROOT_ID, detect_conflicts
+from repro.metadata.conflicts import (
+    conflicted_copy_name,
+    conflicts_for_node,
+    resolution_winner,
+)
+from tests.test_metadata_tree import mk
+
+
+class TestSameNameConflict:
+    def test_detected(self):
+        tree = MetadataTree()
+        tree.add(mk("report.pdf", "from-alice", client="alice"))
+        tree.add(mk("report.pdf", "from-bob", client="bob", modified=1.5))
+        conflicts = detect_conflicts(tree)
+        assert len(conflicts) == 1
+        assert conflicts[0].kind == "same-name"
+        assert conflicts[0].parent_id == ROOT_ID
+
+    def test_same_content_same_name_is_not_conflict(self):
+        # identical uploads dedupe to one node id: nothing to resolve
+        tree = MetadataTree()
+        tree.add(mk("f", "v1", client="alice"))
+        tree.add(mk("f", "v1", client="alice"))
+        assert detect_conflicts(tree) == []
+
+    def test_different_names_no_conflict(self):
+        tree = MetadataTree()
+        tree.add(mk("a.txt", "x"))
+        tree.add(mk("b.txt", "y"))
+        assert detect_conflicts(tree) == []
+
+    def test_incremental_detection(self):
+        tree = MetadataTree()
+        first = mk("f", "mine", client="alice")
+        tree.add(first)
+        second = mk("f", "theirs", client="bob", modified=2.0)
+        tree.add(second)
+        found = conflicts_for_node(tree, second)
+        assert len(found) == 1 and found[0].kind == "same-name"
+        assert set(found[0].node_ids) == {first.node_id, second.node_id}
+
+
+class TestDivergenceConflict:
+    def build(self):
+        tree = MetadataTree()
+        base = mk("doc", "v1")
+        tree.add(base)
+        left = mk("doc", "v2-left", prev=base.node_id, client="l", modified=2.0)
+        right = mk("doc", "v2-right", prev=base.node_id, client="r", modified=3.0)
+        tree.add(left)
+        tree.add(right)
+        return tree, base, left, right
+
+    def test_detected(self):
+        tree, base, left, right = self.build()
+        conflicts = [c for c in detect_conflicts(tree) if c.kind == "divergence"]
+        assert len(conflicts) == 1
+        assert conflicts[0].parent_id == base.node_id
+        assert set(conflicts[0].node_ids) == {left.node_id, right.node_id}
+
+    def test_linear_chain_no_conflict(self):
+        tree = MetadataTree()
+        a = mk("f", "v1")
+        tree.add(a)
+        tree.add(mk("f", "v2", prev=a.node_id, modified=2.0))
+        assert detect_conflicts(tree) == []
+
+    def test_incremental_walks_ancestors(self):
+        tree, base, left, right = self.build()
+        # extend right's lineage; the divergence at base is still found
+        deeper = mk("doc", "v3", prev=right.node_id, modified=4.0)
+        tree.add(deeper)
+        found = conflicts_for_node(tree, deeper)
+        assert any(c.kind == "divergence" for c in found)
+
+    def test_three_way_divergence(self):
+        tree, base, left, right = self.build()
+        third = mk("doc", "v2-mid", prev=base.node_id, client="m", modified=2.5)
+        tree.add(third)
+        conflicts = [c for c in detect_conflicts(tree) if c.kind == "divergence"]
+        assert len(conflicts[0].node_ids) == 3
+
+
+class TestResolution:
+    def test_winner_is_latest(self):
+        tree = MetadataTree()
+        base = mk("doc", "v1")
+        tree.add(base)
+        old = mk("doc", "old", prev=base.node_id, client="o", modified=2.0)
+        new = mk("doc", "new", prev=base.node_id, client="n", modified=9.0)
+        tree.merge([old, new])
+        conflict = detect_conflicts(tree)[0]
+        assert resolution_winner(tree, conflict) == new.node_id
+
+    def test_winner_deterministic_on_tie(self):
+        tree = MetadataTree()
+        a = mk("f", "aa", client="x", modified=5.0)
+        b = mk("f", "bb", client="y", modified=5.0)
+        tree.merge([a, b])
+        conflict = detect_conflicts(tree)[0]
+        assert resolution_winner(tree, conflict) == max(a.node_id, b.node_id)
+
+    def test_conflicted_copy_name(self):
+        assert conflicted_copy_name("notes.md", "bob") == (
+            "notes (conflicted copy bob).md"
+        )
+        assert conflicted_copy_name("README", "c2") == (
+            "README (conflicted copy c2)"
+        )

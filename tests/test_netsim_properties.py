@@ -1,0 +1,110 @@
+"""Property-based tests for the flow simulator (hypothesis).
+
+Invariants any correct bandwidth-sharing simulation must satisfy:
+
+* completion time of each flow is bounded below by its best case (its
+  size over its own link's capacity, plus RTT) and by the aggregate
+  lower bound (total bytes over total capacity);
+* results preserve request order and byte counts;
+* adding a flow never makes another flow finish *earlier* than its own
+  isolated lower bound (no free bandwidth appears from nowhere).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import FlowSimulator, Link, TransferRequest
+
+link_spec = st.tuples(
+    st.floats(min_value=1e5, max_value=1e8),  # rate
+    st.floats(min_value=0.0, max_value=0.5),  # rtt
+)
+
+flow_spec = st.tuples(
+    st.integers(0, 3),                       # link index
+    st.integers(1, 50_000_000),              # size
+    st.sampled_from(["up", "down"]),
+    st.floats(min_value=0.0, max_value=5.0),  # start_at
+)
+
+
+@given(
+    links=st.lists(link_spec, min_size=4, max_size=4),
+    flows=st.lists(flow_spec, min_size=1, max_size=8),
+    client_cap=st.floats(min_value=1e5, max_value=1e9),
+)
+@settings(max_examples=120, deadline=None)
+def test_completion_time_bounds(links, flows, client_cap):
+    link_objs = {
+        f"l{i}": Link.symmetric(f"l{i}", rate, rtt_s=rtt)
+        for i, (rate, rtt) in enumerate(links)
+    }
+    sim = FlowSimulator(link_objs, client_up=client_cap,
+                        client_down=client_cap)
+    requests = [
+        TransferRequest(f"l{idx}", size, direction, start_at=start)
+        for idx, size, direction, start in flows
+    ]
+    results = sim.run(requests)
+
+    assert len(results) == len(requests)
+    for request, result in zip(requests, results):
+        assert result.request is request  # order preserved
+        assert result.completed
+        assert result.bytes_done == request.size
+        link = link_objs[request.link_id]
+        # lower bound: alone on its link, capped by the client
+        best_rate = min(link.capacity_at(0, request.direction), client_cap)
+        lower = request.start_at + link.rtt_s + request.size / best_rate
+        assert result.end >= lower - 1e-6, (result.end, lower)
+        assert result.start == request.start_at
+
+    # aggregate lower bound per direction: total bytes / client capacity
+    for direction in ("up", "down"):
+        members = [r for r in requests if r.direction == direction]
+        if not members:
+            continue
+        total = sum(r.size for r in members)
+        earliest = min(r.start_at for r in members)
+        finish = max(
+            res.end for res, r in zip(results, requests)
+            if r.direction == direction
+        )
+        assert finish >= earliest + total / client_cap - 1e-6
+
+
+@given(
+    sizes=st.lists(st.integers(1, 10_000_000), min_size=2, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_flows_finish_together(sizes):
+    # identical flows on one link must all finish at the same instant
+    # when they are the same size (max-min fairness is symmetric)
+    size = sizes[0]
+    links = {"a": Link.symmetric("a", 1e6)}
+    sim = FlowSimulator(links)
+    results = sim.run(
+        [TransferRequest("a", size, "down") for _ in range(len(sizes))]
+    )
+    ends = {round(r.end, 9) for r in results}
+    assert len(ends) == 1
+    assert math.isclose(results[0].end, size * len(sizes) / 1e6,
+                        rel_tol=1e-6)
+
+
+@given(
+    size=st.integers(1, 10_000_000),
+    extra=st.integers(1, 10_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_adding_load_never_speeds_a_flow_up(size, extra):
+    links = {"a": Link.symmetric("a", 2e6), "b": Link.symmetric("b", 2e6)}
+    alone = FlowSimulator(links, client_down=3e6).run(
+        [TransferRequest("a", size, "down")]
+    )[0]
+    contended = FlowSimulator(links, client_down=3e6).run(
+        [TransferRequest("a", size, "down"),
+         TransferRequest("b", extra, "down")]
+    )[0]
+    assert contended.end >= alone.end - 1e-9

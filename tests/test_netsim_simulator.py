@@ -1,0 +1,179 @@
+"""Unit tests for the max-min fair flow simulator."""
+
+import math
+
+import pytest
+
+from repro.errors import TransferError
+from repro.netsim import FlowSimulator, Link, RateTrace, TransferRequest
+
+
+def sim(links, **kwargs):
+    return FlowSimulator(links, **kwargs)
+
+
+class TestSingleFlow:
+    def test_basic_time(self):
+        links = {"a": Link.symmetric("a", 2e6, rtt_s=0.1)}
+        res = sim(links).run([TransferRequest("a", 10_000_000, "down")])
+        assert res[0].end == pytest.approx(0.1 + 5.0)
+        assert res[0].completed
+        assert res[0].bytes_done == 10_000_000
+
+    def test_zero_size_costs_rtt(self):
+        links = {"a": Link.symmetric("a", 1e6, rtt_s=0.25)}
+        res = sim(links).run([TransferRequest("a", 0, "up")])
+        assert res[0].end == pytest.approx(0.25)
+
+    def test_start_at_offsets(self):
+        links = {"a": Link.symmetric("a", 1e6)}
+        res = sim(links).run([TransferRequest("a", 1e6, "down", start_at=5.0)])
+        assert res[0].start == pytest.approx(5.0)
+        assert res[0].end == pytest.approx(6.0)
+
+    def test_start_time_shifts_batch(self):
+        links = {"a": Link.symmetric("a", 1e6)}
+        res = sim(links).run(
+            [TransferRequest("a", 1e6, "down")], start_time=100.0
+        )
+        assert res[0].end == pytest.approx(101.0)
+
+    def test_unknown_link(self):
+        with pytest.raises(TransferError):
+            sim({}).run([TransferRequest("ghost", 1, "down")])
+
+
+class TestSharing:
+    def test_link_shared_equally(self):
+        links = {"a": Link.symmetric("a", 2e6)}
+        res = sim(links).run(
+            [TransferRequest("a", 2e6, "down"), TransferRequest("a", 2e6, "down")]
+        )
+        for r in res:
+            assert r.end == pytest.approx(2.0)
+
+    def test_client_cap_shared(self):
+        links = {"a": Link.symmetric("a", 10e6), "b": Link.symmetric("b", 10e6)}
+        res = sim(links, client_down=10e6).run(
+            [TransferRequest("a", 10e6, "down"), TransferRequest("b", 10e6, "down")]
+        )
+        for r in res:
+            assert r.end == pytest.approx(2.0)
+
+    def test_directions_independent(self):
+        links = {"a": Link.symmetric("a", 10e6)}
+        res = sim(links, client_up=10e6, client_down=10e6).run(
+            [TransferRequest("a", 10e6, "up"), TransferRequest("a", 10e6, "down")]
+        )
+        # up and down pools don't contend (and per-link caps are per
+        # direction), so both finish in 1s
+        for r in res:
+            assert r.end == pytest.approx(1.0)
+
+    def test_max_min_redistribution(self):
+        # slow flow frozen at its link cap; fast flow takes the rest,
+        # then speeds up when the slow flow finishes
+        links = {"s": Link.symmetric("s", 1e6), "f": Link.symmetric("f", 100e6)}
+        res = sim(links, client_down=5e6).run(
+            [TransferRequest("s", 1e6, "down"), TransferRequest("f", 8e6, "down")]
+        )
+        assert res[0].end == pytest.approx(1.0)
+        assert res[1].end == pytest.approx(1.8)
+
+    def test_staggered_arrivals(self):
+        links = {"a": Link.symmetric("a", 2e6)}
+        res = sim(links).run(
+            [
+                TransferRequest("a", 2e6, "down"),
+                TransferRequest("a", 2e6, "down", start_at=0.5),
+            ]
+        )
+        # flow 1 alone for 0.5s (1 MB done), then shares; remaining 1 MB
+        # at 1 MB/s -> done at 1.5s.  Flow 2 has 1 MB left by then and
+        # the whole 2 MB/s link to itself -> done at 2.0s
+        assert res[0].end == pytest.approx(1.5)
+        assert res[1].end == pytest.approx(2.0)
+
+
+class TestTraces:
+    def test_rate_change_mid_flow(self):
+        tr = RateTrace([10.0], [1e6, 2e6])
+        links = {"a": Link("a", 0.0, tr)}
+        res = sim(links).run([TransferRequest("a", 15_000_000, "down")])
+        assert res[0].end == pytest.approx(12.5)
+
+    def test_zero_capacity_interval_pauses(self):
+        tr = RateTrace([1.0, 2.0], [1e6, 0.0, 1e6])
+        links = {"a": Link("a", 0.0, tr)}
+        res = sim(links).run([TransferRequest("a", 2e6, "down")])
+        # 1 MB in 1s, stalled 1s, 1 MB after
+        assert res[0].end == pytest.approx(3.0)
+
+    def test_permanent_stall_raises(self):
+        links = {"a": Link("a", 0.0, RateTrace.constant(0.0))}
+        with pytest.raises(TransferError):
+            sim(links).run([TransferRequest("a", 1e6, "down")])
+
+
+class TestGroupQuota:
+    def test_cancels_stragglers(self):
+        links = {
+            "fast1": Link.symmetric("fast1", 10e6),
+            "fast2": Link.symmetric("fast2", 10e6),
+            "slow": Link.symmetric("slow", 1e6),
+        }
+        reqs = [TransferRequest(c, 5e6, "up", group="g") for c in links]
+        res = sim(links).run(reqs, group_quota={"g": 2})
+        done = {r.request.link_id for r in res if r.completed}
+        assert done == {"fast1", "fast2"}
+        cancelled = [r for r in res if not r.completed]
+        assert len(cancelled) == 1
+        assert 0 < cancelled[0].bytes_done < 5e6
+
+    def test_quota_counts_only_group_members(self):
+        links = {
+            "a": Link.symmetric("a", 10e6),
+            "b": Link.symmetric("b", 1e6),
+        }
+        reqs = [
+            TransferRequest("a", 1e6, "up"),  # no group
+            TransferRequest("b", 5e6, "up", group="g"),
+        ]
+        res = sim(links).run(reqs, group_quota={"g": 1})
+        assert all(r.completed for r in res)
+
+    def test_cancels_unactivated_members(self):
+        links = {
+            "fast": Link.symmetric("fast", 10e6),
+            "slow": Link.symmetric("slow", 1e6, rtt_s=10.0),
+        }
+        reqs = [
+            TransferRequest("fast", 1e6, "up", group="g"),
+            TransferRequest("slow", 1e6, "up", group="g"),  # still in RTT
+        ]
+        res = sim(links).run(reqs, group_quota={"g": 1})
+        assert res[0].completed
+        assert not res[1].completed
+
+
+class TestValidation:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TransferRequest("a", -1, "down")
+        with pytest.raises(ValueError):
+            TransferRequest("a", 1, "sideways")
+        with pytest.raises(ValueError):
+            TransferRequest("a", 1, "up", start_at=-1)
+
+    def test_simulator_validation(self):
+        with pytest.raises(ValueError):
+            FlowSimulator({}, client_up=0)
+
+    def test_results_in_request_order(self):
+        links = {"a": Link.symmetric("a", 1e6), "b": Link.symmetric("b", 5e6)}
+        reqs = [
+            TransferRequest("a", 1e6, "down", tag="first"),
+            TransferRequest("b", 1e6, "down", tag="second"),
+        ]
+        res = sim(links).run(reqs)
+        assert [r.request.tag for r in res] == ["first", "second"]

@@ -1,0 +1,53 @@
+"""Unit tests for the TCP throughput model (Table 2's derivation)."""
+
+import math
+
+import pytest
+
+from repro.csp.catalog import TABLE2, TABLE2_THROUGHPUT_MBPS
+from repro.netsim.tcp import mathis_throughput, throughput_mbps
+
+
+class TestMathisModel:
+    def test_reproduces_every_table2_row(self):
+        for spec in TABLE2:
+            expected = TABLE2_THROUGHPUT_MBPS[spec.name]
+            got = throughput_mbps(spec.rtt_ms)
+            assert got == pytest.approx(expected, abs=0.02), spec.name
+
+    def test_inverse_in_rtt(self):
+        assert mathis_throughput(0.1) == pytest.approx(
+            2 * mathis_throughput(0.2)
+        )
+
+    def test_window_cap_binds_at_low_loss(self):
+        # loss -> 0 makes the Mathis term huge; window must cap it
+        capped = mathis_throughput(0.1, loss=1e-12, window=65535)
+        assert capped == pytest.approx(65535 / 0.1)
+
+    def test_zero_loss_pure_window(self):
+        assert mathis_throughput(0.05, loss=0) == pytest.approx(65535 / 0.05)
+
+    def test_higher_loss_lower_throughput(self):
+        assert mathis_throughput(0.1, loss=0.01) < mathis_throughput(0.1, loss=0.001)
+
+    def test_mss_scales_loss_limited_rate(self):
+        small = mathis_throughput(0.1, mss=512)
+        large = mathis_throughput(0.1, mss=1024)
+        assert large == pytest.approx(2 * small)
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(0)
+        with pytest.raises(ValueError):
+            mathis_throughput(-1)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(0.1, loss=-0.1)
+
+    def test_units(self):
+        # bytes/s * 8 / 1e6 == Mbps wrapper
+        assert throughput_mbps(100) == pytest.approx(
+            mathis_throughput(0.1) * 8 / 1e6
+        )

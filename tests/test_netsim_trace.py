@@ -1,0 +1,67 @@
+"""Unit tests for time-varying rate traces."""
+
+import math
+
+import pytest
+
+from repro.netsim.trace import RateTrace
+
+
+class TestConstant:
+    def test_rate_everywhere(self):
+        tr = RateTrace.constant(5e6)
+        assert tr.rate_at(0) == 5e6
+        assert tr.rate_at(1e9) == 5e6
+
+    def test_no_changes(self):
+        assert math.isinf(RateTrace.constant(1.0).next_change_after(0))
+
+
+class TestPiecewise:
+    def test_segments(self):
+        tr = RateTrace([10.0, 20.0], [1.0, 2.0, 3.0])
+        assert tr.rate_at(5) == 1.0
+        assert tr.rate_at(10) == 2.0  # boundary belongs to the next segment
+        assert tr.rate_at(15) == 2.0
+        assert tr.rate_at(25) == 3.0
+
+    def test_next_change(self):
+        tr = RateTrace([10.0, 20.0], [1.0, 2.0, 3.0])
+        assert tr.next_change_after(0) == 10.0
+        assert tr.next_change_after(10.0) == 20.0
+        assert math.isinf(tr.next_change_after(20.0))
+
+    def test_validation_lengths(self):
+        with pytest.raises(ValueError):
+            RateTrace([1.0], [1.0])
+
+    def test_validation_order(self):
+        with pytest.raises(ValueError):
+            RateTrace([2.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_validation_negative_rate(self):
+        with pytest.raises(ValueError):
+            RateTrace([], [-1.0])
+
+
+class TestDiurnal:
+    def test_mean_near_base(self):
+        tr = RateTrace.diurnal(1e6, amplitude=0.5, steps_per_period=24, periods=2)
+        samples = [tr.rate_at(t * 3600.0 + 1) for t in range(48)]
+        assert sum(samples) / len(samples) == pytest.approx(1e6, rel=0.05)
+
+    def test_amplitude_bounds(self):
+        tr = RateTrace.diurnal(1e6, amplitude=0.4)
+        samples = [tr.rate_at(t * 3600.0) for t in range(48)]
+        assert max(samples) <= 1e6 * 1.4 + 1
+        assert min(samples) >= 1e6 * 0.6 - 1
+
+    def test_periodicity(self):
+        tr = RateTrace.diurnal(2e6, amplitude=0.3, periods=2)
+        for hour in range(24):
+            t = hour * 3600.0 + 10
+            assert tr.rate_at(t) == pytest.approx(tr.rate_at(t + 24 * 3600.0))
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            RateTrace.diurnal(1e6, amplitude=1.0)

@@ -1,0 +1,108 @@
+"""Regression pins for non-obvious bugs found during development.
+
+Each test reproduces the exact failure mode; keep them even if the
+implementation is rewritten — they encode hard-won failure knowledge.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import FlowSimulator, Link, TransferRequest
+
+
+class TestSimulatorFloatAbsorption:
+    """A flow whose residual bytes were too small to advance the clock
+    (``now + remaining/rate == now`` in floating point) used to spin the
+    event loop forever.  The fix treats an unrepresentable advance as
+    completion."""
+
+    def test_tiny_residual_at_large_now(self):
+        links = {"a": Link.symmetric("a", 1e6)}
+        sim = FlowSimulator(links)
+        # start far from zero so absolute time eats tiny increments
+        res = sim.run(
+            [TransferRequest("a", 1, "down")], start_time=1e9
+        )
+        assert res[0].completed
+        assert res[0].end >= 1e9
+
+    def test_many_tiny_flows_terminate(self):
+        links = {"a": Link.symmetric("a", 1e12)}  # huge rate, tiny times
+        sim = FlowSimulator(links)
+        requests = [
+            TransferRequest("a", size, "down", start_at=0.0)
+            for size in (1, 3, 7, 11, 13)
+        ]
+        results = sim.run(requests, start_time=5e8)
+        assert all(r.completed for r in results)
+
+    def test_mixed_scale_batch(self):
+        # the original trigger: a realistic batch where one share's
+        # remaining bytes underflow relative to the batch timescale
+        rng = random.Random(2)
+        links = {
+            f"c{i}": Link.symmetric(f"c{i}", 15e6 if i < 2 else 2e6,
+                                    rtt_s=0.05)
+            for i in range(4)
+        }
+        sim = FlowSimulator(links, client_up=20e6, client_down=30e6)
+        requests = [
+            TransferRequest(f"c{rng.randrange(4)}",
+                            rng.randint(1, 2_000_000), "down")
+            for _ in range(40)
+        ]
+        results = sim.run(requests, start_time=3600.0)
+        assert all(r.completed for r in results)
+
+
+class TestSelectorNegativeResiduals:
+    """LP round-off used to leave ~-1e-9 'loads' on idle CSPs, which the
+    bandwidth allocator rejected as negative.  The selector now clamps
+    fractional residues at zero."""
+
+    def test_many_chunk_problem_with_idle_csps(self):
+        from repro.selection import ChunkDownload, CyrusSelector, DownloadProblem
+
+        caps = {f"fast{i}": 15e6 for i in range(4)} | {
+            f"slow{i}": 2e6 for i in range(3)
+        }
+        rng = random.Random(11)
+        ids = sorted(caps)
+        problem = DownloadProblem(
+            chunks=tuple(
+                ChunkDownload(f"c{i}", rng.randint(1, 4) * 1_000_000,
+                              tuple(rng.sample(ids, 4)))
+                for i in range(25)
+            ),
+            t=2, link_caps=caps, client_cap=40e6,
+        )
+        # must not raise SelectionError("negative load ...")
+        plan = CyrusSelector(resolve_every=1).select(problem)
+        assert plan.bottleneck_time > 0
+
+
+class TestConflictResolutionVisibility:
+    """Sync used to run conflict detection per fetched node before all
+    nodes of the round were merged, crashing on a child whose parent
+    arrived later in the same batch; and resolved conflicts used to be
+    re-reported forever because the fork stayed in history."""
+
+    def test_resolution_not_rereported(self, client, second_client):
+        client.put("doc.txt", b"base " * 40)
+        second_client.sync()
+        client.uploader.upload("doc.txt", b"AA " * 50, client_id="alice")
+        second_client.uploader.upload("doc.txt", b"BB " * 50,
+                                      client_id="bob")
+        client.sync()
+        client.resolve_conflicts()
+        # a third device syncing everything at once (children + parents
+        # + renames in one batch) must neither crash nor see conflicts
+        from repro.core.client import CyrusClient
+
+        third = CyrusClient.create(
+            [client.cloud.provider(c) for c in client.cloud.active_csps()],
+            client.config, client_id="third",
+        )
+        third.recover()
+        assert not third.conflicts()

@@ -1,0 +1,187 @@
+"""Unit tests for reliability planning (Eq. 1) and failure simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ReliabilityError
+from repro.reliability import (
+    FailureEstimator,
+    chunk_failure_probability,
+    downtime_to_probability,
+    minimum_shares,
+    simulate_request_failures,
+)
+
+
+class TestFailureProbability:
+    def test_single_share_is_p(self):
+        assert chunk_failure_probability(1, 1, 0.1) == pytest.approx(0.1)
+
+    def test_n_of_n_fails_if_any_fails(self):
+        p = 0.1
+        assert chunk_failure_probability(2, 2, p) == pytest.approx(
+            1 - (1 - p) ** 2
+        )
+
+    def test_matches_paper_formula(self):
+        # explicit sum for (t, n) = (2, 4)
+        from math import comb
+
+        p = 0.05
+        expected = sum(
+            comb(4, s) * (1 - p) ** s * p ** (4 - s) for s in range(2)
+        )
+        assert chunk_failure_probability(2, 4, p) == pytest.approx(expected)
+
+    def test_monotone_in_n(self):
+        p = 0.01
+        probs = [chunk_failure_probability(2, n, p) for n in range(2, 8)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monotone_in_t(self):
+        p = 0.01
+        probs = [chunk_failure_probability(t, 6, p) for t in range(1, 6)]
+        assert probs == sorted(probs)
+
+    def test_extremes(self):
+        assert chunk_failure_probability(2, 4, 0.0) == 0.0
+        assert chunk_failure_probability(2, 4, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chunk_failure_probability(0, 3, 0.1)
+        with pytest.raises(ConfigurationError):
+            chunk_failure_probability(4, 3, 0.1)
+        with pytest.raises(ConfigurationError):
+            chunk_failure_probability(2, 3, 1.5)
+
+
+class TestMinimumShares:
+    def test_returns_minimal_n(self):
+        n = minimum_shares(2, 0.01, 1e-4, 20)
+        assert chunk_failure_probability(2, n, 0.01) <= 1e-4
+        assert chunk_failure_probability(2, n - 1, 0.01) > 1e-4
+
+    def test_loose_bound_needs_t_shares(self):
+        assert minimum_shares(2, 0.001, 0.5, 20) == 2
+
+    def test_stricter_epsilon_needs_more_shares(self):
+        loose = minimum_shares(2, 0.01, 1e-3, 30)
+        strict = minimum_shares(2, 0.01, 1e-9, 30)
+        assert strict > loose
+
+    def test_higher_t_needs_more_shares(self):
+        n2 = minimum_shares(2, 0.01, 1e-6, 30)
+        n3 = minimum_shares(3, 0.01, 1e-6, 30)
+        assert n3 > n2
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ReliabilityError):
+            minimum_shares(2, 0.5, 1e-12, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimum_shares(2, 0.01, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            minimum_shares(5, 0.01, 0.1, 4)
+
+
+class TestDowntimeConversion:
+    def test_known_values(self):
+        assert downtime_to_probability(8760.0 / 2) == pytest.approx(0.5)
+        assert downtime_to_probability(0) == 0.0
+
+    def test_capped_at_one(self):
+        assert downtime_to_probability(1e9) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            downtime_to_probability(-1)
+
+
+class TestEstimator:
+    def test_short_blips_not_counted(self):
+        est = FailureEstimator(outage_threshold_s=3600)
+        est.record_failure(0.0)
+        est.record_failure(100.0)  # 100s < threshold
+        est.record_success(200.0)
+        assert est.failure_events == 0
+
+    def test_long_outage_counted_once(self):
+        est = FailureEstimator(outage_threshold_s=3600)
+        est.record_failure(0.0)
+        est.record_failure(4000.0)
+        est.record_failure(5000.0)  # same outage
+        assert est.failure_events == 1
+
+    def test_separate_outages(self):
+        est = FailureEstimator(outage_threshold_s=100)
+        est.record_failure(0.0)
+        est.record_failure(200.0)
+        est.record_success(300.0)
+        est.record_failure(1000.0)
+        est.record_failure(1200.0)
+        assert est.failure_events == 2
+
+    def test_probability_floored_by_prior(self):
+        est = FailureEstimator(prior=1e-4)
+        assert est.probability == 1e-4
+        est.record_success(0.0)
+        assert est.probability == 1e-4
+
+    def test_probability_ratio(self):
+        est = FailureEstimator(outage_threshold_s=10, prior=0.0)
+        est.record_failure(0.0)
+        est.record_failure(20.0)
+        for i in range(8):
+            est.record_success(100.0 + i)
+        assert est.probability == pytest.approx(0.1)
+
+
+class TestMonteCarlo:
+    DOWNTIMES = {"A": 1.37, "B": 6.0, "C": 12.0, "D": 18.53}
+
+    def test_shapes(self):
+        res = simulate_request_failures(
+            self.DOWNTIMES, configs=[(3, 4)], trials=10_000, seed=1
+        )
+        assert set(res) == {"A", "B", "C", "D", "CYRUS (3,4)"}
+        assert all(len(v) == 10_000 for v in res.values())
+
+    def test_cumulative_monotone(self):
+        res = simulate_request_failures(
+            self.DOWNTIMES, configs=[(2, 4)], trials=5_000, seed=2
+        )
+        for series in res.values():
+            assert (np.diff(series) >= 0).all()
+
+    def test_figure13_ordering(self):
+        # CYRUS (2,4) << CYRUS (3,4) << every single CSP (trial-scaled)
+        res = simulate_request_failures(
+            self.DOWNTIMES, configs=[(3, 4), (2, 4)], trials=1_000_000, seed=3
+        )
+        worst_single = min(res[c][-1] for c in self.DOWNTIMES)
+        assert res["CYRUS (3,4)"][-1] < worst_single
+        assert res["CYRUS (2,4)"][-1] <= res["CYRUS (3,4)"][-1]
+
+    def test_deterministic(self):
+        a = simulate_request_failures(self.DOWNTIMES, [(2, 4)], 1000, seed=9)
+        b = simulate_request_failures(self.DOWNTIMES, [(2, 4)], 1000, seed=9)
+        assert (a["CYRUS (2,4)"] == b["CYRUS (2,4)"]).all()
+
+    def test_batching_invariant(self):
+        a = simulate_request_failures(
+            self.DOWNTIMES, [(2, 4)], 5000, seed=4, batch=512
+        )
+        b = simulate_request_failures(
+            self.DOWNTIMES, [(2, 4)], 5000, seed=4, batch=5000
+        )
+        assert (a["A"] == b["A"]).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_request_failures(self.DOWNTIMES, [(2, 9)], 100)
+        with pytest.raises(ConfigurationError):
+            simulate_request_failures(self.DOWNTIMES, [(0, 2)], 100)
+        with pytest.raises(ConfigurationError):
+            simulate_request_failures(self.DOWNTIMES, [], 0)

@@ -1,0 +1,76 @@
+"""Unit tests for the closed-form bandwidth sub-problem."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection import optimal_bandwidth_allocation
+
+
+class TestAllocation:
+    def test_single_csp_link_limited(self):
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 10e6}, {"a": 2e6}, client_cap=100e6
+        )
+        assert y == pytest.approx(5.0)
+        assert betas["a"] == pytest.approx(2e6)
+
+    def test_client_limited(self):
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 10e6, "b": 10e6}, {"a": 100e6, "b": 100e6}, client_cap=10e6
+        )
+        assert y == pytest.approx(2.0)
+        assert betas["a"] + betas["b"] == pytest.approx(10e6)
+
+    def test_proportional_split(self):
+        # optimal split gives each CSP bandwidth proportional to its load
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 30e6, "b": 10e6}, {"a": 100e6, "b": 100e6}, client_cap=40e6
+        )
+        assert y == pytest.approx(1.0)
+        assert betas["a"] == pytest.approx(30e6)
+        assert betas["b"] == pytest.approx(10e6)
+
+    def test_idle_csp_gets_zero(self):
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 1e6, "b": 0.0}, {"a": 1e6, "b": 1e6}, client_cap=10e6
+        )
+        assert betas["b"] == 0.0
+
+    def test_all_zero_loads(self):
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 0.0}, {"a": 1e6}, client_cap=1e6
+        )
+        assert y == 0.0
+
+    def test_bottleneck_is_binding_constraint(self):
+        # whichever bound is tighter decides y
+        loads = {"a": 10e6, "b": 2e6}
+        link_limited, _ = optimal_bandwidth_allocation(
+            loads, {"a": 1e6, "b": 10e6}, client_cap=1e9
+        )
+        assert link_limited == pytest.approx(10.0)
+        client_limited, _ = optimal_bandwidth_allocation(
+            loads, {"a": 1e9, "b": 1e9}, client_cap=6e6
+        )
+        assert client_limited == pytest.approx(2.0)
+
+    def test_beta_respects_link_caps(self):
+        y, betas = optimal_bandwidth_allocation(
+            {"a": 10e6, "b": 1e6}, {"a": 2e6, "b": 50e6}, client_cap=1e9
+        )
+        assert betas["a"] <= 2e6 + 1e-6
+        # a is the bottleneck at 5s; b needs only 0.2 MB/s
+        assert y == pytest.approx(5.0)
+        assert betas["b"] == pytest.approx(1e6 / 5.0)
+
+    def test_loaded_csp_without_capacity(self):
+        with pytest.raises(SelectionError):
+            optimal_bandwidth_allocation({"a": 1.0}, {}, client_cap=1.0)
+
+    def test_negative_load(self):
+        with pytest.raises(SelectionError):
+            optimal_bandwidth_allocation({"a": -1.0}, {"a": 1.0}, 1.0)
+
+    def test_bad_client_cap(self):
+        with pytest.raises(SelectionError):
+            optimal_bandwidth_allocation({}, {}, client_cap=0)

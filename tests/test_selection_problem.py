@@ -1,0 +1,105 @@
+"""Unit tests for the download problem and plan containers."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection import ChunkDownload, DownloadProblem, SelectionPlan, evaluate_plan
+from repro.selection.problem import validate_plan
+
+CAPS = {"a": 10e6, "b": 5e6, "c": 1e6}
+
+
+def problem(chunks, t=2, client=20e6):
+    return DownloadProblem(
+        chunks=tuple(chunks), t=t, link_caps=CAPS, client_cap=client
+    )
+
+
+class TestProblem:
+    def test_csps_union(self):
+        p = problem(
+            [
+                ChunkDownload("c1", 100, ("a", "b")),
+                ChunkDownload("c2", 100, ("b", "c")),
+            ]
+        )
+        assert p.csps == ["a", "b", "c"]
+
+    def test_infeasible_chunk_rejected(self):
+        with pytest.raises(SelectionError):
+            problem([ChunkDownload("c1", 100, ("a",))], t=2)
+
+    def test_zero_capacity_csp_not_usable(self):
+        caps = {"a": 10e6, "dead": 0.0}
+        with pytest.raises(SelectionError):
+            DownloadProblem(
+                chunks=(ChunkDownload("c1", 100, ("a", "dead")),),
+                t=2, link_caps=caps, client_cap=1e6,
+            )
+
+    def test_duplicate_availability_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkDownload("c1", 100, ("a", "a"))
+
+    def test_bad_t(self):
+        with pytest.raises(SelectionError):
+            problem([ChunkDownload("c1", 1, ("a", "b"))], t=0)
+
+
+class TestPlanValidation:
+    def chunk(self):
+        return ChunkDownload("c1", 1_000_000, ("a", "b", "c"))
+
+    def test_missing_chunk(self):
+        p = problem([self.chunk()])
+        with pytest.raises(SelectionError):
+            validate_plan(p, SelectionPlan(assignments={}))
+
+    def test_wrong_count(self):
+        p = problem([self.chunk()])
+        with pytest.raises(SelectionError):
+            validate_plan(p, SelectionPlan(assignments={"c1": ("a",)}))
+
+    def test_duplicate_csp(self):
+        p = problem([self.chunk()])
+        with pytest.raises(SelectionError):
+            validate_plan(p, SelectionPlan(assignments={"c1": ("a", "a")}))
+
+    def test_unavailable_csp(self):
+        p = problem([ChunkDownload("c1", 1, ("a", "b"))])
+        with pytest.raises(SelectionError):
+            validate_plan(p, SelectionPlan(assignments={"c1": ("a", "c")}))
+
+    def test_valid_plan_passes(self):
+        p = problem([self.chunk()])
+        validate_plan(p, SelectionPlan(assignments={"c1": ("a", "b")}))
+
+
+class TestEvaluation:
+    def test_loads_accumulate(self):
+        p = problem(
+            [
+                ChunkDownload("c1", 100, ("a", "b")),
+                ChunkDownload("c2", 200, ("a", "b", "c")),
+            ]
+        )
+        plan = SelectionPlan(
+            assignments={"c1": ("a", "b"), "c2": ("a", "c")}
+        )
+        loads = plan.loads(p)
+        assert loads == {"a": 300.0, "b": 100.0, "c": 200.0}
+
+    def test_evaluate_sets_fields(self):
+        p = problem([ChunkDownload("c1", 5e6, ("a", "b"))])
+        plan = SelectionPlan(assignments={"c1": ("a", "b")})
+        y, betas = evaluate_plan(p, plan)
+        assert plan.bottleneck_time == y > 0
+        assert plan.bandwidths == betas
+
+    def test_slow_csp_plan_is_worse(self):
+        p = problem([ChunkDownload("c1", 5e6, ("a", "b", "c"))])
+        fast = SelectionPlan(assignments={"c1": ("a", "b")})
+        slow = SelectionPlan(assignments={"c1": ("a", "c")})
+        y_fast, _ = evaluate_plan(p, fast)
+        y_slow, _ = evaluate_plan(p, slow)
+        assert y_fast < y_slow

@@ -1,0 +1,85 @@
+"""Tests for client.storage_stats() and tree-merge commutativity."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metadata import MetadataTree
+from tests.conftest import deterministic_bytes
+from tests.test_metadata_tree import mk
+
+
+class TestStorageStats:
+    def test_empty(self, client):
+        stats = client.storage_stats()
+        assert stats["files"] == 0
+        assert stats["logical_bytes"] == 0
+        assert stats["stored_share_bytes"] == 0
+
+    def test_single_file_expansion_factor(self, client, config):
+        data = deterministic_bytes(9_000, 1)
+        client.put("f.bin", data)
+        stats = client.storage_stats()
+        assert stats["files"] == 1
+        assert stats["logical_bytes"] == 9_000
+        assert stats["unique_chunk_bytes"] == 9_000
+        ratio = stats["stored_share_bytes"] / stats["unique_chunk_bytes"]
+        # n/t = 1.5, padding adds a little
+        assert 1.45 <= ratio <= 1.7
+
+    def test_dedup_visible(self, client):
+        data = deterministic_bytes(6_000, 2)
+        client.put("a.bin", data)
+        client.put("b.bin", data)
+        stats = client.storage_stats()
+        assert stats["files"] == 2
+        assert stats["logical_bytes"] == 12_000
+        assert stats["unique_chunk_bytes"] == 6_000  # stored once
+
+    def test_per_csp_breakdown_sums(self, client):
+        client.put("f.bin", deterministic_bytes(8_000, 3))
+        stats = client.storage_stats()
+        assert sum(stats["per_csp_bytes"].values()) == (
+            stats["stored_share_bytes"]
+        )
+
+    def test_deleted_files_drop_from_logical(self, client):
+        client.put("f.bin", deterministic_bytes(2_000, 4))
+        client.delete("f.bin")
+        stats = client.storage_stats()
+        assert stats["files"] == 0
+        assert stats["logical_bytes"] == 0
+        # shares remain until GC
+        assert stats["stored_share_bytes"] > 0
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_tree_merge_commutes(seed):
+    """Any permutation of the same node set yields the same tree."""
+    rng = random.Random(seed)
+    nodes = [mk("f", "v0")]
+    for i in range(rng.randint(1, 8)):
+        parent = rng.choice(nodes)
+        nodes.append(
+            mk(
+                rng.choice(["f", "g"]),
+                f"v{i + 1}",
+                prev=parent.node_id if rng.random() < 0.7 else
+                "0" * 40,
+                client=f"c{rng.randint(0, 2)}",
+                modified=float(i + 1),
+            )
+        )
+    reference = MetadataTree()
+    reference.merge(nodes)
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    other = MetadataTree()
+    other.merge(shuffled)
+    assert other.node_ids() == reference.node_ids()
+    assert other.file_names(include_deleted=True) == (
+        reference.file_names(include_deleted=True)
+    )
+    for name in reference.file_names():
+        assert other.latest(name).node_id == reference.latest(name).node_id

@@ -1,0 +1,121 @@
+"""Unit tests for CSP platform clustering (Section 4.1, Figure 3)."""
+
+import pytest
+
+from repro.csp.catalog import TABLE2
+from repro.topology import (
+    CLIENT_NODE,
+    Route,
+    cluster_at_level,
+    cluster_csps,
+    render_tree,
+    route_tree,
+    synthesize_routes,
+)
+
+
+class TestRoutes:
+    def test_one_route_per_csp(self):
+        routes = synthesize_routes(["a", "b"], platforms={})
+        assert [r.csp for r in routes] == ["a", "b"]
+
+    def test_shared_platform_shares_backbone(self):
+        routes = synthesize_routes(
+            ["x", "y", "z"], platforms={"x": "aws", "y": "aws"}
+        )
+        by_csp = {r.csp: r.hops for r in routes}
+        # x and y share every hop except the storage endpoint
+        assert by_csp["x"][:-1] == by_csp["y"][:-1]
+        assert by_csp["x"][:-1] != by_csp["z"][:-1]
+
+    def test_deterministic(self):
+        a = synthesize_routes(["a", "b"], {}, seed=5)
+        b = synthesize_routes(["a", "b"], {}, seed=5)
+        assert a == b
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            Route(csp="a", hops=())
+
+
+class TestTree:
+    def test_rooted_at_client(self):
+        routes = synthesize_routes(["a", "b"], {})
+        tree = route_tree(routes)
+        assert tree.nodes[CLIENT_NODE]["depth"] == 0
+
+    def test_leaves_carry_csp_labels(self):
+        routes = synthesize_routes(["a", "b"], {})
+        tree = route_tree(routes)
+        labels = {
+            data["csp"] for _, data in tree.nodes(data=True) if "csp" in data
+        }
+        assert labels == {"a", "b"}
+
+    def test_is_a_tree(self):
+        import networkx as nx
+
+        routes = synthesize_routes(list("abcdef"), {"a": "p", "b": "p"})
+        tree = route_tree(routes)
+        assert nx.is_arborescence(tree)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            route_tree([])
+
+    def test_render(self):
+        routes = synthesize_routes(["a"], {})
+        text = render_tree(route_tree(routes))
+        assert text.startswith(CLIENT_NODE)
+        assert "[a]" in text
+
+
+class TestClustering:
+    def test_shared_platform_co_clusters(self):
+        routes = synthesize_routes(
+            ["x", "y", "z"], platforms={"x": "aws", "y": "aws"}
+        )
+        clusters = cluster_csps(routes)
+        assert {"x", "y"} in clusters
+        assert {"z"} in clusters
+
+    def test_paper_amazon_cluster(self):
+        # Figure 3 / Table 2: the five asterisked CSPs share Amazon
+        platforms = {
+            s.name: "amazon" for s in TABLE2 if s.amazon_platform
+        }
+        routes = synthesize_routes([s.name for s in TABLE2], platforms)
+        clusters = cluster_csps(routes)
+        multi = [c for c in clusters if len(c) > 1]
+        assert multi == [{s.name for s in TABLE2 if s.amazon_platform}]
+        assert len(clusters) == 16  # 1 amazon + 15 singletons
+
+    def test_shallow_cut_merges_everything(self):
+        routes = synthesize_routes(["a", "b", "c"], {}, isp_hops=2)
+        tree = route_tree(routes)
+        clusters = cluster_at_level(tree, 1)
+        assert clusters == [{"a", "b", "c"}]  # still inside the shared ISP
+
+    def test_deep_cut_separates_platform_members(self):
+        routes = synthesize_routes(
+            ["x", "y"], platforms={"x": "p", "y": "p"}, backbone_hops=2
+        )
+        tree = route_tree(routes)
+        max_depth = max(
+            d["depth"] for _, d in tree.nodes(data=True) if "csp" in d
+        )
+        clusters = cluster_at_level(tree, max_depth)
+        assert {"x"} in clusters and {"y"} in clusters
+
+    def test_level_validation(self):
+        routes = synthesize_routes(["a"], {})
+        with pytest.raises(ValueError):
+            cluster_at_level(route_tree(routes), 0)
+
+    def test_auto_level_prefers_informative_cut(self):
+        routes = synthesize_routes(
+            ["x", "y", "z"], platforms={"x": "p", "y": "p"}
+        )
+        clusters = cluster_csps(routes)  # no level given
+        assert any(len(c) > 1 for c in clusters)
+        assert sum(len(c) for c in clusters) == 3

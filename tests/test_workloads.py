@@ -1,0 +1,132 @@
+"""Unit tests for workload generation (Table 4, trial profiles)."""
+
+import pytest
+
+from repro.workloads import (
+    TABLE4_PROFILE,
+    TRIAL_PROFILES,
+    edited_copy,
+    generate_dataset,
+    random_bytes,
+    redundant_bytes,
+    trial_environment,
+)
+from repro.workloads.dataset import TABLE4_TOTAL_BYTES, TABLE4_TOTAL_FILES
+
+
+class TestTable4:
+    def test_profile_totals_match_paper(self):
+        assert sum(p.files for p in TABLE4_PROFILE) == TABLE4_TOTAL_FILES
+        assert sum(p.total_bytes for p in TABLE4_PROFILE) == TABLE4_TOTAL_BYTES
+
+    def test_full_scale_dataset_matches(self):
+        dataset = generate_dataset(scale=1.0)
+        assert len(dataset.files) == 172
+        assert dataset.total_bytes == TABLE4_TOTAL_BYTES
+        by_ext = dataset.by_extension()
+        for profile in TABLE4_PROFILE:
+            files = by_ext[profile.extension]
+            assert len(files) == profile.files
+            assert sum(f.size for f in files) == profile.total_bytes
+
+    def test_scaled_dataset(self):
+        dataset = generate_dataset(scale=0.01)
+        assert len(dataset.files) == 172
+        assert dataset.total_bytes == pytest.approx(
+            TABLE4_TOTAL_BYTES * 0.01, rel=0.01
+        )
+
+    def test_deterministic(self):
+        a = generate_dataset(scale=0.01, seed=5)
+        b = generate_dataset(scale=0.01, seed=5)
+        assert a == b
+        assert a.files[0].content() == b.files[0].content()
+
+    def test_content_sizes_match(self):
+        dataset = generate_dataset(scale=0.005)
+        for f in dataset.files[:5]:
+            assert len(f.content()) == f.size
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate_dataset(scale=0)
+
+
+class TestGenerators:
+    def test_random_bytes_deterministic(self):
+        assert random_bytes(100, 1) == random_bytes(100, 1)
+        assert random_bytes(100, 1) != random_bytes(100, 2)
+
+    def test_redundant_bytes_dedup_friendly(self):
+        from repro.chunking import ContentDefinedChunker
+
+        data = redundant_bytes(200_000, seed=1, redundancy=0.5, span=4096)
+        chunker = ContentDefinedChunker(min_size=256, avg_size=1024,
+                                        max_size=4096)
+        chunks = chunker.chunk_bytes(data)
+        unique = {c.id for c in chunks}
+        assert len(unique) < len(chunks)  # real duplication exists
+
+    def test_redundancy_zero_is_unique(self):
+        data = redundant_bytes(50_000, seed=2, redundancy=0.0, span=1024)
+        assert len(data) == 50_000
+
+    def test_redundancy_validation(self):
+        with pytest.raises(ValueError):
+            redundant_bytes(100, 0, redundancy=1.0)
+
+    def test_edited_copy_mostly_same(self):
+        data = random_bytes(100_000, 3)
+        edited = edited_copy(data, seed=4, edits=2, max_edit=512)
+        assert edited != data
+        # bulk survives at chunk granularity
+        from repro.chunking import ContentDefinedChunker
+
+        chunker = ContentDefinedChunker(min_size=256, avg_size=1024,
+                                        max_size=8192)
+        before = {c.id for c in chunker.chunk_bytes(data)}
+        after = {c.id for c in chunker.chunk_bytes(edited)}
+        assert len(before & after) / len(before) > 0.5
+
+
+class TestTrialProfiles:
+    def test_both_countries(self):
+        assert set(TRIAL_PROFILES) == {"US", "Korea"}
+
+    def test_korea_uplinks_near_table2(self):
+        from repro.csp.catalog import spec_by_name
+
+        korea = trial_environment("Korea")
+        for name, rate in korea.up_rates.items():
+            table2 = spec_by_name(name).throughput_bytes
+            assert 0.5 * table2 < rate < 2.0 * table2
+
+    def test_us_faster_per_csp(self):
+        us = trial_environment("US")
+        korea = trial_environment("Korea")
+        for name in us.up_rates:
+            assert us.up_rates[name] > korea.up_rates[name]
+            assert us.down_rates[name] > korea.down_rates[name]
+
+    def test_us_uplink_is_bottleneck_korea_not(self):
+        us = trial_environment("US")
+        korea = trial_environment("Korea")
+        # the structural facts Figure 19 rests on (Section 7.4)
+        assert us.client_up < sum(us.up_rates.values())
+        assert korea.client_up > sum(korea.up_rates.values())
+
+    def test_korea_downlinks_skewed(self):
+        # what makes (2,4) save so much download time in Korea
+        korea = trial_environment("Korea")
+        rates = sorted(korea.down_rates.values())
+        assert rates[-1] > 3 * rates[0]
+
+    def test_links_constructed(self):
+        links = trial_environment("Korea").links()
+        assert set(links) == set(trial_environment("Korea").up_rates)
+        link = links["Google Drive"]
+        assert link.capacity_at(0, "up") != link.capacity_at(0, "down")
+
+    def test_unknown_country(self):
+        with pytest.raises(KeyError):
+            trial_environment("Atlantis")
