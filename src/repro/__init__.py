@@ -29,7 +29,9 @@ from repro.core.downloader import DownloadReport
 from repro.core.sync import SyncReport
 from repro.core.transfer import DirectEngine, SimulatedEngine, TransferReceiver
 from repro.core.uploader import UploadReport
+from repro.csp.resilient import HealthRegistry, ResilientProvider, RetryPolicy
 from repro.errors import CyrusError
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
 
 __version__ = "1.0.0"
 
@@ -46,5 +48,12 @@ __all__ = [
     "SimulatedEngine",
     "TransferReceiver",
     "CyrusError",
+    "HealthRegistry",
+    "ResilientProvider",
+    "RetryPolicy",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyProvider",
     "__version__",
 ]

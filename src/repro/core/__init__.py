@@ -14,6 +14,7 @@ from repro.core.config import CyrusConfig
 from repro.core.daemon import SyncDaemon
 from repro.core.downloader import DownloadReport, Downloader
 from repro.core.maintenance import GCReport, PruneReport
+from repro.core.retry import ShareRetryLoop
 from repro.core.sync import SyncReport, SyncService
 from repro.core.transfer import (
     DirectEngine,
@@ -38,6 +39,7 @@ __all__ = [
     "SyncReport",
     "GCReport",
     "PruneReport",
+    "ShareRetryLoop",
     "TransferOp",
     "OpResult",
     "DirectEngine",

@@ -15,6 +15,16 @@ A client is one device.  Multiple clients attached to the same provider
 set (and key) form one logical CYRUS cloud: they see each other's
 uploads after a sync and detect conflicts exactly as Section 5.4
 describes.
+
+Failure handling: every client owns (or adopts from its engine) a
+:class:`repro.csp.resilient.HealthRegistry` — the shared per-CSP
+breaker state consulted by the transfer engine, both pipelines, and
+the download selector.  Structured :class:`HealthEvent` records
+accumulate in :attr:`CyrusClient.health_events`.  When a read cannot
+reach ``t`` providers, :meth:`get` falls back to the local chunk cache
+and returns a report explicitly marked ``degraded=True`` (cache entries
+are content-addressed, so a degraded read is stale-versioned at worst,
+never corrupt).
 """
 
 from __future__ import annotations
@@ -31,7 +41,15 @@ from repro.core.sync import SyncReport, SyncService
 from repro.core.transfer import DirectEngine, TransferEngine
 from repro.core.uploader import Uploader, UploadReport
 from repro.csp.base import CloudProvider
-from repro.errors import ConflictError, MetadataError
+from repro.csp.resilient import HealthEvent, HealthRegistry, RetryPolicy
+from repro.errors import (
+    ConflictError,
+    CyrusError,
+    InsufficientSharesError,
+    MetadataError,
+    ShareIntegrityError,
+    TransferError,
+)
 from repro.metadata import (
     GlobalChunkTable,
     MetadataNode,
@@ -44,6 +62,7 @@ from repro.metadata.conflicts import (
     detect_conflicts,
     resolution_winner,
 )
+from repro.util.hashing import sha1_hex
 
 
 @dataclass(frozen=True)
@@ -74,6 +93,8 @@ class CyrusClient:
         selector=None,
         chunker: ContentDefinedChunker | None = None,
         cache=None,
+        health: HealthRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.cloud = cloud
         self.config = config
@@ -85,6 +106,17 @@ class CyrusClient:
         self._selector = selector
         self._chunker = chunker
         self.cache = cache  # optional repro.core.cache.ChunkCache
+        if health is None:
+            health = getattr(engine, "health", None)
+        if health is None:
+            health = HealthRegistry(clock=engine.clock)
+        self.health = health
+        # one health view everywhere: the engine gates dispatch on the
+        # same breakers the pipelines and selector consult
+        self.engine.health = health
+        self._retry_policy = retry_policy
+        self.health_events: list[HealthEvent] = []
+        self.health.subscribe(self.health_events.append)
         self._rebuild_pipelines()
 
     # -- construction -------------------------------------------------------
@@ -121,11 +153,13 @@ class CyrusClient:
             cloud=self.cloud, store=self.store, tree=self.tree,
             chunk_table=self.chunk_table, config=self.config,
             engine=self.engine, chunker=self._chunker,
+            policy=self._retry_policy, health=self.health,
         )
         self.downloader = Downloader(
             cloud=self.cloud, tree=self.tree, chunk_table=self.chunk_table,
             config=self.config, engine=self.engine, selector=self._selector,
             cache=self.cache,
+            policy=self._retry_policy, health=self.health,
         )
         self.syncer = SyncService(
             store=self.store, tree=self.tree, chunk_table=self.chunk_table,
@@ -166,9 +200,24 @@ class CyrusClient:
     def get(
         self, name: str, version: int = 0, sync_first: bool = True
     ) -> DownloadReport:
-        """Download a file (Algorithm 3); ``version`` walks history back."""
+        """Download a file (Algorithm 3); ``version`` walks history back.
+
+        Degraded mode: when fewer than ``t`` providers are reachable
+        (or shares are corrupted beyond repair), the read is served from
+        the local chunk cache when every chunk of the requested version
+        is cached — the returned report carries ``degraded=True`` and
+        the original error is re-raised when the cache cannot cover the
+        file.  A read that completes entirely from cache *after a
+        failed sync* is marked degraded too: the bytes never touched
+        the unreachable cloud, so the version could not be confirmed
+        fresh.  A degraded read may be a stale *version* (the failed
+        sync could hide newer heads) but never stale *bytes*: cache
+        entries are keyed by content hash and re-verified against the
+        node.
+        """
+        sync_failed = False
         if sync_first:
-            self.sync()
+            sync_failed = self._sync_for_read() is None
         node = self.tree.version_at_depth(name, version)
         if node.deleted:
             # the paper lets clients recover deleted files by locating
@@ -179,7 +228,87 @@ class CyrusClient:
             if live is None:
                 raise MetadataError(f"{name!r} has no non-deleted version")
             node = live
-        return self.downloader.download(node)
+        try:
+            report = self.downloader.download(node)
+        except (InsufficientSharesError, TransferError,
+                ShareIntegrityError) as exc:
+            # a transient streak can sideline a provider that is in
+            # fact up; re-probe before settling for the cache, and
+            # retry the download once when anything recovered
+            if self.probe_failed_csps():
+                try:
+                    report = self.downloader.download(node)
+                except (InsufficientSharesError, TransferError,
+                        ShareIntegrityError) as retry_exc:
+                    return self._degraded_get(node, retry_exc)
+            else:
+                return self._degraded_get(node, exc)
+        if (sync_failed and node.chunks and report.bytes_downloaded == 0
+                and not report.degraded):
+            # served entirely from the chunk cache while the cloud was
+            # unreachable: correct bytes, unconfirmed version
+            report.degraded = True
+            self.health.emit(
+                "degraded_read", csp_id="*",
+                detail=(
+                    f"{node.name!r}: cache-served read after a failed "
+                    f"sync — version could not be confirmed fresh"
+                ),
+            )
+        return report
+
+    def _sync_for_read(self) -> SyncReport | None:
+        """Best-effort sync before a read; reads outlive metadata loss."""
+        try:
+            return self.sync()
+        except CyrusError as exc:
+            self.health.emit(
+                "sync_degraded", csp_id="*",
+                detail=f"metadata sync failed, reading local tree: {exc}",
+            )
+            return None
+
+    def _degraded_get(self, node: MetadataNode, exc: CyrusError) -> DownloadReport:
+        """Serve a read entirely from the chunk cache, or re-raise.
+
+        Only possible when every chunk of the version is cached; the
+        assembled bytes are verified against the node's content id, so
+        the degraded path can never return wrong data — only (at worst)
+        a version the failed sync could not refresh.
+        """
+        if self.cache is None:
+            raise exc
+        cached: dict[str, bytes] = {}
+        for record in node.chunks:
+            if record.chunk_id in cached:
+                continue
+            hit = self.cache.get(record.chunk_id)
+            if hit is None:
+                raise exc
+            cached[record.chunk_id] = hit
+        out = bytearray(node.size)
+        covered = 0
+        for record in node.chunks:
+            blob = cached[record.chunk_id]
+            if len(blob) != record.size:
+                raise exc
+            out[record.offset:record.offset + record.size] = blob
+            covered += record.size
+        data = bytes(out)
+        if covered != node.size or sha1_hex(data) != node.file_id:
+            raise exc
+        self.health.emit(
+            "degraded_read", csp_id="*",
+            detail=(
+                f"{node.name!r}: served {len(data)} bytes from chunk "
+                f"cache after {type(exc).__name__}"
+            ),
+        )
+        now = self.engine.clock.now()
+        return DownloadReport(
+            data=data, node=node, started=now, finished=now,
+            bytes_downloaded=0, degraded=True,
+        )
 
     def get_node(self, node: MetadataNode) -> DownloadReport:
         """Download a specific version node (used for history browsing)."""
@@ -346,6 +475,9 @@ class CyrusClient:
             except CSPError:
                 continue
             self.cloud.mark_recovered(csp_id)
+            # a successful probe also closes the breaker so the engine
+            # resumes dispatching without waiting out the reset timeout
+            self.health.record_success(csp_id)
             recovered.append(csp_id)
         return recovered
 

@@ -255,14 +255,24 @@ class CyrusCloud:
             f"cannot place {n} shares on {len(writable)} CSPs"
         )
 
-    def replacement_csp(self, chunk_id: str, holding: Iterable[str]) -> str | None:
-        """A writable CSP not yet holding the chunk (for lazy migration)."""
-        holding = set(holding)
+    def replacement_csp(
+        self,
+        chunk_id: str,
+        holding: Iterable[str],
+        exclude: Iterable[str] = (),
+    ) -> str | None:
+        """A writable CSP not yet holding the chunk (for lazy migration).
+
+        ``exclude`` removes additional candidates — providers already
+        tried this transfer, or ones the health registry reports as
+        breaker-open — without changing their cloud status.
+        """
+        skip = set(holding) | set(exclude)
         writable = self.writable_csps()
         if not writable:
             return None
         for csp in self._ring.successors(chunk_id, len(writable)):
-            if csp not in holding:
+            if csp not in skip:
                 return csp
         return None
 

@@ -2,10 +2,12 @@
 
 Resolve the requested version in the (already synced) metadata tree,
 build the Section 4.3 selection problem over the version's unique
-chunks, pick the t download CSPs per chunk with the configured selector,
-fetch shares in one parallel batch (retrying failures on the chunk's
-remaining CSPs), decode, assemble, verify content hash, check for
-conflicts (Section 5.4), and lazily migrate shares stranded on
+chunks, pick the t download CSPs per chunk with the configured selector
+(health-filtered so breaker-open providers are never chosen), fetch
+shares through the shared :class:`repro.core.retry.ShareRetryLoop`
+(transient failures back off and retry, permanent ones fail over to the
+chunk's remaining CSPs), decode, assemble, verify content hash, check
+for conflicts (Section 5.4), and lazily migrate shares stranded on
 removed/failed CSPs (Section 5.5, Figure 9).
 """
 
@@ -18,14 +20,17 @@ from repro.core.cloud import CSPStatus, CyrusCloud
 from repro.core.config import CyrusConfig
 from repro.core.migration import ShareMigration, migrate_chunk_shares
 from repro.core.naming import chunk_share_object_name
+from repro.core.retry import ShareRetryLoop
 from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
 from repro.core.uploader import get_sharer
+from repro.csp.resilient import HealthRegistry, RetryPolicy
 from repro.erasure import Share
 from repro.errors import (
     CyrusError,
     InsufficientSharesError,
     MetadataError,
     SelectionError,
+    ShareGatherError,
     ShareIntegrityError,
 )
 from repro.metadata import GlobalChunkTable, MetadataNode, MetadataTree
@@ -35,6 +40,7 @@ from repro.selection import (
     CyrusSelector,
     DownloadProblem,
     SelectionPlan,
+    restrict_to_live,
 )
 from repro.util.hashing import sha1_hex
 
@@ -52,6 +58,10 @@ class DownloadReport:
     conflicts: tuple[Conflict, ...] = ()
     migrations: tuple[ShareMigration, ...] = ()
     share_results: tuple[OpResult, ...] = ()
+    #: True when the bytes came from the local chunk cache because
+    #: fewer than t providers were reachable (possibly a stale version,
+    #: never stale bytes — content hashes are re-verified)
+    degraded: bool = False
 
     @property
     def duration(self) -> float:
@@ -93,6 +103,8 @@ class Downloader:
         retry_rounds: int = 2,
         lazy_migration: bool = True,
         cache=None,
+        policy: RetryPolicy | None = None,
+        health: HealthRegistry | None = None,
     ):
         self.cloud = cloud
         self.tree = tree
@@ -100,9 +112,14 @@ class Downloader:
         self.config = config
         self.engine = engine
         self.selector = selector or CyrusSelector(resolve_every=4)
-        self.retry_rounds = retry_rounds
         self.lazy_migration = lazy_migration
         self.cache = cache  # optional repro.core.cache.ChunkCache
+        if policy is None:
+            policy = RetryPolicy(max_attempts=retry_rounds + 1)
+        self.retry_loop = ShareRetryLoop(
+            engine, policy=policy,
+            health=health if health is not None else engine.health,
+        )
         # set by the client so migrations can persist (optional)
         self.store = None
 
@@ -257,10 +274,11 @@ class Downloader:
             if table_entry is not None:
                 for index, csp in table_entry.placements:
                     placements.setdefault(index, csp)
+            active = set(self.cloud.active_csps())
             usable = {
                 index: csp
                 for index, csp in placements.items()
-                if csp in self.cloud.active_csps()
+                if csp in active and self.retry_loop.alternate_is_live(csp)
             }
             if len({csp for csp in usable.values()}) < record.t:
                 raise InsufficientSharesError(
@@ -285,6 +303,7 @@ class Downloader:
         by_t: dict[int, list[_ChunkState]] = {}
         for state in states.values():
             by_t.setdefault(state.t, []).append(state)
+        health = self.retry_loop.health
         plans = []
         for t, members in sorted(by_t.items()):
             problem = DownloadProblem(
@@ -300,6 +319,10 @@ class Downloader:
                 link_caps=caps,
                 client_cap=client_cap,
             )
+            if health is not None:
+                problem = restrict_to_live(
+                    problem, health.live(problem.csps)
+                )
             plans.append(self.selector.select(problem))
         return plans
 
@@ -308,60 +331,80 @@ class Downloader:
         states: dict[str, _ChunkState],
         plans: list[SelectionPlan],
     ) -> list[OpResult]:
-        """Fetch t shares per chunk, falling back on GET failures."""
-        assignments: dict[str, list[str]] = {}
+        """Fetch t shares per chunk via the shared retry loop.
+
+        Each selected (chunk, CSP) pair is one loop item: transient GET
+        failures retry the same provider with backoff; exhausted or
+        permanently-failed providers fail over to the chunk's remaining
+        live placements.
+        """
+
+        def build_op(key, csp: str) -> TransferOp:
+            state = states[key[0]]
+            return TransferOp(
+                kind=OpKind.GET,
+                csp_id=csp,
+                name=chunk_share_object_name(
+                    state.index_at(csp), state.chunk_id
+                ),
+                size=state.share_size(),
+                chunk_id=state.chunk_id,
+            )
+
+        def on_success(key, csp: str, result: OpResult) -> None:
+            state = states[key[0]]
+            state.shares[state.index_at(csp)] = result.data
+
+        def on_giveup(key, csp: str, result: OpResult) -> None:
+            # an open breaker or a missing object says nothing bad about
+            # the provider's availability; everything else does
+            if result.error_type not in (
+                "CircuitOpenError", "ObjectNotFoundError",
+            ):
+                self.cloud.mark_failed(csp)
+
+        def pick_alternate(key, failed_csp: str, tried: set[str]) -> str | None:
+            state = states[key[0]]
+            if len(state.shares) >= state.t:
+                return None
+            alternates = [
+                c
+                for c in sorted(set(state.placements.values()))
+                if c not in state.tried
+                and self.cloud.status_of(c) is CSPStatus.ACTIVE
+                and self.retry_loop.alternate_is_live(c)
+            ]
+            if not alternates:
+                return None
+            chosen = alternates[0]
+            state.tried.add(chosen)
+            return chosen
+
+        items = []
         for plan in plans:
             for chunk_id, csps in plan.assignments.items():
-                assignments[chunk_id] = list(csps)
-        all_results: list[OpResult] = []
-        pending: list[tuple[_ChunkState, str]] = []
-        for chunk_id, csps in assignments.items():
-            state = states[chunk_id]
-            for csp in csps:
-                state.tried.add(csp)
-                pending.append((state, csp))
-        for round_no in range(self.retry_rounds + 1):
-            if not pending:
-                break
-            ops = [
-                TransferOp(
-                    kind=OpKind.GET,
-                    csp_id=csp,
-                    name=chunk_share_object_name(state.index_at(csp), state.chunk_id),
-                    size=state.share_size(),
-                    chunk_id=state.chunk_id,
-                )
-                for state, csp in pending
-            ]
-            results = self.engine.execute(ops)
-            all_results.extend(results)
-            retry: list[tuple[_ChunkState, str]] = []
-            for (state, csp), result in zip(pending, results):
-                if result.ok:
-                    state.shares[state.index_at(csp)] = result.data
-                else:
-                    self.cloud.mark_failed(csp)
-                    retry.append((state, csp))
-            pending = []
-            for state, _failed in retry:
-                if len(state.shares) >= state.t:
-                    continue
-                alternates = [
-                    c
-                    for c in sorted(set(state.placements.values()))
-                    if c not in state.tried
-                    and self.cloud.status_of(c) is CSPStatus.ACTIVE
-                ]
-                if not alternates:
-                    continue
-                chosen = alternates[0]
-                state.tried.add(chosen)
-                pending.append((state, chosen))
+                state = states[chunk_id]
+                for slot, csp in enumerate(csps):
+                    state.tried.add(csp)
+                    items.append(((chunk_id, slot), csp))
+        all_results, attempts = self.retry_loop.run(
+            items, build_op, on_success, on_giveup, pick_alternate
+        )
         for state in states.values():
             if len(state.shares) < state.t:
-                raise InsufficientSharesError(
+                history = [
+                    attempt
+                    for (chunk_id, _slot), tries in sorted(attempts.items())
+                    if chunk_id == state.chunk_id
+                    for attempt in tries
+                ]
+                failures = [a for a in history if not a.ok]
+                raise ShareGatherError(
                     f"chunk {state.chunk_id[:8]}: fetched "
-                    f"{len(state.shares)} shares, need {state.t}"
+                    f"{len(state.shares)} shares, need {state.t} "
+                    f"({len(history)} attempts: "
+                    f"{'; '.join(str(a) for a in failures)})",
+                    attempts=history,
                 )
         return all_results
 
@@ -414,41 +457,56 @@ class Downloader:
         placements, then searches for a t-subset whose decode matches
         the chunk's content id.  Tolerates up to ``n - t`` corrupted
         shares, as the paper claims for the non-systematic R-S code.
+
+        When no subset verifies, every fetched share is suspect (the
+        search cannot tell which ones lied), so the repair evicts them
+        all and refetches with backoff — a share corrupted in transit
+        (or lost to a transient blip) often comes back clean.
         """
-        missing = [
-            (index, csp)
-            for index, csp in sorted(state.placements.items())
-            if index not in state.shares
-        ]
-        if missing:
-            ops = [
-                TransferOp(
-                    kind=OpKind.GET,
-                    csp_id=csp,
-                    name=chunk_share_object_name(index, state.chunk_id),
-                    size=state.share_size(),
-                    chunk_id=state.chunk_id,
-                )
-                for index, csp in missing
+        policy = self.retry_loop.policy
+        last_exc: CyrusError | None = None
+        for round_no in range(policy.max_attempts):
+            if round_no:
+                self.engine.sleep(policy.delay(round_no))
+            missing = [
+                (index, csp)
+                for index, csp in sorted(state.placements.items())
+                if index not in state.shares
             ]
-            for (index, _csp), result in zip(missing, self.engine.execute(ops)):
-                if result.ok:
-                    state.shares[index] = result.data
-        shares = [
-            Share(index=i, data=blob, t=state.t, n=state.n,
-                  chunk_size=state.size)
-            for i, blob in sorted(state.shares.items())
-        ]
-        try:
-            return sharer.join_verified(
-                shares,
-                verify=lambda plaintext: sha1_hex(plaintext) == state.chunk_id,
-            )
-        except CyrusError as exc:
-            raise ShareIntegrityError(
-                f"chunk {state.chunk_id[:8]}: corrupted beyond repair "
-                f"({exc})"
-            ) from exc
+            if missing:
+                ops = [
+                    TransferOp(
+                        kind=OpKind.GET,
+                        csp_id=csp,
+                        name=chunk_share_object_name(index, state.chunk_id),
+                        size=state.share_size(),
+                        chunk_id=state.chunk_id,
+                    )
+                    for index, csp in missing
+                ]
+                for (index, _csp), result in zip(
+                    missing, self.engine.execute(ops)
+                ):
+                    if result.ok:
+                        state.shares[index] = result.data
+            shares = [
+                Share(index=i, data=blob, t=state.t, n=state.n,
+                      chunk_size=state.size)
+                for i, blob in sorted(state.shares.items())
+            ]
+            try:
+                return sharer.join_verified(
+                    shares,
+                    verify=lambda plaintext: sha1_hex(plaintext)
+                    == state.chunk_id,
+                )
+            except CyrusError as exc:
+                last_exc = exc
+                state.shares.clear()
+        raise ShareIntegrityError(
+            f"chunk {state.chunk_id[:8]}: corrupted beyond repair "
+            f"({last_exc})"
+        ) from last_exc
 
     def _migrate(self, states: dict[str, _ChunkState]) -> list[ShareMigration]:
         """Figure 9: re-home shares stranded on unusable CSPs."""

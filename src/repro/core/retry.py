@@ -1,0 +1,126 @@
+"""The shared share-transfer retry loop.
+
+Before this module existed, :class:`Uploader` and :class:`Downloader`
+each hard-coded their own ``retry_rounds`` loop: blind re-dispatch, no
+backoff, no transient/permanent distinction, no record of what was
+tried.  :class:`ShareRetryLoop` centralises the round structure both
+pipelines share:
+
+* execute the current round as one parallel batch;
+* classify each failure — transient errors retry the *same* provider
+  until the policy's per-provider budget runs out, permanent errors
+  (and exhausted providers) fail over to a caller-chosen alternate;
+* back off between rounds per the :class:`RetryPolicy` (advancing a
+  SimClock exactly, sleeping a wall clock for real);
+* record every try as an :class:`repro.errors.Attempt` so exhaustion
+  errors can carry the full per-CSP history.
+
+The callers keep what is genuinely theirs: how to build an op, what a
+success means, and where alternate shares may live.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from repro.core.transfer import OpResult, TransferEngine, TransferOp
+from repro.csp.resilient import HealthRegistry, RetryPolicy
+from repro.errors import Attempt
+
+# An item is one share transfer to drive to completion: (key, csp_id).
+# The key identifies the share to the caller (e.g. (chunk_id, index)).
+Item = tuple[Hashable, str]
+
+#: Safety valve; the loop's budgets terminate it far earlier.
+_MAX_ROUNDS = 1000
+
+
+class ShareRetryLoop:
+    """Round-based batch retry driver shared by upload and download.
+
+    Args:
+        engine: Executes each round's batch.
+        policy: Backoff and per-provider attempt budget.
+        health: Optional shared registry; the loop reports it to
+            ``pick_alternate`` callers via :meth:`alternate_is_live` and
+            leaves outcome recording to the engine (which sees every
+            dispatch, including non-loop ones).
+    """
+
+    def __init__(
+        self,
+        engine: TransferEngine,
+        policy: RetryPolicy | None = None,
+        health: HealthRegistry | None = None,
+    ):
+        self.engine = engine
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.health = health
+
+    def alternate_is_live(self, csp_id: str) -> bool:
+        """Health gate for alternate choice (True without a registry)."""
+        return self.health is None or self.health.is_live(csp_id)
+
+    def run(
+        self,
+        items: Sequence[Item],
+        build_op: Callable[[Hashable, str], TransferOp],
+        on_success: Callable[[Hashable, str, OpResult], None],
+        on_giveup: Callable[[Hashable, str, OpResult], None],
+        pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+    ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
+        """Drive every item to success or exhaustion.
+
+        Args:
+            items: Initial (key, csp) assignments.
+            build_op: Materialise the op for one assignment.
+            on_success: Called once per item that lands.
+            on_giveup: Called when an item abandons a provider (after
+                transient retries ran out or a permanent error) — the
+                place to mark cloud state; an alternate may still be
+                tried afterwards.
+            pick_alternate: ``(key, failed_csp, tried) -> csp | None``;
+                None drops the item (the caller's threshold check
+                decides whether that is fatal).
+
+        Returns:
+            ``(all op results, per-key attempt history)``.
+        """
+        all_results: list[OpResult] = []
+        attempts: dict[Hashable, list[Attempt]] = {key: [] for key, _ in items}
+        tried: dict[Hashable, set[str]] = {key: {csp} for key, csp in items}
+        per_csp_tries: dict[Item, int] = {}
+        pending: list[Item] = list(items)
+        for round_no in range(_MAX_ROUNDS):
+            if not pending:
+                break
+            if round_no > 0:
+                # all pending items are retries/failovers: back off once
+                # per round (batched, like the dispatch itself)
+                self.engine.sleep(self.policy.delay(round_no))
+            ops = [build_op(key, csp) for key, csp in pending]
+            results = self.engine.execute(ops)
+            all_results.extend(results)
+            next_pending: list[Item] = []
+            for (key, csp), result in zip(pending, results):
+                attempts.setdefault(key, []).append(Attempt(
+                    csp_id=csp, round_no=round_no, ok=result.ok,
+                    error=result.error, error_type=result.error_type,
+                ))
+                if result.ok:
+                    on_success(key, csp, result)
+                    continue
+                per_csp_tries[(key, csp)] = per_csp_tries.get((key, csp), 0) + 1
+                retryable = bool(result.retryable) and not result.cancelled
+                if (retryable
+                        and per_csp_tries[(key, csp)] < self.policy.max_attempts
+                        and self.alternate_is_live(csp)):
+                    next_pending.append((key, csp))
+                    continue
+                on_giveup(key, csp, result)
+                alternate = pick_alternate(key, csp, tried[key])
+                if alternate is not None:
+                    tried[key].add(alternate)
+                    next_pending.append((key, alternate))
+            pending = next_pending
+        return all_results, attempts

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from repro.csp.base import CloudProvider
-from repro.errors import CSPError, TransferError
+from repro.csp.resilient import HealthRegistry
+from repro.errors import CSPError, CSPUnavailableError, TransferError, is_retryable
 from repro.netsim.link import Link
 from repro.netsim.simulator import FlowSimulator, TransferRequest
 from repro.util.clock import Clock, SimClock, WallClock
@@ -87,6 +88,9 @@ class OpResult:
     error: str | None = None
     error_type: str | None = None
     cancelled: bool = False
+    # transient/permanent classification of the failure (None on success):
+    # True = a same-provider retry may succeed; False = re-route instead
+    retryable: bool | None = None
 
     @property
     def duration(self) -> float:
@@ -169,10 +173,48 @@ class TransferEngine:
         providers: Mapping[str, CloudProvider],
         clock: Clock | None = None,
         receiver: TransferReceiver | None = None,
+        health: HealthRegistry | None = None,
     ):
         self._providers = dict(providers)
         self.clock = clock if clock is not None else WallClock()
         self.receiver = receiver
+        # shared per-CSP health: breaker fail-fast + outcome recording
+        self.health = health
+
+    def sleep(self, seconds: float) -> None:
+        """Backoff sleep: advance a SimClock exactly, else really sleep."""
+        if seconds <= 0:
+            return
+        advance = getattr(self.clock, "advance", None)
+        if callable(advance):
+            advance(seconds)
+        else:
+            import time
+
+            time.sleep(seconds)
+
+    def _breaker_blocks(self, op: TransferOp, now: float) -> OpResult | None:
+        """Fail fast (without dispatching) when the CSP's circuit is open."""
+        if self.health is None or self.health.allow(op.csp_id):
+            return None
+        return OpResult(
+            op=op, ok=False, start=now, end=now,
+            error=f"circuit open for {op.csp_id}",
+            error_type="CircuitOpenError", retryable=False,
+        )
+
+    def _record_health(self, csp_id: str, exc: CSPError | None) -> None:
+        """Feed an op outcome to the registry.
+
+        Only unavailability counts as a health failure; an auth/quota/
+        not-found response proves the provider is reachable.
+        """
+        if self.health is None:
+            return
+        if exc is not None and isinstance(exc, CSPUnavailableError):
+            self.health.record_failure(csp_id, exc)
+        else:
+            self.health.record_success(csp_id)
 
     def register_provider(self, provider: CloudProvider) -> None:
         self._providers[provider.csp_id] = provider
@@ -247,9 +289,14 @@ class DirectEngine(TransferEngine):
                     )
                 )
                 continue
+            blocked = self._breaker_blocks(op, start)
+            if blocked is not None:
+                results.append(self._emit(blocked))
+                continue
             try:
                 data = self._apply(op)
                 end = self.clock.now()
+                self._record_health(op.csp_id, None)
                 results.append(
                     self._emit(OpResult(op=op, ok=True, start=start, end=end,
                                         data=data))
@@ -258,10 +305,12 @@ class DirectEngine(TransferEngine):
                     quota_left[group] -= 1
             except CSPError as exc:
                 end = self.clock.now()
+                self._record_health(op.csp_id, exc)
                 results.append(
                     self._emit(OpResult(op=op, ok=False, start=start, end=end,
                                         error=str(exc),
-                                        error_type=type(exc).__name__))
+                                        error_type=type(exc).__name__,
+                                        retryable=is_retryable(exc)))
                 )
         return results
 
@@ -284,8 +333,10 @@ class SimulatedEngine(TransferEngine):
         client_up: float = float("inf"),
         client_down: float = float("inf"),
         receiver: TransferReceiver | None = None,
+        health: HealthRegistry | None = None,
     ):
-        super().__init__(providers, clock=clock, receiver=receiver)
+        super().__init__(providers, clock=clock, receiver=receiver,
+                         health=health)
         self._links = dict(links)
         self._sim = FlowSimulator(self._links, client_up=client_up,
                                   client_down=client_down)
@@ -322,11 +373,20 @@ class SimulatedEngine(TransferEngine):
         req_to_op: list[int] = []
         for i, op in enumerate(ops):
             provider = self.provider(op.csp_id)
+            blocked = self._breaker_blocks(op, start_time)
+            if blocked is not None:
+                results[i] = blocked
+                continue
             if not self._is_up(provider, start_time):
+                self._record_health(
+                    op.csp_id,
+                    CSPUnavailableError(f"{op.csp_id} unavailable",
+                                        csp_id=op.csp_id),
+                )
                 results[i] = OpResult(
                     op=op, ok=False, start=start_time, end=start_time,
                     error=f"{op.csp_id} unavailable",
-                    error_type="CSPUnavailableError",
+                    error_type="CSPUnavailableError", retryable=True,
                 )
                 continue
             requests.append(
@@ -353,20 +413,28 @@ class SimulatedEngine(TransferEngine):
                                       cancelled=True, error="cancelled (quota)")
                 continue
             if not self._is_up(provider, tr.end):
+                self._record_health(
+                    op.csp_id,
+                    CSPUnavailableError(f"{op.csp_id} went down mid-transfer",
+                                        csp_id=op.csp_id),
+                )
                 results[i] = OpResult(
                     op=op, ok=False, start=tr.start, end=tr.end,
                     error=f"{op.csp_id} went down mid-transfer",
-                    error_type="CSPUnavailableError",
+                    error_type="CSPUnavailableError", retryable=True,
                 )
                 continue
             try:
                 data = self._apply(op)
+                self._record_health(op.csp_id, None)
                 results[i] = OpResult(op=op, ok=True, start=tr.start, end=tr.end,
                                       data=data)
             except CSPError as exc:
+                self._record_health(op.csp_id, exc)
                 results[i] = OpResult(op=op, ok=False, start=tr.start, end=tr.end,
                                       error=str(exc),
-                                      error_type=type(exc).__name__)
+                                      error_type=type(exc).__name__,
+                                      retryable=is_retryable(exc))
         self.clock.advance_to(max(batch_end, start_time))
         final = [r for r in results if r is not None]
         if len(final) != len(ops):  # pragma: no cover - internal invariant

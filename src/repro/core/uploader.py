@@ -7,10 +7,13 @@ chunks' shares to consistent-hash-selected CSPs in one parallel batch,
 and only then publish the version's metadata — "so that no other client
 will attempt to download the file before all shares have been uploaded."
 
-Upload failures mark the CSP as failed and retry the share on a
-replacement provider; a chunk that cannot reach ``t`` stored shares
-aborts the upload (the data would be unrecoverable), while one that
-reaches ``t`` but not ``n`` is accepted and reported as degraded.
+Upload failures run through the shared :class:`ShareRetryLoop`:
+transient errors back off and retry the same provider, permanent ones
+fail over to a health-checked replacement, and exhausted providers are
+marked failed (or write-full on quota).  A chunk that cannot reach ``t``
+stored shares aborts the upload (the data would be unrecoverable) with
+the full per-CSP attempt history; one that reaches ``t`` but not ``n``
+is accepted and reported as degraded.
 """
 
 from __future__ import annotations
@@ -23,7 +26,9 @@ from repro.chunking import Chunk, ContentDefinedChunker
 from repro.core.cloud import CyrusCloud
 from repro.core.config import CyrusConfig
 from repro.core.naming import chunk_share_object_name
+from repro.core.retry import ShareRetryLoop
 from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
+from repro.csp.resilient import HealthRegistry, RetryPolicy
 from repro.erasure import KeyedSharer
 from repro.errors import TransferError
 from repro.metadata import (
@@ -95,6 +100,8 @@ class Uploader:
         engine: TransferEngine,
         chunker: ContentDefinedChunker | None = None,
         retry_rounds: int = 2,
+        policy: RetryPolicy | None = None,
+        health: HealthRegistry | None = None,
     ):
         self.cloud = cloud
         self.store = store
@@ -109,7 +116,13 @@ class Uploader:
             engine=config.chunker_engine,
             seed=config.chunker_seed,
         )
-        self.retry_rounds = retry_rounds
+        # legacy retry_rounds maps onto the shared policy's attempt budget
+        if policy is None:
+            policy = RetryPolicy(max_attempts=retry_rounds + 1)
+        self.retry_loop = ShareRetryLoop(
+            engine, policy=policy,
+            health=health if health is not None else engine.health,
+        )
 
     # ------------------------------------------------------------------
 
@@ -208,64 +221,75 @@ class Uploader:
     def _scatter(
         self, plans: list[_ChunkPlan]
     ) -> tuple[list[OpResult], set[str]]:
-        """Upload all new chunks' shares; retry failures on alternates."""
-        all_results: list[OpResult] = []
+        """Upload all new chunks' shares via the shared retry loop."""
         outstanding: dict[str, _ChunkPlan] = {p.chunk.id: p for p in plans}
         succeeded: dict[str, set[int]] = {cid: set() for cid in outstanding}
-        pending: list[tuple[_ChunkPlan, int, str]] = [
-            (plan, idx, csp)
+
+        def build_op(key, csp: str) -> TransferOp:
+            cid, idx = key
+            return TransferOp(
+                kind=OpKind.PUT,
+                csp_id=csp,
+                name=chunk_share_object_name(idx, cid),
+                data=outstanding[cid].share_data(self.config.key, idx),
+                chunk_id=cid,
+                file_key=None,
+            )
+
+        def on_success(key, csp: str, result: OpResult) -> None:
+            cid, idx = key
+            succeeded[cid].add(idx)
+
+        def on_giveup(key, csp: str, result: OpResult) -> None:
+            if result.quota_exceeded:
+                # full, not broken: keep it readable, stop placing new
+                # shares there (Section 8)
+                self.cloud.mark_write_full(csp)
+            elif result.error_type != "CircuitOpenError":
+                # genuine provider failure, retries exhausted; an open
+                # breaker already embargoes the CSP without a status flip
+                self.cloud.mark_failed(csp)
+
+        def pick_alternate(key, failed_csp: str, tried: set[str]) -> str | None:
+            cid, idx = key
+            plan = outstanding[cid]
+            dead = {
+                c for c in self.cloud.writable_csps()
+                if not self.retry_loop.alternate_is_live(c)
+            }
+            replacement = self.cloud.replacement_csp(
+                cid, holding=plan.placements.values(), exclude=tried | dead
+            )
+            if replacement is None:
+                plan.placements.pop(idx, None)
+                return None
+            plan.placements[idx] = replacement
+            return replacement
+
+        items = [
+            ((plan.chunk.id, idx), csp)
             for plan in plans
-            for idx, csp in plan.placements.items()
+            for idx, csp in sorted(plan.placements.items())
         ]
-        for round_no in range(self.retry_rounds + 1):
-            if not pending:
-                break
-            ops = [
-                TransferOp(
-                    kind=OpKind.PUT,
-                    csp_id=csp,
-                    name=chunk_share_object_name(idx, plan.chunk.id),
-                    data=plan.share_data(self.config.key, idx),
-                    chunk_id=plan.chunk.id,
-                    file_key=None,
-                )
-                for plan, idx, csp in pending
-            ]
-            results = self.engine.execute(ops)
-            all_results.extend(results)
-            failed: list[tuple[_ChunkPlan, int, str]] = []
-            for (plan, idx, csp), result in zip(pending, results):
-                if result.ok:
-                    succeeded[plan.chunk.id].add(idx)
-                else:
-                    if result.quota_exceeded:
-                        # full, not broken: keep it readable, stop
-                        # placing new shares there (Section 8)
-                        self.cloud.mark_write_full(csp)
-                    else:
-                        self.cloud.mark_failed(csp)
-                    failed.append((plan, idx, csp))
-            pending = []
-            if round_no == self.retry_rounds:
-                for plan, idx, csp in failed:
-                    plan.placements.pop(idx, None)
-                break
-            for plan, idx, csp in failed:
-                replacement = self.cloud.replacement_csp(
-                    plan.chunk.id, holding=plan.placements.values()
-                )
-                if replacement is None:
-                    plan.placements.pop(idx, None)
-                    continue
-                plan.placements[idx] = replacement
-                pending.append((plan, idx, replacement))
+        all_results, attempts = self.retry_loop.run(
+            items, build_op, on_success, on_giveup, pick_alternate
+        )
         degraded: set[str] = set()
         for cid, plan in outstanding.items():
             stored = len(succeeded[cid])
             if stored < plan.t:
+                history = [
+                    attempt
+                    for (chunk_id, _idx), tries in sorted(attempts.items())
+                    if chunk_id == cid
+                    for attempt in tries
+                ]
                 raise TransferError(
                     f"chunk {cid[:8]}: only {stored} shares stored, "
-                    f"need t={plan.t} for recoverability"
+                    f"need t={plan.t} for recoverability "
+                    f"({len(history)} attempts: "
+                    f"{'; '.join(str(a) for a in history if not a.ok)})",
+                    attempts=history,
                 )
             if stored < plan.n:
                 degraded.add(cid)
@@ -331,7 +355,13 @@ class Uploader:
         )
 
     def _publish(self, node: MetadataNode) -> list[OpResult]:
-        """Scatter the node's metadata shares (PUT_META batch)."""
+        """Scatter the node's metadata shares (PUT_META batch).
+
+        Metadata slots are fixed (the name encodes the slot), so there
+        is no failing over to an alternate CSP — but transient failures
+        are retried in place with backoff, on the same attempt budget
+        as share transfers.
+        """
         ops = [
             TransferOp(
                 kind=OpKind.PUT_META,
@@ -341,7 +371,22 @@ class Uploader:
             )
             for provider, obj_name, share in self.store.shares_for(node)
         ]
-        results = self.engine.execute(ops)
+        policy = self.retry_loop.policy
+        final: dict[int, OpResult] = {}
+        pending = list(enumerate(ops))
+        for round_no in range(policy.max_attempts):
+            if round_no:
+                self.engine.sleep(policy.delay(round_no))
+            batch = self.engine.execute([op for _, op in pending])
+            retry: list[tuple[int, TransferOp]] = []
+            for (slot, op), res in zip(pending, batch):
+                final[slot] = res
+                if not res.ok and res.retryable:
+                    retry.append((slot, op))
+            pending = retry
+            if not pending:
+                break
+        results = [final[i] for i in range(len(ops))]
         stored = sum(1 for r in results if r.ok)
         if stored < self.store.t:
             raise TransferError(

@@ -16,6 +16,11 @@ package defines that interface and three implementations:
 :mod:`repro.csp.catalog` reproduces the paper's Table 2: the twenty
 commercial CSPs with their protocols, auth schemes, measured RTTs and
 derived throughputs.
+
+:mod:`repro.csp.resilient` wraps any provider in the failure-handling
+envelope (Section 5.5): per-operation deadlines, exponential backoff
+with deterministic jitter, and a per-CSP circuit breaker feeding the
+shared :class:`HealthRegistry`.
 """
 
 from repro.csp.account import AuthToken, Credentials
@@ -23,6 +28,16 @@ from repro.csp.base import CloudProvider, ObjectInfo
 from repro.csp.catalog import CSPSpec, TABLE2, amazon_hosted, spec_by_name
 from repro.csp.localfs import LocalDirectoryCSP
 from repro.csp.memory import InMemoryCSP
+from repro.csp.resilient import (
+    BreakerState,
+    CircuitBreaker,
+    CSPHealth,
+    HealthEvent,
+    HealthRegistry,
+    ResilientProvider,
+    RetryPolicy,
+    wrap_resilient,
+)
 from repro.csp.simulated import AvailabilitySchedule, SimulatedCSP
 
 __all__ = [
@@ -38,4 +53,12 @@ __all__ = [
     "TABLE2",
     "amazon_hosted",
     "spec_by_name",
+    "BreakerState",
+    "CircuitBreaker",
+    "CSPHealth",
+    "HealthEvent",
+    "HealthRegistry",
+    "ResilientProvider",
+    "RetryPolicy",
+    "wrap_resilient",
 ]

@@ -27,6 +27,21 @@ class LocalDirectoryCSP(CloudProvider):
         super().__init__(csp_id)
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_torn_uploads()
+
+    def _sweep_torn_uploads(self) -> None:
+        """Remove ``.part`` temp files left by a crash mid-upload.
+
+        An upload that died between ``write_bytes`` and ``replace``
+        leaves a ``.part`` file holding a torn object; it is garbage —
+        the upload never completed, so nothing references it.
+        """
+        for stale in self.root.glob("*.part"):
+            if stale.is_file():
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - racing sweeper
+                    pass
 
     def _path(self, name: str) -> Path:
         if not _SAFE_NAME.match(name):
@@ -41,6 +56,8 @@ class LocalDirectoryCSP(CloudProvider):
         for path in sorted(self.root.iterdir()):
             if not path.is_file() or not path.name.startswith(prefix):
                 continue
+            if path.name.endswith(".part"):
+                continue  # in-flight (or torn) upload temp, not an object
             stat = path.stat()
             out.append(
                 ObjectInfo(name=path.name, size=stat.st_size, modified=stat.st_mtime)

@@ -1,0 +1,452 @@
+"""Resilient provider layer: deadlines, backoff, circuit breakers, health.
+
+The paper's Section 5.5 treats CSP failure as a first-class event:
+autonomous providers go down, come back, throttle, and expire tokens on
+their own schedules, and the client must keep serving through it all.
+This module gives every :class:`repro.csp.base.CloudProvider` a uniform
+resilience envelope:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  over the transient/permanent classification in :mod:`repro.errors`;
+* :class:`CircuitBreaker` — per-CSP closed → open → half-open breaker so
+  a dead provider stops eating retry budget after a few failures;
+* :class:`HealthRegistry` — the shared per-CSP health view (breaker
+  states, failure counts, last errors) that the transfer engine, the
+  upload/download pipelines and the download selector all consult;
+* :class:`ResilientProvider` — a wrapper applying a per-operation
+  deadline, the retry policy and the breaker to any provider.
+
+Everything takes a :class:`repro.util.clock.Clock`, so breaker timeouts
+and backoff sleeps are exact on a :class:`SimClock` and real against
+wall-clock providers.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.csp.base import CloudProvider, ObjectInfo
+from repro.errors import (
+    CircuitOpenError,
+    CSPError,
+    CSPTimeoutError,
+    CSPUnavailableError,
+    is_retryable,
+)
+from repro.util.clock import Clock, WallClock
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``max_attempts`` bounds tries *per provider per operation*; once a
+    provider exhausts them the caller fails over to an alternate.
+    Jitter is derived from ``(seed, attempt)`` rather than a shared RNG
+    stream so that two identically-seeded runs produce identical delay
+    schedules regardless of interleaving — a requirement for
+    reproducible chaos tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based, deterministic)."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        u = random.Random(f"{self.seed}:{attempt}").random()
+        return raw * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Retry the *same* provider? (transient error, budget left)."""
+        return attempt < self.max_attempts and is_retryable(exc)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker lifecycle."""
+
+    CLOSED = "closed"  # normal operation
+    OPEN = "open"  # failing fast; no calls dispatched
+    HALF_OPEN = "half_open"  # probation: one probe allowed through
+
+
+class CircuitBreaker:
+    """Per-CSP circuit breaker.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` returns False (callers fail fast without
+    touching the provider).  After ``reset_timeout`` seconds the breaker
+    half-opens and :meth:`allow` admits exactly one probe; a recorded
+    success closes the circuit, a failure re-opens it for another full
+    timeout.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.clock = clock if clock is not None else WallClock()
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+        self.opened_count = 0  # lifetime open transitions (observability)
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, refreshing the OPEN → HALF_OPEN timeout edge."""
+        if (self._state is BreakerState.OPEN
+                and self.clock.now() >= self._opened_at + self.reset_timeout):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether a call may be dispatched right now.
+
+        In HALF_OPEN, only the first caller gets True (the probe); the
+        rest fail fast until the probe's outcome is recorded.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = BreakerState.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            self._trip()  # failed probe: back to a full timeout
+        elif (state is BreakerState.CLOSED
+              and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self.clock.now()
+        self._probe_inflight = False
+        self.opened_count += 1
+
+
+# ---------------------------------------------------------------------------
+# health registry
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One structured failure-handling event (for logs and clients)."""
+
+    time: float
+    kind: str  # "failure" | "breaker_open" | "breaker_close" | "probe_failed" | "degraded_read" | "sync_degraded"
+    csp_id: str | None
+    detail: str
+
+
+@dataclass
+class CSPHealth:
+    """Snapshot of one provider's health (returned by the registry)."""
+
+    csp_id: str
+    state: BreakerState
+    consecutive_failures: int
+    successes: int
+    failures: int
+    last_error: str | None
+
+
+class HealthRegistry:
+    """Shared per-CSP health: breaker states, counters, event stream.
+
+    One registry is shared by the transfer engine (fail-fast + outcome
+    recording), the pipelines (alternate-CSP choice) and the selector
+    (candidate filtering), so every layer sees the same liveness view.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+    ):
+        self.clock = clock if clock is not None else WallClock()
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._successes: dict[str, int] = {}
+        self._failures: dict[str, int] = {}
+        self._last_error: dict[str, str] = {}
+        self._listeners: list[Callable[[HealthEvent], None]] = []
+
+    # -- wiring ----------------------------------------------------------
+
+    def breaker(self, csp_id: str) -> CircuitBreaker:
+        brk = self._breakers.get(csp_id)
+        if brk is None:
+            brk = CircuitBreaker(
+                clock=self.clock,
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+            )
+            self._breakers[csp_id] = brk
+        return brk
+
+    def subscribe(self, listener: Callable[[HealthEvent], None]) -> None:
+        """Register a structured-event listener (e.g. a client's log)."""
+        self._listeners.append(listener)
+
+    def emit(self, kind: str, csp_id: str | None, detail: str) -> None:
+        event = HealthEvent(
+            time=self.clock.now(), kind=kind, csp_id=csp_id, detail=detail
+        )
+        for listener in self._listeners:
+            listener(event)
+
+    # -- outcome recording ------------------------------------------------
+
+    def allow(self, csp_id: str) -> bool:
+        """Fail-fast gate: may an operation be dispatched to this CSP?"""
+        return self.breaker(csp_id).allow()
+
+    def record_success(self, csp_id: str) -> None:
+        brk = self.breaker(csp_id)
+        was_open = brk.state is not BreakerState.CLOSED
+        brk.record_success()
+        self._successes[csp_id] = self._successes.get(csp_id, 0) + 1
+        if was_open:
+            self.emit("breaker_close", csp_id, "probe succeeded; circuit closed")
+
+    def record_failure(self, csp_id: str, error: str | BaseException = "") -> None:
+        brk = self.breaker(csp_id)
+        was_half_open = brk.state is BreakerState.HALF_OPEN
+        before = brk.state
+        brk.record_failure()
+        self._failures[csp_id] = self._failures.get(csp_id, 0) + 1
+        self._last_error[csp_id] = str(error)
+        self.emit("failure", csp_id, str(error))
+        if brk.state is BreakerState.OPEN and before is not BreakerState.OPEN:
+            kind = "probe_failed" if was_half_open else "breaker_open"
+            self.emit(
+                kind, csp_id,
+                f"circuit open after {brk.consecutive_failures} consecutive "
+                f"failures (reset in {brk.reset_timeout:g}s)",
+            )
+
+    # -- queries ----------------------------------------------------------
+
+    def is_live(self, csp_id: str) -> bool:
+        """Candidate-filter view: False only while the breaker is OPEN.
+
+        HALF_OPEN counts as live so that the probe can be routed; an
+        unknown CSP is live (innocent until proven otherwise).
+        """
+        brk = self._breakers.get(csp_id)
+        return brk is None or brk.state is not BreakerState.OPEN
+
+    def live(self, csp_ids: Iterable[str]) -> list[str]:
+        return [c for c in csp_ids if self.is_live(c)]
+
+    def health_of(self, csp_id: str) -> CSPHealth:
+        brk = self.breaker(csp_id)
+        return CSPHealth(
+            csp_id=csp_id,
+            state=brk.state,
+            consecutive_failures=brk.consecutive_failures,
+            successes=self._successes.get(csp_id, 0),
+            failures=self._failures.get(csp_id, 0),
+            last_error=self._last_error.get(csp_id),
+        )
+
+    def snapshot(self) -> dict[str, CSPHealth]:
+        """Health of every provider the registry has seen."""
+        return {csp_id: self.health_of(csp_id) for csp_id in sorted(self._breakers)}
+
+
+# ---------------------------------------------------------------------------
+# resilient provider wrapper
+
+
+def _default_sleep(clock: Clock) -> Callable[[float], None]:
+    """Backoff sleeper: advance a SimClock, really sleep a WallClock."""
+    advance = getattr(clock, "advance", None)
+    if callable(advance):
+        return lambda seconds: advance(seconds) if seconds > 0 else None
+    return lambda seconds: time.sleep(seconds) if seconds > 0 else None
+
+
+class ResilientProvider(CloudProvider):
+    """A provider wrapped in deadline + retry + breaker.
+
+    Every one of the five primitives runs through the same envelope:
+
+    1. breaker gate — if this CSP's circuit is open, raise
+       :class:`CircuitOpenError` without touching the provider;
+    2. dispatch, measuring elapsed time on ``clock``; an operation whose
+       *measured* duration exceeds ``deadline_s`` is treated as a
+       :class:`CSPTimeoutError` (synchronous providers cannot be
+       interrupted mid-call, so the deadline detects — rather than
+       aborts — a stall; with a shared SimClock the detection is exact);
+    3. classify the outcome — transient errors back off per ``policy``
+       and retry the same provider; permanent errors raise immediately;
+    4. record the outcome in the shared :class:`HealthRegistry`.
+
+    Only unavailability-type failures (outage, timeout) count toward the
+    breaker: an auth or quota refusal proves the provider is *up*.
+    """
+
+    def __init__(
+        self,
+        inner: CloudProvider,
+        policy: RetryPolicy | None = None,
+        registry: HealthRegistry | None = None,
+        deadline_s: float | None = None,
+        clock: Clock | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        super().__init__(inner.csp_id)
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else WallClock()
+        self.registry = (registry if registry is not None
+                         else HealthRegistry(clock=self.clock))
+        self.deadline_s = deadline_s
+        self._sleep = sleep if sleep is not None else _default_sleep(self.clock)
+
+    # -- envelope ---------------------------------------------------------
+
+    def _call(self, op: str, fn: Callable[[], object]) -> object:
+        last_exc: CSPError | None = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if not self.registry.allow(self.csp_id):
+                raise CircuitOpenError(
+                    f"circuit open; {op} not dispatched", csp_id=self.csp_id
+                )
+            started = self.clock.now()
+            try:
+                result = fn()
+            except CSPError as exc:
+                if isinstance(exc, CSPUnavailableError):
+                    self.registry.record_failure(self.csp_id, exc)
+                else:
+                    # the provider answered: auth/quota/not-found are
+                    # application-level refusals, not health failures
+                    self.registry.record_success(self.csp_id)
+                if self.policy.should_retry(exc, attempt):
+                    last_exc = exc
+                    self._sleep(self.policy.delay(attempt))
+                    continue
+                raise
+            elapsed = self.clock.now() - started
+            if self.deadline_s is not None and elapsed > self.deadline_s:
+                exc = CSPTimeoutError(
+                    f"{op} took {elapsed:.3f}s, deadline {self.deadline_s:g}s",
+                    csp_id=self.csp_id,
+                )
+                self.registry.record_failure(self.csp_id, exc)
+                if self.policy.should_retry(exc, attempt):
+                    last_exc = exc
+                    self._sleep(self.policy.delay(attempt))
+                    continue
+                raise exc
+            self.registry.record_success(self.csp_id)
+            return result
+        raise last_exc  # pragma: no cover - loop always raises or returns
+
+    # -- the five primitives ----------------------------------------------
+
+    def authenticate(self, credentials):
+        return self._call("authenticate",
+                          lambda: self.inner.authenticate(credentials))
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        return self._call("list", lambda: self.inner.list(prefix))
+
+    def upload(self, name: str, data: bytes) -> None:
+        self._call(f"upload {name}", lambda: self.inner.upload(name, data))
+
+    def download(self, name: str) -> bytes:
+        return self._call(f"download {name}",
+                          lambda: self.inner.download(name))
+
+    def delete(self, name: str) -> None:
+        self._call(f"delete {name}", lambda: self.inner.delete(name))
+
+    # -- passthroughs -----------------------------------------------------
+
+    def is_up(self, t: float | None = None) -> bool:
+        """Delegate reachability to the wrapped provider when it models it."""
+        checker = getattr(self.inner, "is_up", None)
+        if callable(checker):
+            return bool(checker(t))
+        return True
+
+
+def wrap_resilient(
+    providers: Sequence[CloudProvider],
+    policy: RetryPolicy | None = None,
+    registry: HealthRegistry | None = None,
+    deadline_s: float | None = None,
+    clock: Clock | None = None,
+) -> list[ResilientProvider]:
+    """Wrap a provider fleet with one shared policy and registry."""
+    clock = clock if clock is not None else WallClock()
+    registry = registry if registry is not None else HealthRegistry(clock=clock)
+    policy = policy if policy is not None else RetryPolicy()
+    return [
+        ResilientProvider(
+            p, policy=policy, registry=registry,
+            deadline_s=deadline_s, clock=clock,
+        )
+        for p in providers
+    ]

@@ -5,13 +5,27 @@ single base class.  Subsystem-specific failures get their own subclasses
 because callers react to them differently: a :class:`CSPUnavailableError`
 during download triggers re-selection of a different provider, while a
 :class:`ShareIntegrityError` indicates corrupted data that no retry fixes.
+
+Failure handling (Section 5.5) additionally needs a *transient vs
+permanent* classification: a provider outage may clear on its own, so the
+retry policy backs off and tries again, while an expired token or an
+exhausted quota will fail identically on every retry and must be routed
+to a different provider (or surfaced) immediately.  Each error class
+carries a ``retryable`` flag; :func:`is_retryable` classifies arbitrary
+exceptions.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class CyrusError(Exception):
     """Base class for all errors raised by this library."""
+
+    #: Whether retrying the same operation against the same target can
+    #: plausibly succeed.  Overridden per subclass; see :func:`is_retryable`.
+    retryable = False
 
 
 class ConfigurationError(CyrusError):
@@ -41,21 +55,64 @@ class CSPError(CyrusError):
         super().__init__(message)
         self.csp_id = csp_id
 
+    def __str__(self) -> str:
+        # failure logs must identify the provider; messages that already
+        # carry the id elsewhere still gain an unambiguous prefix
+        base = super().__str__()
+        if self.csp_id is not None:
+            return f"[{self.csp_id}] {base}"
+        return base
+
+    def is_retryable(self) -> bool:
+        """Whether a retry against the same provider can plausibly succeed."""
+        return self.retryable
+
 
 class CSPUnavailableError(CSPError):
-    """The provider could not be contacted (outage or removal)."""
+    """The provider could not be contacted (outage or removal).
+
+    Transient: outages end, so the retry policy backs off and re-tries.
+    """
+
+    retryable = True
+
+
+class CSPTimeoutError(CSPUnavailableError):
+    """A provider operation exceeded its per-operation deadline.
+
+    A timeout is indistinguishable from a short outage or a saturated
+    link, so it classifies as transient.
+    """
+
+
+class CircuitOpenError(CSPUnavailableError):
+    """The provider's circuit breaker is open; the call was not dispatched.
+
+    Not retryable *on this provider*: the breaker exists precisely to
+    stop hammering it.  Callers should fail over to an alternate and let
+    the half-open probe decide when the provider is back.
+    """
+
+    retryable = False
 
 
 class CSPAuthError(CSPError):
-    """Authentication with the provider failed."""
+    """Authentication with the provider failed (permanent until re-auth)."""
 
 
 class CSPQuotaExceededError(CSPError):
-    """The provider refused an upload because the account is full."""
+    """The provider refused an upload because the account is full.
+
+    Permanent: retrying the same upload cannot free space.
+    """
 
 
 class ObjectNotFoundError(CSPError):
-    """The requested object does not exist at the provider."""
+    """The requested object does not exist at the provider.
+
+    Permanent, and *not* a provider-health failure: the provider
+    answered; the object is simply gone.
+    """
 
 
 class MetadataError(CyrusError):
@@ -74,5 +131,75 @@ class ReliabilityError(CyrusError):
     """No share count ``n`` can satisfy the requested failure bound."""
 
 
+@dataclass(frozen=True)
+class Attempt:
+    """One recorded try of a share transfer against one provider.
+
+    Exhaustion errors carry the full attempt history so operators can
+    see *which* providers failed *how* without re-running the transfer.
+    """
+
+    csp_id: str
+    round_no: int
+    ok: bool
+    error: str | None = None
+    error_type: str | None = None
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"round {self.round_no}: {self.csp_id} ok"
+        return (
+            f"round {self.round_no}: {self.csp_id} failed "
+            f"({self.error_type}: {self.error})"
+        )
+
+
 class TransferError(CyrusError):
-    """A share transfer failed after exhausting retries."""
+    """A share transfer failed after exhausting retries.
+
+    ``attempts`` holds the per-CSP :class:`Attempt` history that led to
+    exhaustion (empty when the failure happened before any dispatch).
+    """
+
+    def __init__(self, message: str, attempts: tuple[Attempt, ...] | list = ()):
+        super().__init__(message)
+        self.attempts: tuple[Attempt, ...] = tuple(attempts)
+
+    def attempts_by_csp(self) -> dict[str, list[Attempt]]:
+        """The attempt history grouped by provider."""
+        out: dict[str, list[Attempt]] = {}
+        for attempt in self.attempts:
+            out.setdefault(attempt.csp_id, []).append(attempt)
+        return out
+
+
+class ShareGatherError(TransferError, InsufficientSharesError):
+    """Retry exhaustion while gathering a chunk's shares.
+
+    Both a :class:`TransferError` (it carries the attempt history) and
+    an :class:`InsufficientSharesError` (fewer than ``t`` shares were
+    obtained), so existing callers catching either class keep working.
+    """
+
+
+#: Exception types that never benefit from a same-target retry even
+#: though they are not CSP errors.
+_PERMANENT_TYPES = (ShareIntegrityError,)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Transient/permanent classification for arbitrary exceptions.
+
+    Transient (retry the same provider after a backoff):
+    :class:`CSPUnavailableError` and :class:`CSPTimeoutError`.
+    Permanent (re-route or surface immediately): auth failures, quota
+    exhaustion, missing objects, integrity violations, open breakers,
+    and anything unknown.
+    """
+    if isinstance(exc, _PERMANENT_TYPES):
+        return False
+    if isinstance(exc, CyrusError):
+        if isinstance(exc, CSPError):
+            return exc.is_retryable()
+        return exc.retryable
+    return False

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for chaos testing.
+
+CYRUS's central claim is graceful behaviour under autonomous-CSP
+failure (Section 5.5).  This package makes that claim testable: a
+:class:`FaultPlan` scripts outages, transient errors, latency spikes,
+slow transfers, quota exhaustion, auth expiry and share bit-flip
+corruption from a single seed, and :class:`FaultyProvider` applies the
+plan to any provider through the normal five-primitive interface.  Same
+seed + same operation sequence = byte-identical fault schedule, so
+chaos tests and failure benchmarks are reproducible.
+"""
+
+from repro.faults.plan import (
+    ERROR_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ProviderSchedule,
+)
+from repro.faults.provider import FaultyProvider
+
+__all__ = [
+    "ERROR_KINDS",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyProvider",
+    "ProviderSchedule",
+]

@@ -23,6 +23,7 @@ from repro.selection.problem import (
     DownloadProblem,
     SelectionPlan,
     evaluate_plan,
+    restrict_to_live,
 )
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "DownloadProblem",
     "SelectionPlan",
     "evaluate_plan",
+    "restrict_to_live",
     "optimal_bandwidth_allocation",
     "CyrusSelector",
     "RandomSelector",

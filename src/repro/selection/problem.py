@@ -13,7 +13,7 @@ subject to exactly ``t`` selections per chunk, availability
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Collection, Mapping, Sequence
 
 from repro.errors import SelectionError
 from repro.selection.bandwidth import optimal_bandwidth_allocation
@@ -132,3 +132,33 @@ def evaluate_plan(
     plan.bottleneck_time = y
     plan.bandwidths = betas
     return y, betas
+
+
+def restrict_to_live(
+    problem: DownloadProblem, live: Collection[str]
+) -> DownloadProblem:
+    """Health-aware candidate filtering (Section 5.5 failure handling).
+
+    Returns a copy of the problem with every CSP outside ``live``
+    removed from chunk availability and from the link caps — breaker-
+    open providers must not be selected even if the metadata still
+    lists shares there.  Raises :class:`SelectionError` (via the
+    problem's own validation) when filtering leaves some chunk with
+    fewer than ``t`` candidates.
+    """
+    live = set(live)
+    if set(problem.csps) <= live:
+        return problem
+    chunks = tuple(
+        ChunkDownload(
+            chunk_id=chunk.chunk_id,
+            share_size=chunk.share_size,
+            available=tuple(c for c in chunk.available if c in live),
+        )
+        for chunk in problem.chunks
+    )
+    caps = {c: cap for c, cap in problem.link_caps.items() if c in live}
+    return DownloadProblem(
+        chunks=chunks, t=problem.t, link_caps=caps,
+        client_cap=problem.client_cap,
+    )

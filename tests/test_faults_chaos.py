@@ -1,0 +1,195 @@
+"""Seeded chaos: many upload/download cycles under a mixed fault plan.
+
+The ISSUE's acceptance scenario: run >= 20 put/get cycles against
+providers wrapped in a :class:`FaultyProvider` applying transient blips,
+an op-windowed outage, latency spikes and share corruption — and prove
+
+* zero data loss and zero hangs whenever >= t shares stay reachable,
+* byte-identical fault schedules for identical seeds, and
+* that the circuit breaker stops dispatching to a dead provider
+  (an operation-count assertion, not just a state check).
+
+Everything runs on a shared :class:`SimClock`, so backoff sleeps and
+breaker timeouts advance simulated time — the suite never really sleeps.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import ChunkCache
+from repro.core.client import CyrusClient
+from repro.core.config import CyrusConfig
+from repro.core.transfer import DirectEngine, OpKind, TransferOp
+from repro.csp.memory import InMemoryCSP
+from repro.errors import CSPError
+from repro.csp.resilient import BreakerState, HealthRegistry
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.util.clock import SimClock
+
+from tests.conftest import SMALL_CHUNKS, deterministic_bytes
+
+CYCLES = 24
+
+
+def _chaos_plan(seed: int) -> FaultPlan:
+    """Mixed faults, bounded for recoverability with (t, n) = (2, 3):
+    corruption and the windowed outage both land on csp1, so at any
+    instant at most one provider (= n - t) is lying or dark; transient
+    blips and latency spikes hit everybody."""
+    return FaultPlan.chaos(
+        seed=seed,
+        transient_rate=0.08,
+        corrupt_csp_ids=("csp1",),
+        corrupt_rate=0.5,
+        outage_csp_id="csp1",
+        outage_window_ops=(40, 90),
+        latency_rate=0.05,
+        latency_s=0.1,
+    )
+
+
+def _run_scenario(seed: int):
+    """One full chaos run; returns (per-provider fault logs, providers)."""
+    clock = SimClock()
+    plan = _chaos_plan(seed)
+    providers = [
+        FaultyProvider(InMemoryCSP(f"csp{i}"), plan, clock=clock)
+        for i in range(4)
+    ]
+    config = CyrusConfig(key="chaos-key", t=2, n=3, **SMALL_CHUNKS)
+    engine = DirectEngine({p.csp_id: p for p in providers}, clock=clock)
+    client = CyrusClient.create(
+        providers, config, client_id="alice", engine=engine
+    )
+    stored: dict[str, bytes] = {}
+    for cycle in range(CYCLES):
+        # periodic health probe (the paper's Section 5.5 re-check) so a
+        # CSP whose outage window ended rejoins the rotation
+        client.probe_failed_csps()
+        name = f"file-{cycle}.bin"
+        data = deterministic_bytes(600 + 97 * cycle, seed=1000 + cycle)
+        client.put(name, data)
+        stored[name] = data
+        got = client.get(name)
+        assert got.data == data, f"cycle {cycle}: fresh read lost data"
+        assert not got.degraded
+        # and one older file per cycle, to cross fault windows
+        old = f"file-{cycle // 2}.bin"
+        assert client.get(old).data == stored[old], (
+            f"cycle {cycle}: re-read of {old} lost data"
+        )
+    return [tuple(p.fault_log) for p in providers], providers
+
+
+class TestChaos:
+    def test_no_data_loss_across_cycles(self):
+        logs, providers = _run_scenario(seed=2026)
+        injected = {
+            kind: sum(p.injected_faults.get(kind, 0) for p in providers)
+            for kind in FaultKind
+        }
+        # the plan actually bit: every scripted fault family fired
+        assert injected[FaultKind.TRANSIENT] > 0
+        assert injected[FaultKind.CORRUPT] > 0
+        assert injected[FaultKind.OUTAGE] > 0
+        assert injected[FaultKind.LATENCY] > 0
+
+    def test_identical_seeds_produce_identical_schedules(self):
+        logs_a, _ = _run_scenario(seed=7)
+        logs_b, _ = _run_scenario(seed=7)
+        assert logs_a == logs_b  # full FaultEvent equality, times included
+        logs_c, _ = _run_scenario(seed=8)
+        assert logs_a != logs_c
+
+    def test_breaker_stops_hammering_a_dead_csp(self):
+        clock = SimClock()
+        dead = FaultyProvider(
+            InMemoryCSP("dead"),
+            FaultPlan([FaultSpec(kind=FaultKind.OUTAGE)], seed=0),
+            clock=clock,
+        )
+        health = HealthRegistry(clock=clock, failure_threshold=3,
+                                reset_timeout=30.0)
+        engine = DirectEngine({"dead": dead}, clock=clock, health=health)
+
+        def get_op(i: int) -> TransferOp:
+            return TransferOp(kind=OpKind.GET, csp_id="dead",
+                              name=f"obj-{i}", size=10)
+
+        for i in range(3):
+            [res] = engine.execute([get_op(i)])
+            assert not res.ok and res.retryable
+        assert health.health_of("dead").state is BreakerState.OPEN
+        dispatched = sum(dead.op_counts.values())
+        assert dispatched == 3
+
+        # while open: ops fail fast, the provider sees nothing
+        for i in range(5):
+            [res] = engine.execute([get_op(100 + i)])
+            assert not res.ok
+            assert res.error_type == "CircuitOpenError"
+            assert res.retryable is False
+        assert sum(dead.op_counts.values()) == dispatched
+
+        # after the reset timeout: exactly one half-open probe per
+        # batch is dispatched; its failure re-opens the circuit
+        clock.advance(30.0)
+        results = engine.execute([get_op(200 + i) for i in range(4)])
+        assert sum(dead.op_counts.values()) == dispatched + 1
+        assert [r.error_type for r in results].count("CircuitOpenError") == 3
+        assert health.health_of("dead").state is BreakerState.OPEN
+
+    def test_degraded_read_serves_cache_during_total_outage(self):
+        # every provider goes dark after op 30; a file read (and thus
+        # cached) before the outage stays readable — marked degraded,
+        # because the failed sync could not confirm the version fresh
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.OUTAGE, window_ops=(30, 10**9))],
+            seed=3,
+        )
+        providers = [
+            FaultyProvider(InMemoryCSP(f"csp{i}"), plan) for i in range(3)
+        ]
+        config = CyrusConfig(key="deg-key", t=2, n=3, **SMALL_CHUNKS)
+        client = CyrusClient.create(
+            providers, config, client_id="alice", cache=ChunkCache()
+        )
+        data = deterministic_bytes(2000, seed=9)
+        client.put("warm.bin", data)
+        fresh = client.get("warm.bin")  # warms the chunk cache
+        assert fresh.data == data and not fresh.degraded
+        for prov in providers:  # burn ops into the outage window
+            while sum(prov.op_counts.values()) < 30:
+                try:
+                    prov.list()
+                except CSPError:
+                    pass
+        degraded = client.get("warm.bin")
+        assert degraded.data == data
+        assert degraded.degraded
+        assert degraded.bytes_downloaded == 0
+        assert any(e.kind == "degraded_read" for e in client.health_events)
+
+    def test_breaker_events_surface_to_the_client(self):
+        logs, providers = _run_scenario(seed=2026)
+        # rebuild the same scenario to inspect the client's event stream
+        clock = SimClock()
+        plan = _chaos_plan(2026)
+        fleet = [
+            FaultyProvider(InMemoryCSP(f"csp{i}"), plan, clock=clock)
+            for i in range(4)
+        ]
+        config = CyrusConfig(key="chaos-key", t=2, n=3, **SMALL_CHUNKS)
+        engine = DirectEngine({p.csp_id: p for p in fleet}, clock=clock)
+        client = CyrusClient.create(
+            fleet, config, client_id="alice", engine=engine
+        )
+        for cycle in range(CYCLES):
+            client.probe_failed_csps()
+            name = f"file-{cycle}.bin"
+            data = deterministic_bytes(600 + 97 * cycle, seed=1000 + cycle)
+            client.put(name, data)
+            client.get(name)
+        kinds = {e.kind for e in client.health_events}
+        assert "failure" in kinds  # structured failure events recorded
+        failures = [e for e in client.health_events if e.kind == "failure"]
+        assert all(e.csp_id and e.detail for e in failures)

@@ -1,0 +1,180 @@
+"""Fault plans, schedules, and the fault-injecting provider wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.memory import InMemoryCSP
+from repro.errors import (
+    CSPAuthError,
+    CSPQuotaExceededError,
+    CSPUnavailableError,
+)
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.util.clock import SimClock
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.TRANSIENT, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.LATENCY, delay_s=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.CORRUPT, flip_bits=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.TRANSIENT, max_hits=0)
+
+    def test_matching_dimensions(self):
+        spec = FaultSpec(
+            kind=FaultKind.TRANSIENT, ops=("download",), csp_ids=("a",),
+            name_prefix="md-", window_ops=(2, 5),
+        )
+        ok = dict(csp_id="a", op="download", name="md-x", op_no=3, now=0.0)
+        assert spec.matches(**ok)
+        assert not spec.matches(**{**ok, "csp_id": "b"})
+        assert not spec.matches(**{**ok, "op": "upload"})
+        assert not spec.matches(**{**ok, "name": "chunk-x"})
+        assert not spec.matches(**{**ok, "op_no": 1})
+        assert not spec.matches(**{**ok, "op_no": 5})  # half-open window
+
+    def test_time_window(self):
+        spec = FaultSpec(kind=FaultKind.OUTAGE, window_time=(10.0, 20.0))
+        base = dict(csp_id="a", op="upload", name="x", op_no=0)
+        assert not spec.matches(**base, now=9.9)
+        assert spec.matches(**base, now=10.0)
+        assert not spec.matches(**base, now=20.0)
+
+    def test_kind_op_constraints(self):
+        quota = FaultSpec(kind=FaultKind.QUOTA)
+        corrupt = FaultSpec(kind=FaultKind.CORRUPT)
+        base = dict(csp_id="a", name="x", op_no=0, now=0.0)
+        assert quota.matches(op="upload", **base)
+        assert not quota.matches(op="download", **base)
+        assert corrupt.matches(op="download", **base)
+        assert not corrupt.matches(op="upload", **base)
+
+
+class TestProviderSchedule:
+    def test_identical_seeds_fire_identically(self):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TRANSIENT, probability=0.4)], seed=42
+        )
+        decisions_a = [
+            bool(plan.for_provider("c").decide("upload", "x", k, 0.0))
+            for k in range(50)
+        ]
+        sched = plan.for_provider("c")
+        decisions_b = [
+            bool(sched.decide("upload", "x", k, 0.0)) for k in range(50)
+        ]
+        # fresh schedule or reused one: the op_no keys the roll
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_providers_get_independent_streams(self):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TRANSIENT, probability=0.5)], seed=1
+        )
+        a = [bool(plan.for_provider("a").decide("upload", "x", k, 0.0))
+             for k in range(64)]
+        b = [bool(plan.for_provider("b").decide("upload", "x", k, 0.0))
+             for k in range(64)]
+        assert a != b
+
+    def test_max_hits_caps_firing(self):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TRANSIENT, max_hits=2)], seed=0
+        )
+        sched = plan.for_provider("c")
+        fired = [bool(sched.decide("upload", "x", k, 0.0)) for k in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_restricted_to(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.OUTAGE)], seed=0)
+        restricted = plan.restricted_to(["only"])
+        assert restricted.for_provider("other").decide("upload", "x", 0, 0.0) == []
+        assert restricted.for_provider("only").decide("upload", "x", 0, 0.0)
+
+
+class TestFaultyProvider:
+    def _wrap(self, specs, seed=0, clock=None, csp_id="c1"):
+        inner = InMemoryCSP(csp_id)
+        return FaultyProvider(inner, FaultPlan(specs, seed=seed), clock=clock)
+
+    def test_outage_raises_with_csp_id(self):
+        prov = self._wrap([FaultSpec(kind=FaultKind.OUTAGE)])
+        with pytest.raises(CSPUnavailableError) as ei:
+            prov.upload("x", b"data")
+        assert ei.value.csp_id == "c1"
+        assert prov.calls_reaching_inner == 0
+        assert prov.injected_faults == {FaultKind.OUTAGE: 1}
+
+    def test_quota_and_auth(self):
+        prov = self._wrap([FaultSpec(kind=FaultKind.QUOTA)])
+        with pytest.raises(CSPQuotaExceededError):
+            prov.upload("x", b"data")
+        assert prov.list() == []  # quota applies to uploads only
+        prov2 = self._wrap([FaultSpec(kind=FaultKind.AUTH)])
+        with pytest.raises(CSPAuthError):
+            prov2.list()
+
+    def test_latency_and_slow_advance_the_clock(self):
+        clock = SimClock()
+        prov = self._wrap(
+            [FaultSpec(kind=FaultKind.LATENCY, ops=("upload",), delay_s=0.5)],
+            clock=clock,
+        )
+        prov.upload("x", b"data")
+        assert clock.now() == pytest.approx(0.5)
+        clock2 = SimClock()
+        slow = self._wrap(
+            [FaultSpec(kind=FaultKind.SLOW, ops=("upload",), delay_s=2.0)],
+            clock=clock2,
+        )
+        slow.upload("x", b"\0" * (512 * 1024))  # half a MiB
+        assert clock2.now() == pytest.approx(1.0)
+        assert slow.injected_delay_s == pytest.approx(1.0)
+
+    def test_corruption_is_deterministic_and_bounded(self):
+        specs = [FaultSpec(kind=FaultKind.CORRUPT, flip_bits=3)]
+        payload = bytes(range(256))
+        a = self._wrap(specs, seed=5)
+        b = self._wrap(specs, seed=5)
+        c = self._wrap(specs, seed=6)
+        for prov in (a, b, c):
+            prov.inner.upload("x", payload)
+        got_a, got_b, got_c = (p.download("x") for p in (a, b, c))
+        assert got_a != payload
+        assert got_a == got_b  # same seed, same flips
+        assert got_c != got_a  # different seed, different flips
+        diff_bits = sum(
+            bin(x ^ y).count("1") for x, y in zip(got_a, payload)
+        )
+        assert 1 <= diff_bits <= 3
+        # the stored object is untouched; only the returned bytes lie
+        assert a.inner.download("x") == payload
+
+    def test_observability_counters(self):
+        prov = self._wrap(
+            [FaultSpec(kind=FaultKind.TRANSIENT, ops=("download",),
+                       max_hits=1)]
+        )
+        prov.upload("x", b"data")
+        with pytest.raises(CSPUnavailableError):
+            prov.download("x")
+        assert prov.download("x") == b"data"
+        assert prov.op_counts == {"upload": 1, "download": 2}
+        assert prov.calls_reaching_inner == 2
+        assert [e.kind for e in prov.fault_log] == [FaultKind.TRANSIENT]
+        assert prov.fault_log[0].op == "download"
+
+    def test_chaos_builder_composition(self):
+        plan = FaultPlan.chaos(
+            seed=3, transient_rate=0.2, corrupt_csp_ids=("b",),
+            outage_csp_id="a", latency_rate=0.1,
+        )
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == [FaultKind.TRANSIENT, FaultKind.CORRUPT,
+                         FaultKind.OUTAGE, FaultKind.LATENCY]
+        assert plan.seed == 3
