@@ -67,15 +67,10 @@ def run_two_days() -> TwoDayRun:
         name = f"hourly-{hour:02d}"
 
         up = cyrus.put(name, data, sync_first=False)
-        out.cyrus_up.append(up.duration)
         for share in up.node.shares:
             out.cyrus_shares[share.csp_id] += 1
         down = cyrus.get(name, sync_first=False)
         assert down.data == data
-        out.cyrus_down.append(down.duration)
-        for res in down.share_results:
-            if res.ok:
-                out.cyrus_downloads[res.op.csp_id] += 1
 
         dup = depsky.upload(name, data)
         out.depsky_up.append(dup.duration)
@@ -84,6 +79,19 @@ def run_two_days() -> TwoDayRun:
         out.depsky_down.append(ddown.duration)
         for csp in ddown.download_csps:
             out.depsky_downloads[csp] += 1
+
+    # CYRUS timings and per-CSP download counts come from the shared
+    # observability layer: one span per put/get on the environment's
+    # tracer, and the op counters as the single source of share-fetch
+    # truth (these used to be re-counted from reports by hand)
+    tracer = cyrus_env.obs.tracer
+    out.cyrus_up = [s.duration for s in tracer.find("upload")]
+    out.cyrus_down = [s.duration for s in tracer.find("download")]
+    snap = cyrus_env.obs.snapshot()
+    for csp in TRIAL_CSPS:
+        out.cyrus_downloads[csp] = int(snap.counter_value(
+            "cyrus_ops_total", csp=csp, kind="GET", outcome="ok"
+        ))
 
     out.depsky_shares = dict(depsky.shares_stored)
     return out

@@ -3,14 +3,21 @@
 Builds the paper's 4-fast/3-slow testbed, uploads the (scaled) Table 4
 dataset under a given (t, n), and measures per-file download completion
 times under a given download selector.
+
+Timings come from the environment's shared observability layer: each
+``put``/``get`` produces an ``upload``/``download`` span on the shared
+SimClock-driven tracer, and the :class:`TransferTimeline` built from the
+same tracer gives the per-CSP views (bytes, busy time) that earlier
+versions of these benchmarks re-derived by hand from reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bench import build_paper_testbed
 from repro.core.config import CyrusConfig
+from repro.obs import TransferTimeline
 from repro.workloads import generate_dataset
 
 from benchmarks.conftest import BENCH_CHUNKS, BENCH_SCALE
@@ -26,6 +33,8 @@ class ExperimentResult:
     upload_durations: list[float]
     download_durations: list[float]
     file_sizes: list[int]
+    #: Per-CSP share-transfer bars for the whole run (Figure 14/17 view)
+    timeline: TransferTimeline = field(default_factory=TransferTimeline)
 
     @property
     def mean_download(self) -> float:
@@ -45,6 +54,10 @@ class ExperimentResult:
             for size, duration in zip(self.file_sizes, self.download_durations)
             if duration > 0
         ]
+
+    def per_csp_bytes(self, kind: str | None = None) -> dict[str, int]:
+        """Successful transfer bytes per provider, from the timeline."""
+        return self.timeline.per_csp_bytes(kind=kind)
 
 
 def dataset_files(max_files: int | None = None):
@@ -67,23 +80,22 @@ def run_experiment(
     env = build_paper_testbed()
     config = CyrusConfig(key=key, t=t, n=n, **BENCH_CHUNKS)
     writer = env.new_client(config, client_id="writer")
-    uploads = []
     for name, content in files:
-        uploads.append(writer.put(name, content, sync_first=False))
+        writer.put(name, content, sync_first=False)
     reader = env.new_client(
         config, client_id="reader", selector=selector_factory()
     )
     reader.recover()
-    downloads = []
     for name, content in files:
         report = reader.get(name, sync_first=False)
         assert report.data == content, f"corrupt roundtrip for {name}"
-        downloads.append(report)
+    tracer = env.obs.tracer
     return ExperimentResult(
         t=t,
         n=n,
         selector_name=selector_name,
-        upload_durations=[r.duration for r in uploads],
-        download_durations=[r.duration for r in downloads],
+        upload_durations=[s.duration for s in tracer.find("upload")],
+        download_durations=[s.duration for s in tracer.find("download")],
         file_sizes=[len(content) for _, content in files],
+        timeline=TransferTimeline.from_tracer(tracer),
     )

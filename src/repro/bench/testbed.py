@@ -17,6 +17,7 @@ from repro.core.config import CyrusConfig
 from repro.core.transfer import SimulatedEngine, TransferReceiver
 from repro.csp.simulated import AvailabilitySchedule, SimulatedCSP
 from repro.netsim.link import Link
+from repro.obs import Observability
 from repro.util.clock import SimClock
 
 #: Paper testbed shaping (Section 7.2).
@@ -35,6 +36,8 @@ class SimEnvironment:
     csps: dict[str, SimulatedCSP]
     engine: SimulatedEngine
     receiver: TransferReceiver = field(default_factory=TransferReceiver)
+    #: Shared observability (clients created via new_client adopt it)
+    obs: Observability | None = None
 
     def new_client(
         self,
@@ -78,13 +81,14 @@ def build_environment(
         for link_id, link in links.items()
     }
     receiver = TransferReceiver()
+    obs = Observability(clock=clock)
     engine = SimulatedEngine(
         csps, dict(links), clock,
         client_up=client_up, client_down=client_down,
-        receiver=receiver,
+        receiver=receiver, obs=obs,
     )
     return SimEnvironment(clock=clock, links=dict(links), csps=csps,
-                          engine=engine, receiver=receiver)
+                          engine=engine, receiver=receiver, obs=obs)
 
 
 def build_paper_testbed(

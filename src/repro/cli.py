@@ -15,6 +15,8 @@ drives or private storage servers):
     cyrus conflicts
     cyrus resolve
     cyrus status
+    cyrus stats [--json]
+    cyrus trace (put|get|sync) [...] --out trace.json
     cyrus add-csp name=path
     cyrus remove-csp name
 
@@ -329,6 +331,74 @@ def cmd_sync_dir(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Observability snapshot: op counts, bytes per CSP, health events.
+
+    The metrics cover this invocation's traffic (the sync performed by
+    ``build_client`` plus nothing else), so the numbers show what one
+    sync actually cost — useful for spotting a provider that is eating
+    retries.
+    """
+    client = build_client(_store_path(args))
+    snap = client.obs.snapshot()
+    if args.json:
+        print(snap.to_json())
+        return 0
+    ops_by_csp = snap.counter_by("cyrus_ops_total", "csp")
+    up = snap.counter_by("cyrus_transfer_bytes_total", "csp", direction="up")
+    down = snap.counter_by("cyrus_transfer_bytes_total", "csp",
+                           direction="down")
+    failures = snap.counter_by("cyrus_op_failures_total", "csp")
+    print("per-provider traffic (this invocation's sync):")
+    for csp in sorted(ops_by_csp):
+        print(f"  {csp:<16} {ops_by_csp[csp]:>6.0f} ops  "
+              f"{up.get(csp, 0):>12,.0f} B up  "
+              f"{down.get(csp, 0):>12,.0f} B down  "
+              f"{failures.get(csp, 0):>4.0f} failures")
+    retries = snap.counter_total("cyrus_share_retries_total")
+    meta_retries = snap.counter_total("cyrus_meta_retries_total")
+    if retries or meta_retries:
+        print(f"retries: {retries:.0f} share, {meta_retries:.0f} metadata")
+    events = snap.counter_by("cyrus_health_events_total", "kind")
+    if events:
+        print("health events: " + ", ".join(
+            f"{kind}={count:.0f}" for kind, count in sorted(events.items())
+        ))
+    stats = client.storage_stats()
+    print(f"stored: {stats['stored_share_bytes']:,} bytes across "
+          f"{len(stats['per_csp_bytes'])} providers")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one operation under tracing and dump a Chrome-trace file.
+
+    Open the output in ``chrome://tracing`` (or Perfetto): each provider
+    gets its own lane, so parallel share transfers render as the
+    paper's Figure 14/17 timelines.
+    """
+    client = build_client(_store_path(args))
+    if args.traced_op == "put":
+        source = Path(args.file)
+        client.put(args.as_name or source.name, source.read_bytes(),
+                   sync_first=False)
+    elif args.traced_op == "get":
+        client.get(args.name, sync_first=False)
+    else:  # sync
+        client.sync()
+    out = Path(args.out)
+    out.write_text(client.obs.tracer.to_chrome_json())
+    timeline = client.obs.timeline()
+    spans = len(client.obs.tracer.all_spans())
+    print(f"wrote {spans} spans to {out} (chrome://tracing)")
+    per_csp = timeline.per_csp_bytes()
+    if per_csp:
+        for csp, nbytes in per_csp.items():
+            print(f"  {csp:<16} {nbytes:>12,} bytes")
+        print(timeline.render_ascii())
+    return 0
+
+
 def cmd_add_csp(args) -> int:
     store = _store_path(args)
     settings = load_settings(store)
@@ -442,6 +512,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("object")
     p.add_argument("--as", dest="as_name", default=None)
     p.set_defaults(func=cmd_import)
+
+    p = sub.add_parser("stats", help="observability snapshot (ops, bytes, "
+                                     "retries per provider)")
+    p.add_argument("--json", action="store_true",
+                   help="full metrics snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace", help="trace one operation to a Chrome-trace "
+                                     "file")
+    p.add_argument("--out", default="cyrus-trace.json",
+                   help="output path (default: cyrus-trace.json)")
+    trace_sub = p.add_subparsers(dest="traced_op", required=True)
+    tp = trace_sub.add_parser("put", help="trace an upload")
+    tp.add_argument("file")
+    tp.add_argument("--as", dest="as_name", default=None)
+    tp = trace_sub.add_parser("get", help="trace a download")
+    tp.add_argument("name")
+    tp = trace_sub.add_parser("sync", help="trace a metadata sync")
+    for tp in trace_sub.choices.values():
+        # SUPPRESS so a child default does not clobber the parent's
+        tp.add_argument("--out", default=argparse.SUPPRESS)
+        tp.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("add-csp", help="attach a provider")
     p.add_argument("csp", metavar="NAME=PATH")

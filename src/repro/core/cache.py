@@ -29,6 +29,12 @@ class ChunkCache:
         self._size = 0
         self.hits = 0
         self.misses = 0
+        # optional repro.obs.metrics.MetricsRegistry (duck-typed)
+        self._metrics = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror hit/miss/occupancy into an observability registry."""
+        self._metrics = metrics
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -43,9 +49,13 @@ class ChunkCache:
         data = self._entries.get(chunk_id)
         if data is None:
             self.misses += 1
+            if self._metrics is not None:
+                self._metrics.inc("cyrus_cache_requests_total", outcome="miss")
             return None
         self._entries.move_to_end(chunk_id)
         self.hits += 1
+        if self._metrics is not None:
+            self._metrics.inc("cyrus_cache_requests_total", outcome="hit")
         return data
 
     def put(self, chunk_id: str, data: bytes) -> None:
@@ -63,6 +73,10 @@ class ChunkCache:
         while self._size > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
             self._size -= len(evicted)
+            if self._metrics is not None:
+                self._metrics.inc("cyrus_cache_evictions_total")
+        if self._metrics is not None:
+            self._metrics.set_gauge("cyrus_cache_bytes", self._size)
 
     def clear(self) -> None:
         """Drop everything (e.g. on key change)."""

@@ -62,6 +62,7 @@ from repro.metadata.conflicts import (
     detect_conflicts,
     resolution_winner,
 )
+from repro.obs import Observability, span_if
 from repro.util.hashing import sha1_hex
 
 
@@ -95,6 +96,7 @@ class CyrusClient:
         cache=None,
         health: HealthRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
+        obs: Observability | None = None,
     ):
         self.cloud = cloud
         self.config = config
@@ -114,6 +116,19 @@ class CyrusClient:
         # one health view everywhere: the engine gates dispatch on the
         # same breakers the pipelines and selector consult
         self.engine.health = health
+        # likewise one observability view: the engine records every op
+        # result into it, making its metrics the single source of
+        # byte/retry truth for reports, benchmarks and the CLI
+        if obs is None:
+            obs = getattr(engine, "obs", None)
+        if obs is None:
+            obs = Observability(clock=engine.clock)
+        self.obs = obs
+        self.engine.obs = obs
+        if self.health.metrics is None:
+            self.health.bind_metrics(obs.metrics)
+        if self.cache is not None and hasattr(self.cache, "bind_metrics"):
+            self.cache.bind_metrics(obs.metrics)
         self._retry_policy = retry_policy
         self.health_events: list[HealthEvent] = []
         self.health.subscribe(self.health_events.append)
@@ -189,7 +204,8 @@ class CyrusClient:
 
     def sync(self) -> SyncReport:
         """Pull remote metadata changes (Section 5.4)."""
-        return self.syncer.sync()
+        with span_if(self.obs, "sync"):
+            return self.syncer.sync()
 
     def put(self, name: str, data: bytes, sync_first: bool = True) -> UploadReport:
         """Upload a file version (Algorithm 2)."""
@@ -248,6 +264,7 @@ class CyrusClient:
             # served entirely from the chunk cache while the cloud was
             # unreachable: correct bytes, unconfirmed version
             report.degraded = True
+            self.obs.metrics.inc("cyrus_degraded_reads_total")
             self.health.emit(
                 "degraded_read", csp_id="*",
                 detail=(
@@ -297,6 +314,7 @@ class CyrusClient:
         data = bytes(out)
         if covered != node.size or sha1_hex(data) != node.file_id:
             raise exc
+        self.obs.metrics.inc("cyrus_degraded_reads_total")
         self.health.emit(
             "degraded_read", csp_id="*",
             detail=(

@@ -35,6 +35,7 @@ from repro.errors import (
 )
 from repro.metadata import GlobalChunkTable, MetadataNode, MetadataTree
 from repro.metadata.conflicts import Conflict, conflicts_for_node
+from repro.obs import span_if
 from repro.selection import (
     ChunkDownload,
     CyrusSelector,
@@ -141,18 +142,23 @@ class Downloader:
                 hit = self.cache.get(record.chunk_id)
                 if hit is not None:
                     cached[record.chunk_id] = hit
-        states = self._chunk_states(node, skip=set(cached))
-        plans = self._select(states) if states else []
-        share_results = self._gather(states, plans)
-        data = self._assemble(node, states, cached)
-        if sha1_hex(data) != node.file_id:
-            raise ShareIntegrityError(
-                f"reconstructed {node.name!r} does not match its content id"
-            )
-        conflicts = tuple(conflicts_for_node(self.tree, node))
-        migrations: list[ShareMigration] = []
-        if self.lazy_migration:
-            migrations = self._migrate(states)
+        obs = getattr(self.engine, "obs", None)
+        with span_if(obs, "download", file=node.name, size=node.size):
+            states = self._chunk_states(node, skip=set(cached))
+            with span_if(obs, "select", chunks=len(states)):
+                plans = self._select(states) if states else []
+            with span_if(obs, "gather"):
+                share_results = self._gather(states, plans)
+            with span_if(obs, "decode"):
+                data = self._assemble(node, states, cached)
+            if sha1_hex(data) != node.file_id:
+                raise ShareIntegrityError(
+                    f"reconstructed {node.name!r} does not match its content id"
+                )
+            conflicts = tuple(conflicts_for_node(self.tree, node))
+            migrations: list[ShareMigration] = []
+            if self.lazy_migration:
+                migrations = self._migrate(states)
         finished = self.engine.clock.now()
         downloaded = sum(r.op.payload_size() for r in share_results if r.ok)
         return DownloadReport(
@@ -416,6 +422,7 @@ class Downloader:
     ) -> bytes:
         """Decode each unique chunk once and lay chunks out by offset."""
         decoded: dict[str, bytes] = dict(cached or {})
+        obs = getattr(self.engine, "obs", None)
         for chunk_id, state in states.items():
             sharer = get_sharer(self.config.key, state.t, state.n)
             shares = [
@@ -423,7 +430,11 @@ class Downloader:
                       chunk_size=state.size)
                 for i, blob in sorted(state.shares.items())
             ]
+            t0 = obs.clock.now() if obs is not None else 0.0
             plaintext = sharer.join(shares)
+            if obs is not None:
+                obs.metrics.observe("cyrus_chunk_decode_seconds",
+                                    obs.clock.now() - t0)
             if sha1_hex(plaintext) != chunk_id:
                 # a fetched share is corrupt; pull the chunk's remaining
                 # shares and decode a verifying t-subset (Section 5.1's
@@ -464,6 +475,9 @@ class Downloader:
         (or lost to a transient blip) often comes back clean.
         """
         policy = self.retry_loop.policy
+        obs = getattr(self.engine, "obs", None)
+        if obs is not None:
+            obs.metrics.inc("cyrus_chunk_repairs_total")
         last_exc: CyrusError | None = None
         for round_no in range(policy.max_attempts):
             if round_no:

@@ -115,11 +115,18 @@ class ShareRetryLoop:
                 if (retryable
                         and per_csp_tries[(key, csp)] < self.policy.max_attempts
                         and self.alternate_is_live(csp)):
+                    obs = getattr(self.engine, "obs", None)
+                    if obs is not None:
+                        obs.metrics.inc("cyrus_share_retries_total", csp=csp)
                     next_pending.append((key, csp))
                     continue
                 on_giveup(key, csp, result)
                 alternate = pick_alternate(key, csp, tried[key])
                 if alternate is not None:
+                    obs = getattr(self.engine, "obs", None)
+                    if obs is not None:
+                        obs.metrics.inc("cyrus_share_failovers_total",
+                                        from_csp=csp, to_csp=alternate)
                     tried[key].add(alternate)
                     next_pending.append((key, alternate))
             pending = next_pending

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs import Observability
 
 from repro.csp.base import CloudProvider
 from repro.csp.resilient import HealthRegistry
@@ -174,12 +177,28 @@ class TransferEngine:
         clock: Clock | None = None,
         receiver: TransferReceiver | None = None,
         health: HealthRegistry | None = None,
+        obs: "Observability | None" = None,
     ):
         self._providers = dict(providers)
         self.clock = clock if clock is not None else WallClock()
         self.receiver = receiver
         # shared per-CSP health: breaker fail-fast + outcome recording
         self.health = health
+        # shared observability: every op result flows through _emit, so
+        # attaching here makes the metrics layer see every dispatch
+        self.obs = obs
+
+    @property
+    def obs(self) -> "Observability | None":
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: "Observability | None") -> None:
+        self._obs = value
+        self._on_obs_changed()
+
+    def _on_obs_changed(self) -> None:
+        """Subclass hook: re-bind internal components to the new obs."""
 
     def sleep(self, seconds: float) -> None:
         """Backoff sleep: advance a SimClock exactly, else really sleep."""
@@ -244,6 +263,8 @@ class TransferEngine:
         raise TransferError(f"unknown op kind {op.kind}")  # pragma: no cover
 
     def _emit(self, result: OpResult) -> OpResult:
+        if self.obs is not None:
+            self.obs.record_op(result)
         if self.receiver is not None:
             self.receiver.on_result(result)
         return result
@@ -334,17 +355,28 @@ class SimulatedEngine(TransferEngine):
         client_down: float = float("inf"),
         receiver: TransferReceiver | None = None,
         health: HealthRegistry | None = None,
+        obs: "Observability | None" = None,
     ):
         super().__init__(providers, clock=clock, receiver=receiver,
-                         health=health)
+                         health=health, obs=obs)
         self._links = dict(links)
         self._sim = FlowSimulator(self._links, client_up=client_up,
-                                  client_down=client_down)
+                                  client_down=client_down,
+                                  metrics=obs.metrics if obs else None)
+
+    def _on_obs_changed(self) -> None:
+        # the flow simulator records per-link flows/bytes into the same
+        # registry (it may not exist yet while the base class __init__
+        # assigns the initial obs)
+        sim = getattr(self, "_sim", None)
+        if sim is not None:
+            sim.metrics = self._obs.metrics if self._obs else None
 
     def register_link(self, link: Link) -> None:
         self._links[link.link_id] = link
         self._sim = FlowSimulator(self._links, client_up=self._sim.client_up,
-                                  client_down=self._sim.client_down)
+                                  client_down=self._sim.client_down,
+                                  metrics=self._sim.metrics)
 
     def link_caps(self, direction: str) -> dict[str, float]:
         now = self.clock.now()

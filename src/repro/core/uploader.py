@@ -40,6 +40,7 @@ from repro.metadata import (
     ShareRecord,
 )
 from repro.metadata.node import ROOT_ID
+from repro.obs import span_if
 from repro.util.hashing import sha1_hex
 
 
@@ -77,13 +78,17 @@ class _ChunkPlan:
     placements: dict[int, str] = field(default_factory=dict)  # index -> csp
     _share_cache: dict[int, bytes] = field(default_factory=dict)
 
-    def share_data(self, key: str, index: int) -> bytes:
+    def share_data(self, key: str, index: int, obs=None) -> bytes:
         """Coded bytes for one share index (all n computed on first use)."""
         if not self._share_cache:
             sharer = get_sharer(key, self.t, self.n)
+            t0 = obs.clock.now() if obs is not None else 0.0
             self._share_cache = {
                 s.index: s.data for s in sharer.split(self.chunk.data)
             }
+            if obs is not None:
+                obs.metrics.observe("cyrus_chunk_encode_seconds",
+                                    obs.clock.now() - t0)
         return self._share_cache[index]
 
 
@@ -152,17 +157,26 @@ class Uploader:
                 bytes_uploaded=0, new_chunks=0, dedup_chunks=len(head.chunks),
                 unchanged=True,
             )
-        # line 5: chunking
-        chunks = self.chunker.chunk_bytes(data)
-        # lines 6-9: dedup + scatter
-        plans, dedup_count = self._plan_chunks(chunks)
-        share_results, degraded = self._scatter(plans)
-        # line 10: metadata — only after every chunk upload resolved
-        node = self._build_node(
-            name=name, file_id=file_id, prev_id=prev_id, client_id=client_id,
-            modified=modified, size=len(data), chunks=chunks, plans=plans,
-        )
-        meta_results = self._publish(node)
+        obs = getattr(self.engine, "obs", None)
+        with span_if(obs, "upload", file=name, size=len(data)):
+            # line 5: chunking
+            with span_if(obs, "chunk"):
+                chunks = self.chunker.chunk_bytes(data)
+            # lines 6-9: dedup + scatter
+            plans, dedup_count = self._plan_chunks(chunks)
+            if obs is not None:
+                obs.metrics.inc("cyrus_chunks_new_total", len(plans))
+                obs.metrics.inc("cyrus_chunks_dedup_total", dedup_count)
+            with span_if(obs, "scatter", chunks=len(plans)):
+                share_results, degraded = self._scatter(plans)
+            # line 10: metadata — only after every chunk upload resolved
+            node = self._build_node(
+                name=name, file_id=file_id, prev_id=prev_id,
+                client_id=client_id, modified=modified, size=len(data),
+                chunks=chunks, plans=plans,
+            )
+            with span_if(obs, "publish_meta"):
+                meta_results = self._publish(node)
         self.tree.add(node)
         self.chunk_table.record_node(node)
         finished = self.engine.clock.now()
@@ -225,13 +239,15 @@ class Uploader:
         outstanding: dict[str, _ChunkPlan] = {p.chunk.id: p for p in plans}
         succeeded: dict[str, set[int]] = {cid: set() for cid in outstanding}
 
+        obs = getattr(self.engine, "obs", None)
+
         def build_op(key, csp: str) -> TransferOp:
             cid, idx = key
             return TransferOp(
                 kind=OpKind.PUT,
                 csp_id=csp,
                 name=chunk_share_object_name(idx, cid),
-                data=outstanding[cid].share_data(self.config.key, idx),
+                data=outstanding[cid].share_data(self.config.key, idx, obs=obs),
                 chunk_id=cid,
                 file_key=None,
             )
@@ -379,9 +395,13 @@ class Uploader:
                 self.engine.sleep(policy.delay(round_no))
             batch = self.engine.execute([op for _, op in pending])
             retry: list[tuple[int, TransferOp]] = []
+            obs = getattr(self.engine, "obs", None)
             for (slot, op), res in zip(pending, batch):
                 final[slot] = res
-                if not res.ok and res.retryable:
+                if not res.ok and res.retryable and round_no + 1 < policy.max_attempts:
+                    if obs is not None:
+                        obs.metrics.inc("cyrus_meta_retries_total",
+                                        csp=op.csp_id)
                     retry.append((slot, op))
             pending = retry
             if not pending:

@@ -219,6 +219,7 @@ class HealthRegistry:
         clock: Clock | None = None,
         failure_threshold: int = 5,
         reset_timeout: float = 30.0,
+        metrics=None,
     ):
         self.clock = clock if clock is not None else WallClock()
         self.failure_threshold = failure_threshold
@@ -228,8 +229,15 @@ class HealthRegistry:
         self._failures: dict[str, int] = {}
         self._last_error: dict[str, str] = {}
         self._listeners: list[Callable[[HealthEvent], None]] = []
+        # optional repro.obs.metrics.MetricsRegistry (duck-typed so this
+        # module stays import-light); every emitted event is counted
+        self.metrics = metrics
 
     # -- wiring ----------------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach a metrics registry after construction (client wiring)."""
+        self.metrics = metrics
 
     def breaker(self, csp_id: str) -> CircuitBreaker:
         brk = self._breakers.get(csp_id)
@@ -250,6 +258,12 @@ class HealthRegistry:
         event = HealthEvent(
             time=self.clock.now(), kind=kind, csp_id=csp_id, detail=detail
         )
+        if self.metrics is not None:
+            # breaker transitions arrive here as breaker_open /
+            # breaker_close / probe_failed, so one counter covers the
+            # whole failure-handling event stream
+            self.metrics.inc("cyrus_health_events_total",
+                             kind=kind, csp=csp_id or "*")
         for listener in self._listeners:
             listener(event)
 
@@ -353,6 +367,7 @@ class ResilientProvider(CloudProvider):
         deadline_s: float | None = None,
         clock: Clock | None = None,
         sleep: Callable[[float], None] | None = None,
+        metrics=None,
     ):
         super().__init__(inner.csp_id)
         self.inner = inner
@@ -362,16 +377,31 @@ class ResilientProvider(CloudProvider):
                          else HealthRegistry(clock=self.clock))
         self.deadline_s = deadline_s
         self._sleep = sleep if sleep is not None else _default_sleep(self.clock)
+        # optional repro.obs.metrics.MetricsRegistry.  Attempt-level
+        # byte counters live here because internal retries are invisible
+        # to the transfer engine: payload bytes are counted once per
+        # *successful* call in cyrus_provider_bytes_total, and once per
+        # *attempt* in cyrus_provider_attempt_bytes_total — the gap
+        # between the two is exactly the retry traffic that used to
+        # double-count in ad-hoc benchmark accounting.
+        self.metrics = metrics
 
     # -- envelope ---------------------------------------------------------
 
-    def _call(self, op: str, fn: Callable[[], object]) -> object:
+    def _call(self, op: str, fn: Callable[[], object],
+              up_bytes: int = 0) -> object:
         last_exc: CSPError | None = None
         for attempt in range(1, self.policy.max_attempts + 1):
             if not self.registry.allow(self.csp_id):
                 raise CircuitOpenError(
                     f"circuit open; {op} not dispatched", csp_id=self.csp_id
                 )
+            if self.metrics is not None:
+                self.metrics.inc("cyrus_provider_attempts_total",
+                                 csp=self.csp_id, op=op.split(" ", 1)[0])
+                if up_bytes:
+                    self.metrics.inc("cyrus_provider_attempt_bytes_total",
+                                     up_bytes, csp=self.csp_id, direction="up")
             started = self.clock.now()
             try:
                 result = fn()
@@ -384,6 +414,9 @@ class ResilientProvider(CloudProvider):
                     self.registry.record_success(self.csp_id)
                 if self.policy.should_retry(exc, attempt):
                     last_exc = exc
+                    if self.metrics is not None:
+                        self.metrics.inc("cyrus_provider_retries_total",
+                                         csp=self.csp_id)
                     self._sleep(self.policy.delay(attempt))
                     continue
                 raise
@@ -396,10 +429,25 @@ class ResilientProvider(CloudProvider):
                 self.registry.record_failure(self.csp_id, exc)
                 if self.policy.should_retry(exc, attempt):
                     last_exc = exc
+                    if self.metrics is not None:
+                        self.metrics.inc("cyrus_provider_retries_total",
+                                         csp=self.csp_id)
                     self._sleep(self.policy.delay(attempt))
                     continue
                 raise exc
             self.registry.record_success(self.csp_id)
+            if self.metrics is not None:
+                down_bytes = len(result) if isinstance(result, bytes) else 0
+                if down_bytes:
+                    self.metrics.inc("cyrus_provider_attempt_bytes_total",
+                                     down_bytes, csp=self.csp_id,
+                                     direction="down")
+                    self.metrics.inc("cyrus_provider_bytes_total",
+                                     down_bytes, csp=self.csp_id,
+                                     direction="down")
+                if up_bytes:
+                    self.metrics.inc("cyrus_provider_bytes_total",
+                                     up_bytes, csp=self.csp_id, direction="up")
             return result
         raise last_exc  # pragma: no cover - loop always raises or returns
 
@@ -413,7 +461,8 @@ class ResilientProvider(CloudProvider):
         return self._call("list", lambda: self.inner.list(prefix))
 
     def upload(self, name: str, data: bytes) -> None:
-        self._call(f"upload {name}", lambda: self.inner.upload(name, data))
+        self._call(f"upload {name}", lambda: self.inner.upload(name, data),
+                   up_bytes=len(data))
 
     def download(self, name: str) -> bytes:
         return self._call(f"download {name}",
@@ -438,15 +487,18 @@ def wrap_resilient(
     registry: HealthRegistry | None = None,
     deadline_s: float | None = None,
     clock: Clock | None = None,
+    metrics=None,
 ) -> list[ResilientProvider]:
     """Wrap a provider fleet with one shared policy and registry."""
     clock = clock if clock is not None else WallClock()
     registry = registry if registry is not None else HealthRegistry(clock=clock)
     policy = policy if policy is not None else RetryPolicy()
+    if metrics is not None and registry.metrics is None:
+        registry.bind_metrics(metrics)
     return [
         ResilientProvider(
             p, policy=policy, registry=registry,
-            deadline_s=deadline_s, clock=clock,
+            deadline_s=deadline_s, clock=clock, metrics=metrics,
         )
         for p in providers
     ]

@@ -110,12 +110,16 @@ class FlowSimulator:
         links: Mapping[str, Link],
         client_up: float = math.inf,
         client_down: float = math.inf,
+        metrics=None,
     ):
         if client_up <= 0 or client_down <= 0:
             raise ValueError("client capacities must be positive")
         self.links = dict(links)
         self.client_up = client_up
         self.client_down = client_down
+        # optional repro.obs.metrics.MetricsRegistry: per-link flow
+        # counts, simulated bytes and flow durations (duck-typed)
+        self.metrics = metrics
 
     def client_capacity(self, direction: str) -> float:
         """The client-wide capacity for one direction."""
@@ -252,18 +256,31 @@ class FlowSimulator:
             completed=True,
             bytes_done=req.size,
         )
+        if self.metrics is not None:
+            self.metrics.inc("netsim_flows_total", link=req.link_id,
+                             direction=req.direction, outcome="completed")
+            self.metrics.inc("netsim_bytes_total", req.size,
+                             link=req.link_id, direction=req.direction)
+            self.metrics.observe("netsim_flow_seconds", t - flow.issue,
+                                 direction=req.direction)
         if req.group is not None:
             done_in_group[req.group] = done_in_group.get(req.group, 0) + 1
 
     def _cancel(self, flow: _Flow, t: float) -> None:
         req = flow.request
+        bytes_done = int(req.size - flow.remaining)
         flow.result = TransferResult(
             request=req,
             start=flow.issue,
             end=t,
             completed=False,
-            bytes_done=int(req.size - flow.remaining),
+            bytes_done=bytes_done,
         )
+        if self.metrics is not None:
+            self.metrics.inc("netsim_flows_total", link=req.link_id,
+                             direction=req.direction, outcome="cancelled")
+            self.metrics.inc("netsim_bytes_total", bytes_done,
+                             link=req.link_id, direction=req.direction)
 
     def _assign_rates(self, active: list[_Flow], now: float) -> None:
         """Max--min fair allocation via progressive filling.

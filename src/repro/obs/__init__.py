@@ -1,0 +1,123 @@
+"""repro.obs — zero-dependency observability for the transfer stack.
+
+Three cooperating pieces, all driven by the injected
+:class:`repro.util.clock.Clock` so simulated runs stay deterministic:
+
+* :class:`MetricsRegistry` / :class:`MetricsSnapshot` — labelled
+  counters, gauges and fixed-bucket histograms (bytes per CSP, retries,
+  breaker transitions, cache hit rate, encode/decode time);
+* :class:`Tracer` / :class:`Span` — nested span trees per operation
+  (sync → chunk → share put/get), exportable as JSON and Chrome-trace;
+* :class:`TransferTimeline` — the paper's Figure 14/17 per-CSP parallel
+  transfer picture, rebuilt from op results or op spans.
+
+:class:`Observability` bundles one registry + one tracer and owns the
+single integration point with the engines: every ``OpResult`` that flows
+through ``TransferEngine._emit`` lands in :meth:`Observability.record_op`,
+making the metrics layer the one source of byte/retry truth (reports and
+benchmarks derive from it instead of re-counting).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.timeline import TimelineBar, TransferTimeline
+from repro.obs.trace import Span, Tracer
+from repro.util.clock import Clock, WallClock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "Span",
+    "TimelineBar",
+    "Tracer",
+    "TransferTimeline",
+    "span_if",
+]
+
+# Metric names (single place, so tests and docs cannot drift):
+OPS_TOTAL = "cyrus_ops_total"                        # {csp, kind, outcome}
+TRANSFER_BYTES = "cyrus_transfer_bytes_total"        # {csp, direction}
+OP_FAILURES = "cyrus_op_failures_total"              # {csp, error_type}
+OP_DURATION = "cyrus_op_duration_seconds"            # {kind}
+
+
+class Observability:
+    """One metrics registry + one tracer sharing one clock."""
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock if clock is not None else WallClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock)
+
+    # -- engine hook ------------------------------------------------------
+
+    def record_op(self, result) -> None:
+        """Ingest one engine ``OpResult``: the authoritative accounting
+        of every dispatched provider operation.
+
+        Bytes are counted exactly once per *successful* op — retries and
+        failed attempts never inflate ``cyrus_transfer_bytes_total``,
+        which is what makes this layer the single source of truth the
+        ad-hoc benchmark accounting was not.
+        """
+        op = result.op
+        kind = op.kind.value if hasattr(op.kind, "value") else str(op.kind)
+        outcome = ("cancelled" if result.cancelled
+                   else "ok" if result.ok else "error")
+        self.metrics.inc(OPS_TOTAL, csp=op.csp_id, kind=kind, outcome=outcome)
+        nbytes = (len(result.data) if result.data is not None
+                  else op.payload_size())
+        if result.ok:
+            self.metrics.inc(TRANSFER_BYTES, nbytes,
+                             csp=op.csp_id, direction=op.kind.direction)
+        elif not result.cancelled:
+            self.metrics.inc(OP_FAILURES, csp=op.csp_id,
+                             error_type=result.error_type or "unknown")
+        if not result.cancelled:
+            self.metrics.observe(OP_DURATION, result.duration, kind=kind)
+        attrs = {
+            "csp": op.csp_id,
+            "op_kind": kind,
+            "object": op.name,
+            "bytes": nbytes if result.ok else 0,
+            "ok": result.ok,
+        }
+        if result.cancelled:
+            attrs["cancelled"] = True
+        if op.chunk_id:
+            attrs["chunk"] = op.chunk_id
+        if result.error_type:
+            attrs["error_type"] = result.error_type
+        self.tracer.record("op", result.start, result.end, **attrs)
+
+    # -- passthroughs -----------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def timeline(self) -> TransferTimeline:
+        return TransferTimeline.from_tracer(self.tracer)
+
+
+def span_if(obs: Observability | None, name: str, **attrs):
+    """A span context when observability is attached, else a no-op —
+    lets instrumented code read the same with or without an observer."""
+    return obs.span(name, **attrs) if obs is not None else nullcontext()

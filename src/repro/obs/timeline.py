@@ -1,0 +1,196 @@
+"""Per-CSP transfer timelines (the paper's Figure 14/17 pictures).
+
+The evaluation figures show each share transfer as a horizontal bar on
+its CSP's lane, making stragglers and parallelism visible at a glance.
+:class:`TransferTimeline` rebuilds that view from either source of
+timing truth in this repo:
+
+* :meth:`from_results` — a list of engine ``OpResult``s (duck-typed:
+  anything with ``.op.csp_id``, ``.op.kind``, ``.start``, ``.end``);
+* :meth:`from_tracer` — the ``op`` spans a traced run produced.
+
+Benchmarks use it instead of hand-rolled duration lists: makespan,
+per-CSP busy time and byte totals all come from one structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineBar:
+    """One transfer interval on one CSP lane."""
+
+    csp_id: str
+    kind: str           # "get", "put", "get_meta", ...
+    name: str           # object name
+    start: float
+    end: float
+    nbytes: int
+    ok: bool
+    chunk_id: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TransferTimeline:
+    bars: list[TimelineBar] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_results(cls, results) -> "TransferTimeline":
+        """Build from engine ``OpResult``s (skips cancelled ops, which
+        never occupied a lane)."""
+        bars = []
+        for r in results:
+            if getattr(r, "cancelled", False):
+                continue
+            op = r.op
+            bars.append(TimelineBar(
+                csp_id=op.csp_id,
+                kind=op.kind.value if hasattr(op.kind, "value") else str(op.kind),
+                name=op.name,
+                start=r.start,
+                end=r.end,
+                nbytes=op.payload_size(),
+                ok=r.ok,
+                chunk_id=getattr(op, "chunk_id", None),
+            ))
+        return cls(sorted(bars, key=lambda b: (b.start, b.csp_id, b.name)))
+
+    @classmethod
+    def from_tracer(cls, tracer, span_name: str = "op") -> "TransferTimeline":
+        """Build from a :class:`repro.obs.trace.Tracer`'s op spans (spans
+        whose attrs carry ``csp``/``op_kind``, as the engines emit)."""
+        bars = []
+        for span in tracer.find(span_name):
+            if not span.finished or span.attrs.get("cancelled"):
+                continue
+            bars.append(TimelineBar(
+                csp_id=str(span.attrs.get("csp", "?")),
+                kind=str(span.attrs.get("op_kind", "?")),
+                name=str(span.attrs.get("object", span.name)),
+                start=span.start,
+                end=span.end,
+                nbytes=int(span.attrs.get("bytes", 0)),
+                ok=bool(span.attrs.get("ok", True)),
+                chunk_id=span.attrs.get("chunk"),
+            ))
+        return cls(sorted(bars, key=lambda b: (b.start, b.csp_id, b.name)))
+
+    # -- aggregate views --------------------------------------------------
+
+    def lanes(self) -> dict[str, list[TimelineBar]]:
+        out: dict[str, list[TimelineBar]] = {}
+        for bar in self.bars:
+            out.setdefault(bar.csp_id, []).append(bar)
+        return dict(sorted(out.items()))
+
+    @property
+    def start(self) -> float:
+        return min((b.start for b in self.bars), default=0.0)
+
+    @property
+    def end(self) -> float:
+        return max((b.end for b in self.bars), default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start if self.bars else 0.0
+
+    def per_csp_bytes(self, kind: str | None = None,
+                      ok_only: bool = True) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for bar in self.bars:
+            if ok_only and not bar.ok:
+                continue
+            if kind is not None and bar.kind != kind:
+                continue
+            out[bar.csp_id] = out.get(bar.csp_id, 0) + bar.nbytes
+        return dict(sorted(out.items()))
+
+    def busy_seconds(self) -> dict[str, float]:
+        """Per-CSP union of bar intervals (overlaps merged) — the time
+        each provider actually spent transferring."""
+        out: dict[str, float] = {}
+        for csp_id, bars in self.lanes().items():
+            intervals = sorted((b.start, b.end) for b in bars)
+            total = 0.0
+            cur_start, cur_end = None, None
+            for s, e in intervals:
+                if cur_end is None or s > cur_end:
+                    if cur_end is not None:
+                        total += cur_end - cur_start
+                    cur_start, cur_end = s, e
+                else:
+                    cur_end = max(cur_end, e)
+            if cur_end is not None:
+                total += cur_end - cur_start
+            out[csp_id] = total
+        return out
+
+    def chunk_spans(self) -> dict[str, tuple[float, float]]:
+        """Per-chunk (first share start, last share end) — the chunk's
+        effective transfer interval across all its parallel shares."""
+        out: dict[str, tuple[float, float]] = {}
+        for bar in self.bars:
+            if not bar.chunk_id or not bar.ok:
+                continue
+            prior = out.get(bar.chunk_id)
+            if prior is None:
+                out[bar.chunk_id] = (bar.start, bar.end)
+            else:
+                out[bar.chunk_id] = (min(prior[0], bar.start),
+                                     max(prior[1], bar.end))
+        return out
+
+    def durations(self, kind: str | None = None,
+                  ok_only: bool = True) -> list[float]:
+        return [b.duration for b in self.bars
+                if (not ok_only or b.ok)
+                and (kind is None or b.kind == kind)]
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "makespan": self.makespan,
+            "bars": [
+                {
+                    "csp": b.csp_id, "kind": b.kind, "name": b.name,
+                    "start": b.start, "end": b.end, "bytes": b.nbytes,
+                    "ok": b.ok, "chunk": b.chunk_id,
+                }
+                for b in self.bars
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_ascii(self, width: int = 72) -> str:
+        """A terminal sketch of the figure: one row per CSP, ``=`` bars
+        on a shared time axis (``x`` marks failed transfers)."""
+        if not self.bars:
+            return "(empty timeline)"
+        t0, t1 = self.start, self.end
+        scale = (width - 1) / (t1 - t0) if t1 > t0 else 0.0
+        label_w = max(len(c) for c in self.lanes()) + 1
+        lines = []
+        for csp_id, bars in self.lanes().items():
+            row = [" "] * width
+            for bar in bars:
+                i0 = int((bar.start - t0) * scale)
+                i1 = max(i0 + 1, int((bar.end - t0) * scale))
+                ch = "=" if bar.ok else "x"
+                for i in range(i0, min(i1, width)):
+                    row[i] = ch
+            lines.append(f"{csp_id:<{label_w}}|{''.join(row)}")
+        axis = f"{'':<{label_w}}|{t0:<.3f}{'':^{max(0, width - 16)}}{t1:>.3f}"
+        return "\n".join(lines + [axis])

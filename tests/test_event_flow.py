@@ -111,3 +111,87 @@ class TestDownloadEvents:
         except Exception:
             pass
         assert not receiver.chunk_complete(cid)
+
+
+class TestSpanTraces:
+    """The tracing view of the same transfers: every put/get yields a
+    well-formed span tree whose byte totals agree with storage stats."""
+
+    def test_trace_well_formed_after_puts_and_gets(self):
+        env, client = make_env_client()
+        client.put("a.bin", deterministic_bytes(5000, 21), sync_first=False)
+        client.put("b.bin", deterministic_bytes(3000, 22), sync_first=False)
+        client.get("a.bin", sync_first=False)
+        client.get("b.bin", sync_first=False)
+        assert env.obs.tracer.check_well_formed() == []
+
+    def test_upload_span_has_pipeline_children(self):
+        env, client = make_env_client()
+        client.put("a.bin", deterministic_bytes(4000, 23), sync_first=False)
+        uploads = env.obs.tracer.find("upload")
+        assert len(uploads) == 1
+        (up,) = uploads
+        names = [c.name for c in up.children]
+        assert names.count("chunk") == 1
+        assert names.count("scatter") == 1
+        assert names.count("publish_meta") == 1
+        scatter = next(c for c in up.children if c.name == "scatter")
+        put_ops = [s for s in scatter.children if s.name == "op"]
+        assert put_ops
+        assert all(s.attrs["op_kind"] == "PUT" for s in put_ops)
+        publish = next(c for c in up.children if c.name == "publish_meta")
+        meta_ops = [s for s in publish.children if s.name == "op"]
+        assert meta_ops
+        assert all(s.attrs["op_kind"] == "PUT_META" for s in meta_ops)
+
+    def test_download_span_has_pipeline_children(self):
+        env, client = make_env_client()
+        client.put("a.bin", deterministic_bytes(4000, 24), sync_first=False)
+        client.get("a.bin", sync_first=False)
+        downloads = env.obs.tracer.find("download")
+        assert len(downloads) == 1
+        (down,) = downloads
+        names = [c.name for c in down.children]
+        for stage in ("select", "gather", "decode"):
+            assert stage in names
+        gather = next(c for c in down.children if c.name == "gather")
+        get_ops = [s for s in gather.children if s.name == "op"]
+        assert get_ops
+        assert all(s.attrs["op_kind"] == "GET" for s in get_ops)
+
+    def test_no_orphans_and_children_nest_within_parents(self):
+        env, client = make_env_client()
+        client.put("a.bin", deterministic_bytes(6000, 25), sync_first=False)
+        client.get("a.bin", sync_first=False)
+        tracer = env.obs.tracer
+        # every op span recorded during a transfer hangs off that
+        # transfer's tree, not the root list
+        root_names = {r.name for r in tracer.roots}
+        assert "op" not in root_names
+        for root in tracer.roots:
+            for span in root.walk():
+                assert span.finished
+                for child in span.children:
+                    assert span.start <= child.start
+                    assert child.end <= span.end
+
+    def test_per_csp_put_bytes_match_storage_stats(self):
+        env, client = make_env_client()
+        for i, name in enumerate(["a.bin", "b.bin", "c.bin"]):
+            client.put(name, deterministic_bytes(2500 + 700 * i, 26 + i),
+                       sync_first=False)
+        timeline = env.obs.timeline()
+        assert (timeline.per_csp_bytes(kind="PUT")
+                == client.storage_stats()["per_csp_bytes"])
+
+    def test_engine_byte_counters_match_stored_ground_truth(self):
+        env, client = make_env_client()
+        client.put("a.bin", deterministic_bytes(4096, 30), sync_first=False)
+        client.get("a.bin", sync_first=False)
+        snap = env.obs.snapshot()
+        for csp_id, csp in env.csps.items():
+            stored = sum(info.size for info in csp._store.list())
+            uploaded = snap.counter_total(
+                "cyrus_transfer_bytes_total", csp=csp_id, direction="up"
+            )
+            assert uploaded == stored

@@ -48,7 +48,7 @@ def _chaos_plan(seed: int) -> FaultPlan:
 
 
 def _run_scenario(seed: int):
-    """One full chaos run; returns (per-provider fault logs, providers)."""
+    """One full chaos run; returns (fault logs, providers, client)."""
     clock = SimClock()
     plan = _chaos_plan(seed)
     providers = [
@@ -77,12 +77,12 @@ def _run_scenario(seed: int):
         assert client.get(old).data == stored[old], (
             f"cycle {cycle}: re-read of {old} lost data"
         )
-    return [tuple(p.fault_log) for p in providers], providers
+    return [tuple(p.fault_log) for p in providers], providers, client
 
 
 class TestChaos:
     def test_no_data_loss_across_cycles(self):
-        logs, providers = _run_scenario(seed=2026)
+        logs, providers, _client = _run_scenario(seed=2026)
         injected = {
             kind: sum(p.injected_faults.get(kind, 0) for p in providers)
             for kind in FaultKind
@@ -94,10 +94,10 @@ class TestChaos:
         assert injected[FaultKind.LATENCY] > 0
 
     def test_identical_seeds_produce_identical_schedules(self):
-        logs_a, _ = _run_scenario(seed=7)
-        logs_b, _ = _run_scenario(seed=7)
+        logs_a, _, _ = _run_scenario(seed=7)
+        logs_b, _, _ = _run_scenario(seed=7)
         assert logs_a == logs_b  # full FaultEvent equality, times included
-        logs_c, _ = _run_scenario(seed=8)
+        logs_c, _, _ = _run_scenario(seed=8)
         assert logs_a != logs_c
 
     def test_breaker_stops_hammering_a_dead_csp(self):
@@ -170,7 +170,7 @@ class TestChaos:
         assert any(e.kind == "degraded_read" for e in client.health_events)
 
     def test_breaker_events_surface_to_the_client(self):
-        logs, providers = _run_scenario(seed=2026)
+        logs, providers, _client = _run_scenario(seed=2026)
         # rebuild the same scenario to inspect the client's event stream
         clock = SimClock()
         plan = _chaos_plan(2026)
@@ -193,3 +193,77 @@ class TestChaos:
         assert "failure" in kinds  # structured failure events recorded
         failures = [e for e in client.health_events if e.kind == "failure"]
         assert all(e.csp_id and e.detail for e in failures)
+
+
+class TestChaosMetricsAgreement:
+    """The observability counters must agree with the fault schedule.
+
+    The fault logs are the ground truth: every TRANSIENT/OUTAGE event
+    injected into an engine-dispatched op surfaces as exactly one
+    failed op, and the health-event metrics mirror the client's
+    structured event stream one-for-one.
+    """
+
+    def test_engine_failure_counters_match_fault_logs(self):
+        logs, providers, client = _run_scenario(seed=2026)
+        snap = client.obs.snapshot()
+        for prov, log in zip(providers, logs):
+            # probe list() calls bypass the engine, so count only the
+            # error-kind injections on data ops (every engine dispatch
+            # reaches the provider as an upload or a download)
+            injected = sum(
+                1 for e in log
+                if e.kind in (FaultKind.TRANSIENT, FaultKind.OUTAGE)
+                and e.op in ("upload", "download")
+            )
+            observed = snap.counter_total(
+                "cyrus_op_failures_total",
+                csp=prov.csp_id, error_type="CSPUnavailableError",
+            )
+            assert observed == injected, (
+                f"{prov.csp_id}: engine saw {observed} unavailability "
+                f"failures, the plan injected {injected}"
+            )
+
+    def test_retry_counters_are_bounded_by_injected_faults(self):
+        logs, providers, client = _run_scenario(seed=2026)
+        snap = client.obs.snapshot()
+        injected_errors = sum(
+            1 for log in logs for e in log
+            if e.kind in (FaultKind.TRANSIENT, FaultKind.OUTAGE)
+            and e.op in ("upload", "download")
+        )
+        retried = (snap.counter_total("cyrus_share_retries_total")
+                   + snap.counter_total("cyrus_meta_retries_total"))
+        failovers = snap.counter_total("cyrus_share_failovers_total")
+        assert retried > 0  # transients were actually retried
+        # a failed op leads to at most one retry or failover decision
+        assert retried + failovers <= injected_errors
+
+    def test_health_event_metrics_mirror_event_stream(self):
+        _logs, _providers, client = _run_scenario(seed=2026)
+        snap = client.obs.snapshot()
+        by_kind: dict[str, int] = {}
+        for event in client.health_events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        assert by_kind.get("failure", 0) > 0
+        for kind, count in by_kind.items():
+            assert snap.counter_total(
+                "cyrus_health_events_total", kind=kind
+            ) == count
+        # and nothing was counted that never happened
+        total_metric = snap.counter_total("cyrus_health_events_total")
+        assert total_metric == sum(by_kind.values())
+
+    def test_breaker_open_metric_matches_transitions(self):
+        _logs, _providers, client = _run_scenario(seed=2026)
+        snap = client.obs.snapshot()
+        opens = [e for e in client.health_events if e.kind == "breaker_open"]
+        assert snap.counter_total(
+            "cyrus_health_events_total", kind="breaker_open"
+        ) == len(opens)
+        for e in opens:
+            assert snap.counter_value(
+                "cyrus_health_events_total",
+                kind="breaker_open", csp=e.csp_id,
+            ) >= 1

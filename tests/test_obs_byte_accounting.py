@@ -1,0 +1,108 @@
+"""Regression: retries must not double-count transferred bytes.
+
+Ad-hoc benchmark accounting used to sum payload sizes per *attempt*, so
+a provider-level retry counted its payload twice.  The metrics layer is
+now the single source of truth and splits the two views explicitly:
+
+* ``cyrus_provider_bytes_total`` — once per successful call (matches
+  what actually lands on disk);
+* ``cyrus_provider_attempt_bytes_total`` — once per attempt (the wire
+  traffic, including retries).
+
+The gap between them is exactly the retry traffic, which this test pins
+against the fault plan's ground truth on a real on-disk provider.
+"""
+
+from __future__ import annotations
+
+from repro.csp.localfs import LocalDirectoryCSP
+from repro.csp.resilient import HealthRegistry, ResilientProvider, RetryPolicy
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.obs import MetricsRegistry
+from repro.util.clock import SimClock
+
+from tests.conftest import deterministic_bytes
+
+
+def _build(tmp_path, specs):
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    disk = LocalDirectoryCSP("disk", tmp_path / "disk")
+    faulty = FaultyProvider(disk, FaultPlan(specs, seed=5), clock=clock)
+    registry = HealthRegistry(clock=clock)
+    provider = ResilientProvider(
+        faulty,
+        policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+        registry=registry,
+        clock=clock,
+        metrics=metrics,
+    )
+    return provider, faulty, metrics
+
+
+FILES = {f"obj-{i}": deterministic_bytes(700 + 333 * i, seed=50 + i)
+         for i in range(5)}
+
+
+class TestByteAccounting:
+    def test_success_bytes_match_on_disk_ground_truth(self, tmp_path):
+        specs = [FaultSpec(kind=FaultKind.TRANSIENT, ops=("upload",),
+                           max_hits=2)]
+        provider, faulty, metrics = _build(tmp_path, specs)
+        for name, data in FILES.items():
+            provider.upload(name, data)
+        snap = metrics.snapshot()
+        on_disk = sum(
+            f.stat().st_size for f in (tmp_path / "disk").rglob("*")
+            if f.is_file()
+        )
+        assert on_disk == sum(len(d) for d in FILES.values())
+        # single source of truth: payload counted once per success,
+        # no matter how many retries it took to land
+        assert snap.counter_total(
+            "cyrus_provider_bytes_total", csp="disk", direction="up"
+        ) == on_disk
+
+    def test_attempt_bytes_exceed_success_bytes_by_retry_traffic(
+            self, tmp_path):
+        specs = [FaultSpec(kind=FaultKind.TRANSIENT, ops=("upload",),
+                           max_hits=2)]
+        provider, faulty, metrics = _build(tmp_path, specs)
+        for name, data in FILES.items():
+            provider.upload(name, data)
+        snap = metrics.snapshot()
+        success = snap.counter_total(
+            "cyrus_provider_bytes_total", csp="disk", direction="up")
+        attempts = snap.counter_total(
+            "cyrus_provider_attempt_bytes_total", csp="disk", direction="up")
+        # ground truth from the fault log: each injected transient cost
+        # one extra transmission of that object's payload
+        retry_traffic = sum(
+            len(FILES[e.name]) for e in faulty.fault_log
+            if e.kind is FaultKind.TRANSIENT and e.op == "upload"
+        )
+        assert retry_traffic > 0  # the plan actually bit
+        assert attempts == success + retry_traffic
+        assert snap.counter_total(
+            "cyrus_provider_retries_total", csp="disk"
+        ) == faulty.injected_faults[FaultKind.TRANSIENT]
+
+    def test_fault_free_run_has_equal_ledgers(self, tmp_path):
+        provider, _faulty, metrics = _build(tmp_path, [])
+        for name, data in FILES.items():
+            provider.upload(name, data)
+        for name, data in FILES.items():
+            assert provider.download(name) == data
+        snap = metrics.snapshot()
+        for direction in ("up", "down"):
+            assert snap.counter_total(
+                "cyrus_provider_attempt_bytes_total",
+                csp="disk", direction=direction,
+            ) == snap.counter_total(
+                "cyrus_provider_bytes_total", csp="disk", direction=direction,
+            )
+        assert snap.counter_total("cyrus_provider_retries_total") == 0
+        # downloads moved exactly the stored payloads
+        assert snap.counter_total(
+            "cyrus_provider_bytes_total", csp="disk", direction="down"
+        ) == sum(len(d) for d in FILES.values())

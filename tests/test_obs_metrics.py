@@ -1,0 +1,269 @@
+"""Property-based tests for the metrics layer.
+
+Hypothesis drives three families of invariants the rest of the suite
+(and the benchmarks) lean on:
+
+* histogram bucket invariants — bucket counts always sum to the total
+  observation count, the cumulative sequence is monotone, every
+  observation lands in the bucket its value belongs to, min/sum/max are
+  consistent;
+* merge algebra — :meth:`MetricsSnapshot.merge` is associative and
+  commutative on counters and histograms (integer amounts, so float
+  non-associativity cannot produce spurious failures);
+* snapshot immutability — a snapshot never changes after later registry
+  activity, and cannot be written to.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+values = st.floats(min_value=0.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+int_amounts = st.integers(min_value=0, max_value=10**6)
+label_values = st.sampled_from(["csp0", "csp1", "csp2", "up", "down"])
+
+
+# ---------------------------------------------------------------------------
+# histogram bucket invariants
+
+
+class TestHistogramInvariants:
+    @given(st.lists(values, max_size=200))
+    def test_counts_sum_to_count_and_cumulative_monotone(self, obs):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in obs:
+            hist.observe(v)
+        data = hist.data()
+        assert data.count == len(obs)
+        assert sum(data.counts) == data.count
+        cum = data.cumulative()
+        assert list(cum) == sorted(cum)
+        assert (cum[-1] if cum else 0) == data.count
+        assert len(data.counts) == len(BOUNDS) + 1
+
+    @given(st.lists(values, min_size=1, max_size=200))
+    def test_each_observation_lands_in_its_bucket(self, obs):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in obs:
+            hist.observe(v)
+        expected = [0] * (len(BOUNDS) + 1)
+        for v in obs:
+            expected[bisect.bisect_left(BOUNDS, v)] += 1
+        assert list(hist.data().counts) == expected
+
+    @given(st.lists(values, min_size=1, max_size=200))
+    def test_min_max_sum_consistent(self, obs):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in obs:
+            hist.observe(v)
+        data = hist.data()
+        assert data.min == min(obs)
+        assert data.max == max(obs)
+        assert data.sum == pytest.approx(sum(obs))
+        # accumulated float rounding can push the mean past min/max by
+        # a few ulps (e.g. sum([0.046] * 3) / 3 > 0.046)
+        slack = 1e-12 * max(1.0, abs(data.sum))
+        assert data.min - slack <= data.mean <= data.max + slack
+
+    def test_empty_histogram(self):
+        data = Histogram("h", buckets=BOUNDS).data()
+        assert data.count == 0 and data.sum == 0.0
+        assert data.min is None and data.max is None
+        assert data.mean == 0.0
+
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_observing_never_changes_layout(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        hist.observe(1e9)   # beyond the last bound: overflow bucket
+        hist.observe(-5.0)  # below the first bound: first bucket
+        data = hist.data()
+        assert data.bounds == BOUNDS
+        assert data.counts[0] == 1 and data.counts[-1] == 1
+
+
+# ---------------------------------------------------------------------------
+# merge algebra
+
+
+def _snapshot(counter_incs, hist_obs) -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    for label, amount in counter_incs:
+        reg.counter("c").inc(amount, csp=label)
+    h = reg.histogram("h", buckets=BOUNDS)
+    for v in hist_obs:
+        h.observe(v)
+    return reg.snapshot()
+
+
+# Integer-valued observations keep histogram sums exact in floats, so
+# the merge-algebra assertions test *merge* semantics rather than float
+# addition's non-associativity.
+int_values = st.integers(min_value=0, max_value=1000).map(float)
+snapshot_inputs = st.tuples(
+    st.lists(st.tuples(label_values, int_amounts), max_size=20),
+    st.lists(int_values, max_size=50),
+)
+
+
+class TestMergeAlgebra:
+    @given(snapshot_inputs, snapshot_inputs, snapshot_inputs)
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, a_in, b_in, c_in):
+        a, b, c = (_snapshot(*x) for x in (a_in, b_in, c_in))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+
+    @given(snapshot_inputs, snapshot_inputs)
+    @settings(max_examples=50)
+    def test_merge_is_commutative(self, a_in, b_in):
+        a, b = _snapshot(*a_in), _snapshot(*b_in)
+        assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+    @given(snapshot_inputs)
+    @settings(max_examples=50)
+    def test_empty_snapshot_is_identity(self, a_in):
+        a = _snapshot(*a_in)
+        empty = MetricsRegistry().snapshot()
+        assert a.merge(empty).to_dict() == a.to_dict()
+        assert empty.merge(a).to_dict() == a.to_dict()
+
+    @given(snapshot_inputs, snapshot_inputs)
+    @settings(max_examples=50)
+    def test_merged_totals_add(self, a_in, b_in):
+        a, b = _snapshot(*a_in), _snapshot(*b_in)
+        merged = a.merge(b)
+        assert merged.counter_total("c") == (
+            a.counter_total("c") + b.counter_total("c")
+        )
+        ha, hb = a.histogram_data("h"), b.histogram_data("h")
+        hm = merged.histogram_data("h")
+        # histogram_data is None when no series exists for the subset
+        def cnt(d):
+            return d.count if d is not None else 0
+
+        assert cnt(hm) == cnt(ha) + cnt(hb)
+        if ha and hb:
+            assert list(hm.counts) == [
+                x + y for x, y in zip(ha.counts, hb.counts)
+            ]
+
+    def test_merge_rejects_mismatched_buckets(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        rb.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            ra.snapshot().merge(rb.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# snapshot immutability
+
+
+class TestSnapshotImmutability:
+    def test_later_registry_activity_does_not_leak_in(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", 3, csp="a")
+        reg.observe("lat", 0.5)
+        reg.set_gauge("depth", 7)
+        before = reg.snapshot()
+        reg.inc("ops", 10, csp="a")
+        reg.inc("ops", 2, csp="b")
+        reg.observe("lat", 2.0)
+        reg.set_gauge("depth", 99)
+        assert before.counter_total("ops") == 3
+        assert before.counter_value("ops", csp="b") == 0
+        assert before.histogram_data("lat").count == 1
+        assert before.gauge_value("depth") == 7
+
+    def test_snapshot_mappings_reject_writes(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", csp="a")
+        snap = reg.snapshot()
+        with pytest.raises(TypeError):
+            snap.counters["ops"][("csp", "a")] = 99  # type: ignore[index]
+        with pytest.raises(TypeError):
+            snap.counters["evil"] = {}  # type: ignore[index]
+
+    def test_merge_does_not_mutate_operands(self):
+        a = _snapshot([("csp0", 5)], [0.5])
+        b = _snapshot([("csp0", 7)], [1.5])
+        a_before, b_before = a.to_dict(), b.to_dict()
+        a.merge(b)
+        assert a.to_dict() == a_before
+        assert b.to_dict() == b_before
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+
+
+class TestRegistrySemantics:
+    def test_counters_reject_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("ops", -1)
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", 1, csp="a", kind="GET")
+        reg.inc("ops", 2, kind="GET", csp="a")
+        assert reg.counter("ops").value(csp="a", kind="GET") == 3
+
+    def test_counter_total_filters_by_subset(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 10, csp="a", direction="up")
+        reg.inc("bytes", 20, csp="a", direction="down")
+        reg.inc("bytes", 40, csp="b", direction="up")
+        snap = reg.snapshot()
+        assert snap.counter_total("bytes") == 70
+        assert snap.counter_total("bytes", csp="a") == 30
+        assert snap.counter_total("bytes", direction="up") == 50
+        assert snap.counter_by("bytes", "csp") == {"a": 30.0, "b": 40.0}
+
+    def test_same_name_different_kind_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_histogram_rebind_with_different_buckets_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+        # same buckets (or unspecified) is fine
+        assert reg.histogram("h", buckets=(1.0, 2.0)) is reg.histogram("h")
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_snapshot_json_roundtrips(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", 2, csp="a")
+        reg.observe("lat", 0.42, kind="GET")
+        reg.set_gauge("depth", 3)
+        parsed = json.loads(reg.snapshot().to_json())
+        assert parsed["counters"]["ops"][0]["value"] == 2
+        assert parsed["histograms"]["lat"][0]["count"] == 1
+        assert parsed["gauges"]["depth"][0]["value"] == 3

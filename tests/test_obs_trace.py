@@ -1,0 +1,315 @@
+"""Unit tests for the tracing layer and the transfer-timeline view.
+
+Covers the Span/Tracer structural contract (nesting, the record()
+fast-path, dangling-child cleanup, well-formedness validation), the
+Chrome-trace export shape, and the TransferTimeline aggregations the
+benchmarks rely on (per-CSP bytes, busy time, chunk spans, rendering).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import TransferTimeline
+from repro.obs.timeline import TimelineBar
+from repro.obs.trace import Span, Tracer
+from repro.util.clock import SimClock
+
+
+def make_tracer():
+    clock = SimClock()
+    return clock, Tracer(clock=clock)
+
+
+# ---------------------------------------------------------------------------
+# tracer structure
+
+
+class TestTracerStructure:
+    def test_nested_spans_build_a_tree(self):
+        clock, tracer = make_tracer()
+        with tracer.span("sync") as sync:
+            clock.advance(1.0)
+            with tracer.span("upload", file="a") as up:
+                clock.advance(2.0)
+            with tracer.span("download") as down:
+                clock.advance(0.5)
+        assert tracer.roots == [sync]
+        assert [c.name for c in sync.children] == ["upload", "download"]
+        assert up.parent_id == sync.span_id
+        assert down.parent_id == sync.span_id
+        assert up.attrs == {"file": "a"}
+        assert up.duration == pytest.approx(2.0)
+        assert sync.duration == pytest.approx(3.5)
+
+    def test_sibling_roots(self):
+        clock, tracer = make_tracer()
+        with tracer.span("first"):
+            clock.advance(1.0)
+        with tracer.span("second"):
+            clock.advance(1.0)
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert all(r.parent_id is None for r in tracer.roots)
+
+    def test_record_attaches_to_open_span(self):
+        clock, tracer = make_tracer()
+        with tracer.span("scatter") as scatter:
+            clock.advance(5.0)
+            op = tracer.record("op", 1.0, 3.0, csp="fast0")
+        assert scatter.children == [op]
+        assert op.parent_id == scatter.span_id
+        assert (op.start, op.end) == (1.0, 3.0)
+
+    def test_record_without_open_span_is_a_root(self):
+        _clock, tracer = make_tracer()
+        op = tracer.record("op", 0.0, 1.0)
+        assert tracer.roots == [op]
+        assert op.parent_id is None
+
+    def test_end_span_closes_dangling_children(self):
+        clock, tracer = make_tracer()
+        outer = tracer.start_span("outer")
+        clock.advance(1.0)
+        inner = tracer.start_span("inner")
+        clock.advance(1.0)
+        # close the outer span without ever ending the inner one
+        tracer.end_span(outer)
+        assert inner.finished
+        assert inner.end == outer.end
+        assert tracer.check_well_formed() == []
+
+    def test_find_and_all_spans(self):
+        clock, tracer = make_tracer()
+        with tracer.span("upload"):
+            tracer.record("op", 0.0, 0.0, csp="a")
+            tracer.record("op", 0.0, 0.0, csp="b")
+        with tracer.span("download"):
+            tracer.record("op", 0.0, 0.0, csp="a")
+        assert len(tracer.find("op")) == 3
+        assert len(tracer.all_spans()) == 5
+
+    def test_span_ids_are_unique_and_increasing(self):
+        _clock, tracer = make_tracer()
+        with tracer.span("a"):
+            tracer.record("b", 0.0, 0.0)
+        ids = [s.span_id for s in tracer.all_spans()]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+
+class TestWellFormedness:
+    def test_clean_trace_has_no_problems(self):
+        clock, tracer = make_tracer()
+        with tracer.span("upload"):
+            clock.advance(1.0)
+            tracer.record("op", 0.2, 0.8, csp="x")
+        assert tracer.check_well_formed() == []
+
+    def test_unfinished_span_is_reported(self):
+        _clock, tracer = make_tracer()
+        tracer.start_span("upload")
+        problems = tracer.check_well_formed()
+        assert any("unfinished" in p for p in problems)
+
+    def test_backwards_interval_is_reported(self):
+        _clock, tracer = make_tracer()
+        tracer.roots.append(Span(span_id=99, name="bad", start=2.0, end=1.0))
+        problems = tracer.check_well_formed()
+        assert any("ends before it starts" in p for p in problems)
+
+    def test_child_outside_parent_is_reported(self):
+        clock, tracer = make_tracer()
+        with tracer.span("parent"):
+            clock.advance(1.0)
+            tracer.record("op", 5.0, 9.0)  # way outside [0, 1]
+        problems = tracer.check_well_formed()
+        assert any("outside" in p for p in problems)
+
+    def test_wrong_parent_id_is_reported(self):
+        clock, tracer = make_tracer()
+        with tracer.span("parent") as parent:
+            clock.advance(1.0)
+            child = tracer.record("op", 0.0, 0.5)
+        child.parent_id = 12345
+        problems = tracer.check_well_formed()
+        assert any("wrong parent_id" in p for p in problems)
+
+    def test_duplicate_span_ids_are_reported(self):
+        _clock, tracer = make_tracer()
+        tracer.roots.append(Span(span_id=7, name="a", start=0.0, end=1.0))
+        tracer.roots.append(Span(span_id=7, name="b", start=0.0, end=1.0))
+        problems = tracer.check_well_formed()
+        assert any("duplicate span id" in p for p in problems)
+
+
+class TestExports:
+    def test_json_export_parses_and_mirrors_tree(self):
+        clock, tracer = make_tracer()
+        with tracer.span("upload", file="a.bin"):
+            clock.advance(1.0)
+            tracer.record("op", 0.1, 0.9, csp="fast0", bytes=128)
+        parsed = json.loads(tracer.to_json())
+        (root,) = parsed["spans"]
+        assert root["name"] == "upload"
+        assert root["attrs"] == {"file": "a.bin"}
+        (child,) = root["children"]
+        assert child["name"] == "op"
+        assert child["parent_id"] == root["span_id"]
+
+    def test_chrome_trace_lanes_and_units(self):
+        clock, tracer = make_tracer()
+        with tracer.span("upload"):
+            clock.advance(1.0)
+            tracer.record("op", 0.25, 0.75, csp="fast0")
+            tracer.record("op", 0.25, 0.50, csp="slow0")
+        trace = tracer.to_chrome_trace()
+        events = trace["traceEvents"]
+        lanes = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e["name"] == "thread_name"
+        }
+        assert {"client", "fast0", "slow0"} <= set(lanes)
+        xs = [e for e in events if e["ph"] == "X"]
+        by_name = {}
+        for e in xs:
+            by_name.setdefault(e["name"], []).append(e)
+        # the upload span sits on the client lane; ops on their CSP lanes
+        assert by_name["upload"][0]["tid"] == lanes["client"]
+        tids = {e["tid"] for e in by_name["op"]}
+        assert tids == {lanes["fast0"], lanes["slow0"]}
+        op = by_name["op"][0]
+        assert op["ts"] == pytest.approx(0.25e6)
+        assert op["dur"] == pytest.approx(0.5e6)
+        # the whole thing is valid JSON
+        assert json.loads(tracer.to_chrome_json())["displayTimeUnit"] == "ms"
+
+    def test_unfinished_spans_are_skipped_in_chrome_export(self):
+        _clock, tracer = make_tracer()
+        tracer.start_span("open-ended")
+        xs = [e for e in tracer.to_chrome_trace()["traceEvents"]
+              if e["ph"] == "X"]
+        assert xs == []
+
+
+# ---------------------------------------------------------------------------
+# timeline
+
+
+class _Kind:
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class _Op:
+    csp_id: str
+    kind: object
+    name: str = "obj"
+    chunk_id: str | None = None
+    data: bytes = b""
+
+    def payload_size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class _Result:
+    op: _Op
+    start: float
+    end: float
+    ok: bool = True
+    cancelled: bool = False
+
+
+def _bar(csp, start, end, nbytes=10, kind="PUT", ok=True, chunk=None):
+    return TimelineBar(csp_id=csp, kind=kind, name="obj", start=start,
+                       end=end, nbytes=nbytes, ok=ok, chunk_id=chunk)
+
+
+class TestTimeline:
+    def test_from_results_skips_cancelled(self):
+        results = [
+            _Result(_Op("a", _Kind("PUT"), data=b"x" * 8), 0.0, 1.0),
+            _Result(_Op("b", _Kind("PUT"), data=b"x" * 8), 0.0, 2.0,
+                    cancelled=True),
+        ]
+        tl = TransferTimeline.from_results(results)
+        assert [b.csp_id for b in tl.bars] == ["a"]
+        assert tl.bars[0].nbytes == 8
+
+    def test_from_tracer_matches_from_results_view(self):
+        clock, tracer = make_tracer()
+        with tracer.span("upload"):
+            clock.advance(3.0)
+            tracer.record("op", 0.0, 1.0, csp="a", op_kind="PUT",
+                          object="s1", bytes=64, ok=True, chunk="c1")
+            tracer.record("op", 1.0, 2.0, csp="b", op_kind="PUT",
+                          object="s2", bytes=64, ok=True, chunk="c1")
+            tracer.record("op", 1.0, 1.5, csp="a", op_kind="GET",
+                          object="s1", bytes=32, ok=True)
+            tracer.record("op", 2.0, 2.5, csp="a", op_kind="PUT",
+                          object="s3", bytes=0, ok=False, error_type="boom")
+        tl = TransferTimeline.from_tracer(tracer)
+        assert len(tl.bars) == 4
+        assert tl.per_csp_bytes(kind="PUT") == {"a": 64, "b": 64}
+        assert tl.per_csp_bytes() == {"a": 96, "b": 64}
+        assert tl.per_csp_bytes(ok_only=False) == {"a": 96, "b": 64}
+        assert tl.chunk_spans() == {"c1": (0.0, 2.0)}
+        assert tl.makespan == pytest.approx(2.5)
+
+    def test_from_tracer_skips_unfinished_and_cancelled(self):
+        _clock, tracer = make_tracer()
+        tracer.record("op", 0.0, 1.0, csp="a", op_kind="PUT", bytes=1,
+                      cancelled=True)
+        tracer.start_span("op")
+        assert TransferTimeline.from_tracer(tracer).bars == []
+
+    def test_busy_seconds_merges_overlaps(self):
+        tl = TransferTimeline(bars=[
+            _bar("a", 0.0, 2.0),
+            _bar("a", 1.0, 3.0),   # overlaps the first: union is [0, 3]
+            _bar("a", 5.0, 6.0),   # disjoint
+            _bar("b", 0.0, 1.0),
+        ])
+        busy = tl.busy_seconds()
+        assert busy["a"] == pytest.approx(4.0)
+        assert busy["b"] == pytest.approx(1.0)
+
+    def test_durations_filters(self):
+        tl = TransferTimeline(bars=[
+            _bar("a", 0.0, 1.0, kind="PUT"),
+            _bar("a", 0.0, 3.0, kind="GET"),
+            _bar("a", 0.0, 7.0, kind="PUT", ok=False),
+        ])
+        assert tl.durations(kind="PUT") == [1.0]
+        assert sorted(tl.durations()) == [1.0, 3.0]
+        assert sorted(tl.durations(ok_only=False, kind="PUT")) == [1.0, 7.0]
+
+    def test_empty_timeline_aggregates(self):
+        tl = TransferTimeline()
+        assert tl.makespan == 0.0
+        assert tl.per_csp_bytes() == {}
+        assert tl.busy_seconds() == {}
+        assert tl.render_ascii() == "(empty timeline)"
+
+    def test_render_ascii_shows_lanes_and_failures(self):
+        tl = TransferTimeline(bars=[
+            _bar("fast0", 0.0, 1.0),
+            _bar("slow0", 0.5, 2.0, ok=False),
+        ])
+        art = tl.render_ascii(width=40)
+        lines = art.splitlines()
+        assert lines[0].startswith("fast0")
+        assert "=" in lines[0]
+        assert lines[1].startswith("slow0")
+        assert "x" in lines[1]
+
+    def test_json_export_parses(self):
+        tl = TransferTimeline(bars=[_bar("a", 0.0, 1.0, chunk="c9")])
+        parsed = json.loads(tl.to_json())
+        assert parsed["makespan"] == 1.0
+        assert parsed["bars"][0]["csp"] == "a"
+        assert parsed["bars"][0]["chunk"] == "c9"
