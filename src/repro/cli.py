@@ -15,6 +15,8 @@ drives or private storage servers):
     cyrus conflicts
     cyrus resolve
     cyrus status
+    cyrus recover
+    cyrus scrub [--budget N] [--no-repair] [--delete-orphans]
     cyrus stats [--json]
     cyrus trace (put|get|sync) [...] --out trace.json
     cyrus add-csp name=path
@@ -80,8 +82,11 @@ def build_client(store: Path) -> CyrusClient:
         chunk_avg=settings["chunk_avg"],
         chunk_max=settings["chunk_max"],
     )
+    from repro.recovery import IntentJournal
+
     client = CyrusClient.create(
-        providers, config, client_id=settings["client_id"]
+        providers, config, client_id=settings["client_id"],
+        journal=IntentJournal(store / "journal.jsonl"),
     )
     # local metadata copy (Section 3.2): start from the cached tree so
     # the sync only fetches nodes published since the last invocation
@@ -90,6 +95,13 @@ def build_client(store: Path) -> CyrusClient:
         client.load_local_state(cache_path)
     except CyrusError:
         pass  # stale/corrupt cache: fall back to a full sync
+    # startup replay: finish or undo whatever a crashed invocation left
+    report = client.run_recovery()
+    if report is not None and not report.clean:
+        print(f"recovery: replayed {report.intents_total} interrupted "
+              f"operation(s) ({report.rolled_forward} rolled forward, "
+              f"{report.rolled_back} rolled back, "
+              f"{report.shares_deleted} orphaned share(s) deleted)")
     client.sync()
     client.save_local_state(cache_path)
     return client
@@ -249,6 +261,67 @@ def cmd_status(args) -> int:
     conflicts = client.conflicts()
     if conflicts:
         print(f"unresolved conflicts: {len(conflicts)}")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Replay the intent journal (build_client already ran the replay;
+    this command surfaces what it did)."""
+    client = build_client(_store_path(args))
+    report = client.last_recovery
+    if report is None or report.clean:
+        print("journal clean: no interrupted operations to recover")
+        return 0
+    print(f"recovered {report.intents_total} interrupted operation(s): "
+          f"{report.rolled_forward} rolled forward, "
+          f"{report.rolled_back} rolled back, "
+          f"{report.meta_republished} metadata node(s) re-published, "
+          f"{report.shares_deleted} orphaned share(s) deleted")
+    for action in report.actions:
+        print(f"  {action}")
+    if report.incomplete_remaining:
+        print(f"warning: {report.incomplete_remaining} intent(s) could not "
+              f"be repaired (provider unreachable?); run `cyrus recover` "
+              f"again once providers are back")
+        return 1
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    client = build_client(_store_path(args))
+    report = client.scrub(
+        budget_shares=args.budget,
+        repair=not args.no_repair,
+        delete_orphans=args.delete_orphans,
+    )
+    print(f"scrub: {report.chunks_scanned}/{report.chunks_total} chunks, "
+          f"{report.shares_verified} share(s) verified, "
+          f"{report.shares_missing} missing, "
+          f"{report.shares_corrupt} corrupt, "
+          f"{report.shares_repaired} repaired")
+    if report.placements_adopted:
+        print(f"adopted {report.placements_adopted} untracked share(s) "
+              f"into the chunk table")
+    if report.orphans:
+        verb = "deleted" if args.delete_orphans else "found"
+        print(f"orphan share objects {verb}: {len(report.orphans)}")
+        for csp_id, name in report.orphans:
+            print(f"  {csp_id}: {name}")
+        if not args.delete_orphans:
+            print("  (re-run with --delete-orphans to remove them; make "
+                  "sure no other client is mid-upload)")
+    if report.unreachable_csps:
+        print(f"unreachable providers skipped: "
+              f"{', '.join(report.unreachable_csps)}")
+    if report.budget_exhausted:
+        print(f"budget exhausted at cursor {report.cursor}; re-run to "
+              f"continue")
+    if report.unrecoverable_chunks:
+        print(f"ERROR: {len(report.unrecoverable_chunks)} chunk(s) have no "
+              f"verifying t-subset of shares:")
+        for chunk_id in report.unrecoverable_chunks:
+            print(f"  {chunk_id}")
+        return 1
     return 0
 
 
@@ -493,6 +566,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("status", help="store and provider overview")
     p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "recover",
+        help="replay the crash journal (roll interrupted operations "
+             "forward or back)",
+    )
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "scrub",
+        help="verify share existence/integrity and repair damage "
+             "(anti-entropy pass)",
+    )
+    p.add_argument("--budget", type=int, default=None,
+                   help="max share transfers this pass (default: unlimited)")
+    p.add_argument("--no-repair", action="store_true",
+                   help="report damage without re-uploading shares")
+    p.add_argument("--delete-orphans", action="store_true",
+                   help="delete share objects no chunk references "
+                        "(only when no other client is mid-upload)")
+    p.set_defaults(func=cmd_scrub)
 
     p = sub.add_parser("sync-dir", help="two-way sync a local directory")
     p.add_argument("directory")

@@ -97,11 +97,19 @@ class CyrusClient:
         health: HealthRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
         obs: Observability | None = None,
+        journal=None,
     ):
         self.cloud = cloud
         self.config = config
         self.engine = engine
         self.client_id = client_id
+        # optional repro.recovery.IntentJournal: when attached, put /
+        # delete / gc / migrate are crash-journaled and
+        # :meth:`run_recovery` replays whatever a dead process left open
+        self.journal = journal
+        if journal is not None and getattr(journal, "clock", None) is None:
+            journal.clock = engine.clock
+        self.last_recovery = None
         self.tree = MetadataTree()
         self.chunk_table = GlobalChunkTable()
         self._rebuild_store()
@@ -147,6 +155,7 @@ class CyrusClient:
         selector=None,
         chunker: ContentDefinedChunker | None = None,
         cache=None,
+        journal=None,
     ) -> "CyrusClient":
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
@@ -155,6 +164,7 @@ class CyrusClient:
         return cls(
             cloud, config, engine, client_id,
             selector=selector, chunker=chunker, cache=cache,
+            journal=journal,
         )
 
     def _rebuild_store(self) -> None:
@@ -169,6 +179,7 @@ class CyrusClient:
             chunk_table=self.chunk_table, config=self.config,
             engine=self.engine, chunker=self._chunker,
             policy=self._retry_policy, health=self.health,
+            journal=self.journal,
         )
         self.downloader = Downloader(
             cloud=self.cloud, tree=self.tree, chunk_table=self.chunk_table,
@@ -176,6 +187,7 @@ class CyrusClient:
             cache=self.cache,
             policy=self._retry_policy, health=self.health,
         )
+        self.downloader.journal = self.journal
         self.syncer = SyncService(
             store=self.store, tree=self.tree, chunk_table=self.chunk_table,
             engine=self.engine,
@@ -380,6 +392,33 @@ class CyrusClient:
         self.chunk_table = GlobalChunkTable()
         self._rebuild_pipelines()
         return self.sync()
+
+    # -- crash recovery & anti-entropy (repro.recovery) ----------------------
+
+    def run_recovery(self):
+        """Replay incomplete journal intents from a crashed predecessor.
+
+        Returns the :class:`repro.recovery.RecoveryReport` (also kept
+        in :attr:`last_recovery`), or None when no journal is attached.
+        Idempotent: a second call finds nothing to replay.
+        """
+        if self.journal is None:
+            return None
+        from repro.recovery import recover_client
+
+        self.last_recovery = recover_client(self)
+        return self.last_recovery
+
+    def scrub(self, budget_shares: int | None = None, cursor: int = 0,
+              repair: bool = True, delete_orphans: bool = False):
+        """One anti-entropy pass (or budgeted slice) over the chunk
+        table; returns the :class:`repro.recovery.ScrubReport`."""
+        from repro.recovery import run_scrub
+
+        return run_scrub(
+            self, budget_shares=budget_shares, cursor=cursor,
+            repair=repair, delete_orphans=delete_orphans,
+        )
 
     # -- conflicts -----------------------------------------------------------
 

@@ -24,24 +24,32 @@ class DaemonTick:
     conflicts_seen: int
     conflicts_resolved: int
     csps_recovered: tuple[str, ...]
+    scrub_verified: int = 0
+    scrub_repaired: int = 0
 
 
 @dataclass
 class SyncDaemon:
-    """Periodic sync + probe + (optional) resolve for one client.
+    """Periodic sync + probe + (optional) resolve + scrub for one client.
 
     Args:
         client: The client to service.
         interval_s: Tick period.
         auto_resolve: Resolve conflicts at each tick (deterministic
             winner rule) instead of just reporting them.
+        scrub_budget: Share transfers each tick may spend on the
+            anti-entropy scrub (0 disables it).  The scrub cursor
+            persists across ticks, so a small budget still sweeps the
+            whole chunk table over enough periods.
     """
 
     client: CyrusClient
     interval_s: float = 30.0
     auto_resolve: bool = False
+    scrub_budget: int = 0
     ticks: list[DaemonTick] = field(default_factory=list)
     _next_due: float = field(default=0.0, init=False)
+    _scrubber: object = field(default=None, init=False, repr=False)
 
     def due(self, now: float) -> bool:
         """Whether a tick is due at time ``now``."""
@@ -60,12 +68,28 @@ class SyncDaemon:
         resolved = 0
         if self.auto_resolve and conflicts:
             resolved = len(self.client.resolve_conflicts())
+        scrub_verified = scrub_repaired = 0
+        if self.scrub_budget > 0:
+            if self._scrubber is None:
+                from repro.recovery import Scrubber
+
+                self._scrubber = Scrubber(
+                    self.client, budget_shares=self.scrub_budget,
+                )
+            try:
+                scrub = self._scrubber.run_slice()
+                scrub_verified = scrub.shares_verified
+                scrub_repaired = scrub.shares_repaired
+            except CyrusError:
+                pass  # providers too degraded to scrub; next tick retries
         entry = DaemonTick(
             at=clock_now,
             new_nodes=new_nodes,
             conflicts_seen=len(conflicts),
             conflicts_resolved=resolved,
             csps_recovered=recovered,
+            scrub_verified=scrub_verified,
+            scrub_repaired=scrub_repaired,
         )
         self.ticks.append(entry)
         self._next_due = clock_now + self.interval_s

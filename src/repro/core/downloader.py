@@ -123,6 +123,8 @@ class Downloader:
         )
         # set by the client so migrations can persist (optional)
         self.store = None
+        # set by the client so migrations are crash-journaled (optional)
+        self.journal = None
 
     # ------------------------------------------------------------------
 
@@ -540,6 +542,7 @@ class Downloader:
                     chunk_table=self.chunk_table,
                     engine=self.engine,
                     key=self.config.key,
+                    journal=self.journal,
                 )
             )
         return migrations

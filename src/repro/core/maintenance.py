@@ -142,6 +142,21 @@ def collect_garbage(client) -> GCReport:
     referenced = client.tree.referenced_chunks()
     table = client.chunk_table
     doomed = [cid for cid in table.all_chunk_ids() if cid not in referenced]
+    # journal the doomed set (with placements) before the first delete:
+    # a crashed pass replays as a roll-forward of exactly these deletions
+    journal = getattr(client, "journal", None)
+    intent_id = None
+    if journal is not None and doomed:
+        intent_id = journal.begin("gc", chunks=[
+            {
+                "chunk": chunk_id,
+                "placements": [
+                    [index, csp_id]
+                    for index, csp_id in table.get(chunk_id).placements
+                ],
+            }
+            for chunk_id in doomed
+        ])
     shares_deleted = 0
     bytes_reclaimed = 0
     for chunk_id in doomed:
@@ -166,6 +181,8 @@ def collect_garbage(client) -> GCReport:
                 shares_deleted += 1
                 bytes_reclaimed += share_size
         table.forget(chunk_id)
+    if intent_id is not None:
+        journal.commit(intent_id)
     return GCReport(
         chunks_scanned=len(referenced) + len(doomed),
         chunks_deleted=len(doomed),

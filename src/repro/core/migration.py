@@ -80,15 +80,26 @@ def migrate_chunk_shares(
     chunk_table: GlobalChunkTable,
     engine: TransferEngine,
     key: str,
+    journal=None,
 ) -> list[ShareMigration]:
     """Regenerate and upload the planned shares for one decoded chunk.
 
     Called from the download path (Figure 9): the chunk bytes are
-    already in hand, so only the lost indices are re-encoded.
+    already in hand, so only the lost indices are re-encoded.  With a
+    :class:`repro.recovery.IntentJournal` attached the moves are
+    bracketed as a ``migrate`` intent, so a crash between the upload
+    landing and the chunk table learning of it is reconciled on
+    restart (the share is adopted, not orphaned).
     """
     moves = plan_chunk_migrations(location, cloud)
     if not moves:
         return []
+    intent_id = None
+    if journal is not None:
+        intent_id = journal.begin("migrate", chunk=location.chunk_id, moves=[
+            [index, new_csp, chunk_share_object_name(index, location.chunk_id)]
+            for index, _old, new_csp in moves
+        ])
     sharer = get_sharer(key, location.t, location.n)
     ops = []
     for index, _old, new_csp in moves:
@@ -109,12 +120,20 @@ def migrate_chunk_shares(
             cloud.mark_failed(new_csp)
             continue
         chunk_table.add_placement(location.chunk_id, index, new_csp)
+        if intent_id is not None:
+            journal.record(
+                intent_id, "share-uploaded", chunk=location.chunk_id,
+                index=index, csp=new_csp,
+                object=chunk_share_object_name(index, location.chunk_id),
+            )
         migrated.append(
             ShareMigration(
                 chunk_id=location.chunk_id, index=index,
                 old_csp=old_csp, new_csp=new_csp,
             )
         )
+    if intent_id is not None:
+        journal.commit(intent_id)
     return migrated
 
 

@@ -39,6 +39,7 @@ from repro.metadata import (
     MetadataTree,
     ShareRecord,
 )
+from repro.metadata.codec import encode_node
 from repro.metadata.node import ROOT_ID
 from repro.obs import span_if
 from repro.util.hashing import sha1_hex
@@ -107,6 +108,7 @@ class Uploader:
         retry_rounds: int = 2,
         policy: RetryPolicy | None = None,
         health: HealthRegistry | None = None,
+        journal=None,
     ):
         self.cloud = cloud
         self.store = store
@@ -114,6 +116,9 @@ class Uploader:
         self.chunk_table = chunk_table
         self.config = config
         self.engine = engine
+        # optional repro.recovery.IntentJournal: when attached, every
+        # mutating pipeline run is bracketed by begin/.../commit records
+        self.journal = journal
         self.chunker = chunker or ContentDefinedChunker(
             min_size=config.chunk_min,
             avg_size=config.chunk_avg,
@@ -167,18 +172,33 @@ class Uploader:
             if obs is not None:
                 obs.metrics.inc("cyrus_chunks_new_total", len(plans))
                 obs.metrics.inc("cyrus_chunks_dedup_total", dedup_count)
+            # journal the intent (planned share objects = the rollback
+            # set) before any provider is touched
+            intent_id = self._journal_begin("put", name, file_id, plans)
             with span_if(obs, "scatter", chunks=len(plans)):
-                share_results, degraded = self._scatter(plans)
+                share_results, degraded = self._scatter(plans, intent_id)
             # line 10: metadata — only after every chunk upload resolved
             node = self._build_node(
                 name=name, file_id=file_id, prev_id=prev_id,
                 client_id=client_id, modified=modified, size=len(data),
                 chunks=chunks, plans=plans,
             )
+            if intent_id is not None:
+                # the roll-forward payload: shares are all durable now,
+                # so a crash past this point finishes the publish
+                self.journal.record(
+                    intent_id, "meta-intent",
+                    node=encode_node(node).decode("utf-8"),
+                )
             with span_if(obs, "publish_meta"):
                 meta_results = self._publish(node)
+            if intent_id is not None:
+                self.journal.record(intent_id, "meta-published",
+                                    node_id=node.node_id)
         self.tree.add(node)
         self.chunk_table.record_node(node)
+        if intent_id is not None:
+            self.journal.commit(intent_id)
         finished = self.engine.clock.now()
         uploaded = sum(
             r.op.payload_size() for r in share_results if r.ok
@@ -196,6 +216,21 @@ class Uploader:
         )
 
     # ------------------------------------------------------------------
+
+    def _journal_begin(self, op: str, name: str, file_id: str,
+                       plans: list[_ChunkPlan]) -> str | None:
+        """Open a journal intent naming every planned share object."""
+        if self.journal is None:
+            return None
+        placements = [
+            {"chunk": plan.chunk.id, "index": index, "csp": csp,
+             "object": chunk_share_object_name(index, plan.chunk.id)}
+            for plan in plans
+            for index, csp in sorted(plan.placements.items())
+        ]
+        return self.journal.begin(
+            op, name=name, file_id=file_id, placements=placements,
+        )
 
     def _plan_chunks(
         self, chunks: Sequence[Chunk]
@@ -233,7 +268,7 @@ class Uploader:
         return plans, dedup
 
     def _scatter(
-        self, plans: list[_ChunkPlan]
+        self, plans: list[_ChunkPlan], intent_id: str | None = None
     ) -> tuple[list[OpResult], set[str]]:
         """Upload all new chunks' shares via the shared retry loop."""
         outstanding: dict[str, _ChunkPlan] = {p.chunk.id: p for p in plans}
@@ -255,6 +290,11 @@ class Uploader:
         def on_success(key, csp: str, result: OpResult) -> None:
             cid, idx = key
             succeeded[cid].add(idx)
+            if intent_id is not None:
+                self.journal.record(
+                    intent_id, "share-uploaded", chunk=cid, index=idx,
+                    csp=csp, object=chunk_share_object_name(idx, cid),
+                )
 
         def on_giveup(key, csp: str, result: OpResult) -> None:
             if result.quota_exceeded:
@@ -280,6 +320,14 @@ class Uploader:
                 plan.placements.pop(idx, None)
                 return None
             plan.placements[idx] = replacement
+            if intent_id is not None:
+                # extend the rollback set *before* the re-dispatch: a
+                # crash mid-batch must know this object may exist
+                self.journal.record(
+                    intent_id, "share-intent", chunk=cid, index=idx,
+                    csp=replacement,
+                    object=chunk_share_object_name(idx, cid),
+                )
             return replacement
 
         items = [
@@ -439,8 +487,24 @@ class Uploader:
             chunks=head.chunks,
             shares=head.shares,
         )
+        intent_id = None
+        if self.journal is not None:
+            # tombstones create no shares, so the intent is pure
+            # metadata: roll forward from meta-intent, or nothing to undo
+            intent_id = self.journal.begin(
+                "delete", name=name, file_id=head.file_id, placements=[],
+            )
+            self.journal.record(
+                intent_id, "meta-intent",
+                node=encode_node(node).decode("utf-8"),
+            )
         meta_results = self._publish(node)
+        if intent_id is not None:
+            self.journal.record(intent_id, "meta-published",
+                                node_id=node.node_id)
         self.tree.add(node)
+        if intent_id is not None:
+            self.journal.commit(intent_id)
         finished = self.engine.clock.now()
         return UploadReport(
             node=node, started=started, finished=finished,

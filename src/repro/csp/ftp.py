@@ -27,7 +27,9 @@ class FtpReply:
 
     @property
     def ok(self) -> bool:
-        return 200 <= self.code < 300 or self.code in (331,)
+        # 331 (password required) and 350 (RNFR accepted, awaiting
+        # RNTO) are mid-dialogue positives, not errors
+        return 200 <= self.code < 300 or self.code in (331, 350)
 
 
 @dataclass
@@ -46,6 +48,7 @@ class InProcessFtpServer:
     def __post_init__(self) -> None:
         self._authed_users: set[str] = set()
         self._pending_user: str | None = None
+        self._rename_from: str | None = None
 
     def execute(self, command: str, payload: bytes = b"") -> FtpReply:
         """Run one FTP command line (e.g. ``"STOR name"``)."""
@@ -89,6 +92,18 @@ class InProcessFtpServer:
                 return FtpReply(550, "file not found")
             del self.files[arg]
             return FtpReply(250, "deleted")
+        if verb == "RNFR":
+            if arg not in self.files:
+                return FtpReply(550, "file not found")
+            self._rename_from = arg
+            return FtpReply(350, "ready for RNTO")
+        if verb == "RNTO":
+            source = self._rename_from
+            self._rename_from = None
+            if source is None or source not in self.files:
+                return FtpReply(503, "bad sequence of commands")
+            self.files[arg] = self.files.pop(source)
+            return FtpReply(250, "renamed")
         return FtpReply(502, f"command not implemented: {verb}")
 
 
@@ -118,6 +133,18 @@ class FtpStyleCSP(CloudProvider):
                 csp_id=self.csp_id,
             )
         self._logged_in = True
+        self._sweep_torn_uploads()
+
+    def _sweep_torn_uploads(self) -> None:
+        """Delete stale ``.part`` objects a crashed uploader left behind
+        (mirrors ``LocalDirectoryCSP``'s connect-time sweep)."""
+        reply = self.server.execute("LIST")
+        if not reply.ok:
+            return
+        for line in reply.payload.decode("utf-8").splitlines():
+            name = line.split("\t")[0]
+            if name.endswith(".part"):
+                self.server.execute(f"DELE {name}")
 
     def _run(self, command: str, payload: bytes = b"") -> FtpReply:
         self._login()
@@ -149,12 +176,20 @@ class FtpStyleCSP(CloudProvider):
         out = []
         for line in reply.payload.decode("utf-8").splitlines():
             name, size, modified = line.split("\t")
+            if name.endswith(".part"):
+                continue  # an in-flight (or torn) upload, not an object
             out.append(ObjectInfo(name=name, size=int(size),
                                   modified=float(modified)))
         return out
 
     def upload(self, name: str, data: bytes) -> None:
-        self._run(f"STOR {name}", payload=data)
+        # STOR to a .part name, then rename: a session that dies
+        # mid-STOR leaves a sweepable temporary, never a torn object
+        # under the real name (mirrors LocalDirectoryCSP)
+        part = f"{name}.part"
+        self._run(f"STOR {part}", payload=data)
+        self._run(f"RNFR {part}")
+        self._run(f"RNTO {name}")
 
     def download(self, name: str) -> bytes:
         return self._run(f"RETR {name}").payload

@@ -3,11 +3,12 @@
 CYRUS's central claim is graceful behaviour under autonomous-CSP
 failure (Section 5.5).  This package makes that claim testable: a
 :class:`FaultPlan` scripts outages, transient errors, latency spikes,
-slow transfers, quota exhaustion, auth expiry and share bit-flip
-corruption from a single seed, and :class:`FaultyProvider` applies the
-plan to any provider through the normal five-primitive interface.  Same
-seed + same operation sequence = byte-identical fault schedule, so
-chaos tests and failure benchmarks are reproducible.
+slow transfers, quota exhaustion, auth expiry, share bit-flip
+corruption and client deaths (:class:`SimulatedCrash`) from a single
+seed, and :class:`FaultyProvider` applies the plan to any provider
+through the normal five-primitive interface.  Same seed + same
+operation sequence = byte-identical fault schedule, so chaos tests and
+failure benchmarks are reproducible.
 """
 
 from repro.faults.plan import (
@@ -17,6 +18,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     ProviderSchedule,
+    SimulatedCrash,
 )
 from repro.faults.provider import FaultyProvider
 
@@ -28,4 +30,5 @@ __all__ = [
     "FaultSpec",
     "FaultyProvider",
     "ProviderSchedule",
+    "SimulatedCrash",
 ]

@@ -11,7 +11,7 @@ operation sequence observe byte-identical fault schedules.
 
 Rules match on operation name, object-name prefix, provider, an
 operation-count window and/or a time window, fire with a probability,
-and inject one of seven fault kinds:
+and inject one of eight fault kinds:
 
 ========== ==========================================================
 kind        effect
@@ -23,7 +23,16 @@ SLOW        advance the clock by ``delay_s`` per MiB of payload
 QUOTA       raise :class:`CSPQuotaExceededError` on uploads
 AUTH        raise :class:`CSPAuthError` (token expired)
 CORRUPT     flip ``flip_bits`` bits of a download's returned bytes
+CRASH       raise :class:`SimulatedCrash` (kill the client process)
 ========== ==========================================================
+
+CRASH is the crash-consistency hammer: a spec like
+``FaultSpec(kind=CRASH, window_ops=(k, None), max_hits=1)`` kills the
+client at its k-th operation on a provider, so sweeping ``k`` walks the
+kill point through every stage of an upload/delete/gc pipeline.  The
+fault fires *before* the operation reaches the wrapped provider — the
+crashing op itself never lands, exactly like a process dying between
+issuing a request and its bytes leaving the machine.
 """
 
 from __future__ import annotations
@@ -45,11 +54,23 @@ class FaultKind(enum.Enum):
     QUOTA = "quota"
     AUTH = "auth"
     CORRUPT = "corrupt"
+    CRASH = "crash"
 
 
 #: Fault kinds that raise instead of mutating behaviour.
 ERROR_KINDS = (FaultKind.OUTAGE, FaultKind.TRANSIENT, FaultKind.QUOTA,
                FaultKind.AUTH)
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death of ``FaultKind.CRASH``.
+
+    Deliberately a :class:`BaseException`, not a
+    :class:`repro.errors.CyrusError`: no retry loop, circuit breaker or
+    degraded-read fallback may swallow it, because a real ``kill -9``
+    gives the client no chance to handle anything.  Only the test
+    harness (standing in for the OS) catches it.
+    """
 
 
 @dataclass(frozen=True)

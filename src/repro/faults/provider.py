@@ -16,7 +16,7 @@ from repro.errors import (
     CSPQuotaExceededError,
     CSPUnavailableError,
 )
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, SimulatedCrash
 from repro.util.clock import Clock
 
 
@@ -103,6 +103,12 @@ class FaultyProvider(CloudProvider):
             elif spec.kind is FaultKind.AUTH:
                 raise CSPAuthError(
                     f"injected auth expiry (op #{op_no})", csp_id=self.csp_id
+                )
+            elif spec.kind is FaultKind.CRASH:
+                # before the inner call: the dying op never lands
+                raise SimulatedCrash(
+                    f"injected client death at {self.csp_id} "
+                    f"op #{op_no} ({op} {name!r})"
                 )
             else:  # CORRUPT: applied to the downloaded bytes afterwards
                 deferred.append((op_no, spec))

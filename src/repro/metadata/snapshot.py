@@ -12,6 +12,7 @@ deleted snapshot costs only a longer first sync.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterable
 
@@ -47,18 +48,42 @@ def load_snapshot(blob: bytes) -> list[MetadataNode]:
 
 
 def save_tree(tree: MetadataTree, path: str | Path) -> int:
-    """Write a tree snapshot to disk; returns the node count."""
+    """Write a tree snapshot to disk; returns the node count.
+
+    Atomic: the bytes go to a sibling temp file first and replace the
+    snapshot in one rename, so a crash mid-write leaves the previous
+    snapshot intact instead of a torn file.
+    """
     nodes = list(tree)
-    Path(path).write_bytes(dump_snapshot(nodes))
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(dump_snapshot(nodes))
+    os.replace(tmp, target)
     return len(nodes)
+
+
+def quarantine_path(path: str | Path) -> Path:
+    """Where :func:`load_tree` sets aside an unreadable snapshot."""
+    target = Path(path)
+    return target.with_name(target.name + ".corrupt")
 
 
 def load_tree(tree: MetadataTree, path: str | Path) -> int:
     """Merge a disk snapshot into a tree; returns newly added nodes.
 
-    A missing file is not an error (fresh client): returns 0.
+    A missing file is not an error (fresh client): returns 0.  A
+    corrupt or truncated snapshot is *quarantined* — renamed aside to
+    :func:`quarantine_path` for inspection — and also returns 0: the
+    snapshot is only ever a convenience copy of metadata that lives at
+    the CSPs, so the correct response to damage is a full sync, not a
+    crash loop.
     """
     target = Path(path)
     if not target.exists():
         return 0
-    return tree.merge(load_snapshot(target.read_bytes()))
+    try:
+        nodes = load_snapshot(target.read_bytes())
+    except MetadataError:
+        os.replace(target, quarantine_path(target))
+        return 0
+    return tree.merge(nodes)

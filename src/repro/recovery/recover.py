@@ -1,0 +1,277 @@
+"""Startup replay of incomplete journal intents.
+
+The commit protocol (data before metadata, journal before data) leaves
+exactly three states a crashed operation can be found in, and each has
+one correct repair:
+
+* **metadata published** (``meta-published`` present) — the operation
+  is durable and visible to every other client; recovery only has to
+  acknowledge it (``commit``).
+* **metadata in hand but not published** (``meta-intent`` present) —
+  every chunk share landed (the pipeline builds the node only after
+  scatter resolves), so roll *forward*: re-publish the journaled node
+  verbatim.  Metadata share names encode the node id and slot, so a
+  re-publish after a partial publish overwrites identical bytes —
+  idempotent.
+* **no metadata record** — the scatter may have half-happened; roll
+  *back*: delete every share object the intent planned or confirmed,
+  skipping chunks that the (freshly synced) chunk table shows are
+  referenced by some published node — those shares are live data,
+  content-addressed and byte-identical no matter which client wrote
+  them.
+
+``gc`` intents roll forward (re-delete the recorded doomed chunks that
+are still unreferenced); ``migrate`` intents reconcile (adopt the moved
+share into the chunk table if it landed, delete it if its chunk is no
+longer known).
+
+Every repair action is idempotent — deletes tolerate already-gone
+objects, re-publishes overwrite identical bytes, adoption is a set
+insert — so a crash *during* recovery is recovered by simply running
+recovery again.  The ``commit`` record is written only after an
+intent's repairs all succeeded; an intent whose repair hits an
+unreachable provider stays incomplete and is retried on the next run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, TransferOp
+from repro.errors import CSPError, CyrusError
+from repro.metadata.codec import decode_node
+from repro.obs import span_if
+from repro.recovery.journal import (
+    BEGIN,
+    META_INTENT,
+    META_PUBLISHED,
+    IntentJournal,
+)
+
+#: Metric names (mirrors the repro.obs constant style).
+RECOVERY_ROLLFORWARD = "cyrus_recovery_rollforward_total"
+RECOVERY_ROLLBACK = "cyrus_recovery_rollback_total"
+RECOVERY_SHARES_DELETED = "cyrus_recovery_shares_deleted_total"
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and repaired."""
+
+    intents_total: int = 0
+    rolled_forward: int = 0
+    rolled_back: int = 0
+    meta_republished: int = 0
+    shares_deleted: int = 0
+    placements_adopted: int = 0
+    incomplete_remaining: int = 0
+    actions: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return self.intents_total == 0
+
+
+def recover_client(client, journal: IntentJournal | None = None) -> RecoveryReport:
+    """Replay every incomplete intent against a restarted client.
+
+    Pass the journal explicitly only when the client was built without
+    one attached.  Safe to call any number of times: once an intent is
+    committed it never replays again, so a second run is a no-op.
+    """
+    if journal is None:
+        journal = getattr(client, "journal", None)
+    if journal is None:
+        raise CyrusError("recovery needs an intent journal")
+    incomplete = journal.incomplete()
+    report = RecoveryReport(intents_total=len(incomplete))
+    if not incomplete:
+        return report
+    with span_if(client.obs, "recover", intents=len(incomplete)):
+        # the reachability ground truth every rule below consults:
+        # which chunks/nodes did reach published metadata
+        try:
+            client.sync()
+        except CyrusError:
+            pass  # degraded recovery: local tree is the best view we have
+        actions: list[str] = []
+        for intent in incomplete:
+            try:
+                if intent.op in ("put", "delete"):
+                    done = _recover_publish(client, journal, intent,
+                                            report, actions)
+                elif intent.op == "gc":
+                    done = _recover_gc(client, journal, intent,
+                                       report, actions)
+                elif intent.op == "migrate":
+                    done = _recover_migrate(client, journal, intent,
+                                            report, actions)
+                else:
+                    journal.commit(intent.intent_id, outcome="unknown-op")
+                    actions.append(f"{intent.intent_id}: unknown op "
+                                   f"{intent.op!r}, closed")
+                    done = True
+            except CyrusError as exc:
+                actions.append(f"{intent.intent_id}: repair failed ({exc}); "
+                               f"will retry next recovery")
+                done = False
+            if not done:
+                report.incomplete_remaining += 1
+        report.actions = tuple(actions)
+    return report
+
+
+# -- per-op repair rules ---------------------------------------------------
+
+
+def _recover_publish(client, journal, intent, report, actions) -> bool:
+    """Roll a crashed put/delete forward or back."""
+    label = intent.first(BEGIN).fields.get("name", "?")
+    if intent.has_stage(META_PUBLISHED):
+        # durable before the crash; the sync above already folded it in
+        journal.commit(intent.intent_id, outcome="rolled-forward")
+        report.rolled_forward += 1
+        client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op=intent.op)
+        actions.append(f"{intent.op} {label!r}: metadata was already "
+                       f"published; acknowledged")
+        return True
+    meta = intent.first(META_INTENT)
+    if meta is not None:
+        # all shares landed; finish the publish with the journaled node
+        node = decode_node(str(meta.fields["node"]).encode("utf-8"))
+        client.uploader._publish(node)  # raises if < t slots reachable
+        client.tree.add(node)
+        if intent.op == "put":
+            client.chunk_table.record_node(node)
+        journal.commit(intent.intent_id, outcome="rolled-forward")
+        report.rolled_forward += 1
+        report.meta_republished += 1
+        client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op=intent.op)
+        actions.append(f"{intent.op} {label!r}: re-published metadata "
+                       f"node {node.node_id[:12]}")
+        return True
+    # no metadata was attempted: undo the scatter
+    deleted, clean = _delete_unreferenced(client, intent.planned_shares())
+    report.shares_deleted += deleted
+    if deleted:
+        client.obs.metrics.inc(RECOVERY_SHARES_DELETED, deleted)
+    if not clean:
+        actions.append(f"{intent.op} {label!r}: rollback incomplete "
+                       f"(provider unreachable); will retry")
+        return False
+    journal.commit(intent.intent_id, outcome="rolled-back")
+    report.rolled_back += 1
+    client.obs.metrics.inc(RECOVERY_ROLLBACK, op=intent.op)
+    actions.append(f"{intent.op} {label!r}: rolled back "
+                   f"({deleted} orphaned share(s) deleted)")
+    return True
+
+
+def _delete_unreferenced(client, shares) -> tuple[int, bool]:
+    """Delete planned share objects whose chunks reached no published
+    node; returns (deleted count, all resolved)."""
+    ops = []
+    for chunk_id, csp_id, obj_name in shares:
+        if client.chunk_table.is_stored(chunk_id):
+            # another intent (or client) published this chunk — the
+            # share bytes are content-addressed, hence identical: live
+            continue
+        try:
+            client.cloud.status_of(csp_id)
+        except KeyError:
+            continue  # a CSP this client no longer knows
+        ops.append(TransferOp(kind=OpKind.DELETE, csp_id=csp_id,
+                              name=obj_name, chunk_id=chunk_id))
+    if not ops:
+        return 0, True
+    results = client.engine.execute(ops)
+    deleted = sum(1 for r in results if r.ok)
+    clean = all(
+        r.ok or r.error_type == "ObjectNotFoundError" for r in results
+    )
+    return deleted, clean
+
+
+def _recover_gc(client, journal, intent, report, actions) -> bool:
+    """Re-run the recorded deletions of a crashed collection pass."""
+    referenced = client.tree.referenced_chunks()
+    deleted = 0
+    clean = True
+    for entry in intent.first(BEGIN).fields.get("chunks", ()):
+        chunk_id = str(entry.get("chunk", ""))
+        if not chunk_id or chunk_id in referenced:
+            continue  # resurrected (or garbage record): leave it alone
+        ops = []
+        for placement in entry.get("placements", ()):
+            try:
+                index, csp_id = int(placement[0]), str(placement[1])
+                client.cloud.status_of(csp_id)
+            except (KeyError, TypeError, ValueError, IndexError):
+                continue
+            ops.append(TransferOp(
+                kind=OpKind.DELETE, csp_id=csp_id,
+                name=chunk_share_object_name(index, chunk_id),
+                chunk_id=chunk_id,
+            ))
+        results = client.engine.execute(ops)
+        deleted += sum(1 for r in results if r.ok)
+        if not all(r.ok or r.error_type == "ObjectNotFoundError"
+                   for r in results):
+            clean = False
+        client.chunk_table.forget(chunk_id)
+    report.shares_deleted += deleted
+    if deleted:
+        client.obs.metrics.inc(RECOVERY_SHARES_DELETED, deleted)
+    if not clean:
+        actions.append("gc: re-deletion incomplete (provider unreachable); "
+                       "will retry")
+        return False
+    journal.commit(intent.intent_id, outcome="rolled-forward")
+    report.rolled_forward += 1
+    client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op="gc")
+    actions.append(f"gc: re-deleted {deleted} share(s) of recorded "
+                   f"unreferenced chunks")
+    return True
+
+
+def _recover_migrate(client, journal, intent, report, actions) -> bool:
+    """Reconcile a crashed lazy migration: adopt landed shares of live
+    chunks, delete landed shares of forgotten chunks."""
+    begin = intent.first(BEGIN)
+    chunk_id = str(begin.fields.get("chunk", ""))
+    adopted = 0
+    deleted = 0
+    for move in begin.fields.get("moves", ()):
+        try:
+            index, csp_id, obj_name = int(move[0]), str(move[1]), str(move[2])
+        except (TypeError, ValueError, IndexError):
+            continue
+        try:
+            provider = client.cloud.provider(csp_id)
+            exists = any(info.name == obj_name
+                         for info in provider.list(obj_name))
+        except (KeyError, CSPError):
+            continue  # unreachable: a live share there is never harmful
+        if not exists:
+            continue
+        if client.chunk_table.is_stored(chunk_id):
+            location = client.chunk_table.get(chunk_id)
+            if (index, csp_id) not in location.placements:
+                client.chunk_table.add_placement(chunk_id, index, csp_id)
+                adopted += 1
+        else:
+            [result] = client.engine.execute([TransferOp(
+                kind=OpKind.DELETE, csp_id=csp_id, name=obj_name,
+                chunk_id=chunk_id,
+            )])
+            if result.ok:
+                deleted += 1
+    report.placements_adopted += adopted
+    report.shares_deleted += deleted
+    journal.commit(intent.intent_id, outcome="rolled-forward")
+    report.rolled_forward += 1
+    client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op="migrate")
+    actions.append(f"migrate {chunk_id[:8]}: adopted {adopted}, "
+                   f"deleted {deleted} share(s)")
+    return True

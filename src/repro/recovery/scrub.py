@@ -1,0 +1,342 @@
+"""Anti-entropy scrub: find and repair share damage before a read does.
+
+The paper repairs lazily — a download that notices a share stranded on
+a dead CSP regenerates it (Section 5.5) — which means a file nobody
+reads silently decays as providers fail.  The scrub promotes that
+repair into a proactive pass over the :class:`GlobalChunkTable`:
+
+1. **Census** (one ``list`` per active CSP, no data transfer): build
+   the ground-truth object inventory, adopt shares the table does not
+   know about (a crashed migration that landed), flag *orphans* —
+   share-shaped objects no known chunk accounts for — and flag
+   recorded placements whose object is gone.
+2. **Verify + repair** (budgeted): walk chunks round-robin from a
+   persistent cursor; for each, download its present shares, find a
+   verifying ``t``-subset against the chunk's content hash, and
+   re-upload every index that is missing, corrupt, or stranded on an
+   unusable CSP — in place when the recorded CSP is healthy, onto a
+   consistent-hash replacement otherwise.  Repairs are journaled as
+   ``migrate`` intents so a crash mid-repair is recovered like any
+   other migration.
+
+The budget counts share *transfers* (downloads + uploads), the unit
+that actually costs money and time at a provider; a
+:class:`Scrubber` carries the cursor between slices so a small
+per-tick budget still covers the whole table eventually.
+
+Orphans are reported, not deleted, by default: a concurrent client
+mid-``put`` has (by design) shares on CSPs before any metadata names
+them, and only the operator can rule that out.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, TransferOp
+from repro.core.uploader import get_sharer
+from repro.erasure import Share
+from repro.errors import CSPError, CyrusError
+from repro.obs import span_if
+from repro.util.hashing import sha1_hex
+
+#: Metric names (mirrors the repro.obs constant style).
+SCRUB_SHARES_VERIFIED = "cyrus_scrub_shares_verified_total"
+SCRUB_SHARES_REPAIRED = "cyrus_scrub_shares_repaired_total"
+SCRUB_ORPHANS_FOUND = "cyrus_scrub_orphans_total"
+
+#: Chunk-share object names are bare 40-hex digests (see repro.core.naming).
+_SHARE_NAME = re.compile(r"^[0-9a-f]{40}$")
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub slice saw and fixed."""
+
+    chunks_total: int = 0
+    chunks_scanned: int = 0
+    shares_verified: int = 0
+    shares_missing: int = 0
+    shares_corrupt: int = 0
+    shares_repaired: int = 0
+    placements_adopted: int = 0
+    orphans: tuple[tuple[str, str], ...] = ()  # (csp, object)
+    orphans_deleted: int = 0
+    unrecoverable_chunks: tuple[str, ...] = ()
+    unreachable_csps: tuple[str, ...] = ()
+    cursor: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.chunks_scanned >= self.chunks_total
+
+    @property
+    def healthy(self) -> bool:
+        return (not self.unrecoverable_chunks and not self.orphans
+                and self.shares_missing == self.shares_repaired == 0
+                and self.shares_corrupt == 0)
+
+
+def run_scrub(
+    client,
+    budget_shares: int | None = None,
+    cursor: int = 0,
+    repair: bool = True,
+    delete_orphans: bool = False,
+    journal=None,
+) -> ScrubReport:
+    """One scrub pass (or budget-limited slice) over the chunk table.
+
+    ``budget_shares`` caps share downloads + repair uploads (None =
+    unbounded, i.e. a full-table integrity pass); ``cursor`` is where
+    in the (sorted) chunk list to start, taken from the previous
+    slice's report.  With ``repair=False`` the pass only reports.
+    """
+    if journal is None:
+        journal = getattr(client, "journal", None)
+    report = ScrubReport(cursor=cursor)
+    obs = client.obs
+    with span_if(obs, "scrub", budget=budget_shares or 0):
+        listings, unreachable = _census(client)
+        report.unreachable_csps = tuple(sorted(unreachable))
+        chunk_ids = sorted(client.chunk_table.all_chunk_ids())
+        report.chunks_total = len(chunk_ids)
+        report.placements_adopted = _adopt_placements(client, listings)
+        report.orphans = _find_orphans(client, listings, chunk_ids)
+        if report.orphans:
+            obs.metrics.inc(SCRUB_ORPHANS_FOUND, len(report.orphans))
+        if delete_orphans and report.orphans:
+            report.orphans_deleted = _delete_orphans(client, report.orphans)
+        # round-robin verification slice from the cursor
+        budget = [budget_shares if budget_shares is not None else None]
+        start = cursor % len(chunk_ids) if chunk_ids else 0
+        rotation = chunk_ids[start:] + chunk_ids[:start]
+        unrecoverable: list[str] = []
+        scanned = 0
+        for chunk_id in rotation:
+            if budget[0] is not None and budget[0] <= 0:
+                report.budget_exhausted = True
+                break
+            _scrub_chunk(client, chunk_id, listings, unreachable, budget,
+                         repair, journal, report, unrecoverable)
+            scanned += 1
+        report.chunks_scanned = scanned
+        report.cursor = ((start + scanned) % len(chunk_ids)
+                         if chunk_ids else 0)
+        report.unrecoverable_chunks = tuple(unrecoverable)
+        obs.metrics.inc(SCRUB_SHARES_VERIFIED, report.shares_verified)
+        obs.metrics.inc(SCRUB_SHARES_REPAIRED, report.shares_repaired)
+    return report
+
+
+@dataclass
+class Scrubber:
+    """Cursor-carrying scrub driver for periodic slices.
+
+    One instance per client: each :meth:`run_slice` continues where the
+    previous one stopped, so a :class:`repro.core.daemon.SyncDaemon`
+    tick with a small budget still sweeps the whole table over enough
+    ticks.
+    """
+
+    client: object
+    budget_shares: int | None = 64
+    repair: bool = True
+    delete_orphans: bool = False
+    cursor: int = field(default=0)
+
+    def run_slice(self) -> ScrubReport:
+        report = run_scrub(
+            self.client, budget_shares=self.budget_shares,
+            cursor=self.cursor, repair=self.repair,
+            delete_orphans=self.delete_orphans,
+        )
+        self.cursor = report.cursor
+        return report
+
+
+# -- phase 1: census -------------------------------------------------------
+
+
+def _census(client) -> tuple[dict[str, set[str]], set[str]]:
+    """One listing per active CSP: {csp: object names}, unreachable set."""
+    listings: dict[str, set[str]] = {}
+    unreachable: set[str] = set()
+    for csp_id in client.cloud.active_csps():
+        try:
+            listings[csp_id] = {
+                info.name for info in client.cloud.provider(csp_id).list("")
+            }
+        except CSPError:
+            unreachable.add(csp_id)
+    return listings, unreachable
+
+
+def _expected_names(client, chunk_ids) -> dict[str, tuple[str, int]]:
+    """Every share object name any known chunk could legitimately have."""
+    expected: dict[str, tuple[str, int]] = {}
+    for chunk_id in chunk_ids:
+        location = client.chunk_table.get(chunk_id)
+        for index in range(location.n):
+            expected[chunk_share_object_name(index, chunk_id)] = (
+                chunk_id, index,
+            )
+    return expected
+
+
+def _adopt_placements(client, listings) -> int:
+    """Record shares that exist on disk but not in the table (e.g. a
+    migration that crashed after its upload landed)."""
+    adopted = 0
+    expected = _expected_names(client, client.chunk_table.all_chunk_ids())
+    for csp_id, names in listings.items():
+        for name in names:
+            hit = expected.get(name)
+            if hit is None:
+                continue
+            chunk_id, index = hit
+            location = client.chunk_table.get(chunk_id)
+            if (index, csp_id) not in location.placements:
+                client.chunk_table.add_placement(chunk_id, index, csp_id)
+                adopted += 1
+    return adopted
+
+
+def _find_orphans(client, listings, chunk_ids) -> tuple[tuple[str, str], ...]:
+    """Share-shaped objects no known chunk accounts for."""
+    expected = _expected_names(client, chunk_ids)
+    orphans: list[tuple[str, str]] = []
+    for csp_id in sorted(listings):
+        for name in sorted(listings[csp_id]):
+            if _SHARE_NAME.match(name) and name not in expected:
+                orphans.append((csp_id, name))
+    return tuple(orphans)
+
+
+def _delete_orphans(client, orphans) -> int:
+    results = client.engine.execute([
+        TransferOp(kind=OpKind.DELETE, csp_id=csp_id, name=name)
+        for csp_id, name in orphans
+    ])
+    return sum(1 for r in results if r.ok)
+
+
+# -- phase 2: verify + repair ----------------------------------------------
+
+
+def _scrub_chunk(client, chunk_id, listings, unreachable, budget,
+                 repair, journal, report, unrecoverable) -> None:
+    location = client.chunk_table.get(chunk_id)
+    share_size = max(1, -(-location.size // location.t))
+
+    def usable(csp_id: str) -> bool:
+        return csp_id in listings  # active and listed this pass
+
+    present: list[tuple[int, str]] = []   # recorded, object exists
+    recorded_at: dict[int, str] = {}
+    for index, csp_id in location.placements:
+        recorded_at.setdefault(index, csp_id)
+        name = chunk_share_object_name(index, chunk_id)
+        if usable(csp_id) and name in listings[csp_id]:
+            present.append((index, csp_id))
+        elif usable(csp_id):
+            report.shares_missing += 1  # healthy CSP, object gone
+
+    # download the present shares (the integrity half of the check)
+    take = present
+    if budget[0] is not None:
+        take = present[:max(0, budget[0])]
+        budget[0] -= len(take)
+    ops = [
+        TransferOp(kind=OpKind.GET, csp_id=csp_id,
+                   name=chunk_share_object_name(index, chunk_id),
+                   size=share_size, chunk_id=chunk_id)
+        for index, csp_id in take
+    ]
+    fetched: dict[int, bytes] = {}
+    for (index, _csp), result in zip(take, client.engine.execute(ops)):
+        if result.ok:
+            fetched[index] = result.data
+    shares = [
+        Share(index=i, data=blob, t=location.t, n=location.n,
+              chunk_size=location.size)
+        for i, blob in sorted(fetched.items())
+    ]
+    sharer = get_sharer(client.config.key, location.t, location.n)
+    try:
+        plaintext = sharer.join_verified(
+            shares, verify=lambda pt: sha1_hex(pt) == chunk_id,
+        )
+    except CyrusError:
+        unrecoverable.append(chunk_id)
+        return
+    # classify each downloaded share against its true bytes
+    good: dict[int, str] = {}
+    corrupt: list[tuple[int, str]] = []
+    for index, csp_id in take:
+        if index not in fetched:
+            report.shares_missing += 1
+            continue
+        truth = sharer.split_indices(plaintext, [index])[0].data
+        report.shares_verified += 1
+        if fetched[index] == truth:
+            good[index] = csp_id
+        else:
+            report.shares_corrupt += 1
+            corrupt.append((index, csp_id))
+    if not repair:
+        return
+    # regenerate every index not verifiably held on a healthy CSP
+    moves: list[tuple[int, str]] = []  # (index, target csp)
+    holding = set(good.values())
+    for index in range(location.n):
+        if index in good:
+            continue
+        target = recorded_at.get(index)
+        if target is not None and not usable(target):
+            target = None  # stranded on a failed/removed/unlisted CSP
+        if target is None:
+            target = client.cloud.replacement_csp(
+                chunk_id, holding=holding,
+                exclude=unreachable | {c for _i, c in corrupt},
+            )
+        if target is None:
+            continue  # no independent healthy CSP left; stays degraded
+        moves.append((index, target))
+        holding.add(target)
+    if not moves:
+        return
+    if budget[0] is not None:
+        moves = moves[:max(0, budget[0])]
+        budget[0] -= len(moves)
+        if not moves:
+            report.budget_exhausted = True
+            return
+    intent_id = None
+    if journal is not None:
+        intent_id = journal.begin("migrate", chunk=chunk_id, moves=[
+            [index, csp_id, chunk_share_object_name(index, chunk_id)]
+            for index, csp_id in moves
+        ])
+    ops = [
+        TransferOp(kind=OpKind.PUT, csp_id=csp_id,
+                   name=chunk_share_object_name(index, chunk_id),
+                   data=sharer.split_indices(plaintext, [index])[0].data,
+                   chunk_id=chunk_id)
+        for index, csp_id in moves
+    ]
+    for (index, csp_id), result in zip(moves, client.engine.execute(ops)):
+        if not result.ok:
+            continue
+        if (index, csp_id) not in location.placements:
+            client.chunk_table.add_placement(chunk_id, index, csp_id)
+        if intent_id is not None:
+            journal.record(intent_id, "share-uploaded", chunk=chunk_id,
+                           index=index, csp=csp_id,
+                           object=chunk_share_object_name(index, chunk_id))
+        report.shares_repaired += 1
+    if intent_id is not None:
+        journal.commit(intent_id)

@@ -18,6 +18,22 @@ from repro.csp.memory import InMemoryCSP
 SMALL_CHUNKS = dict(chunk_min=128, chunk_avg=512, chunk_max=4096)
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fault-seed",
+        type=int,
+        default=2026,
+        help="seed for the chaos/crash fault schedules (CI sweeps "
+        "several values; determinism tests keep their own fixed seeds)",
+    )
+
+
+@pytest.fixture
+def fault_seed(request: pytest.FixtureRequest) -> int:
+    """The CLI-selected seed for randomized fault plans."""
+    return request.config.getoption("--fault-seed")
+
+
 @pytest.fixture
 def config() -> CyrusConfig:
     """A (2, 3) config with test-size chunks."""

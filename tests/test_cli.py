@@ -241,6 +241,115 @@ class TestSyncDir:
         assert (other / "f.txt").read_bytes() == b"v2 edited"
 
 
+class TestRecoverScrubCommands:
+    def _library_client(self, store, journal=True, faults=None):
+        """A library client over the store's provider directories (the
+        'crashed process' the CLI later recovers after)."""
+        from repro.core.client import CyrusClient
+        from repro.core.config import CyrusConfig
+        from repro.csp.localfs import LocalDirectoryCSP
+        from repro.faults import FaultyProvider
+        from repro.recovery import IntentJournal
+
+        settings = json.loads((store / CONFIG_NAME).read_text())
+        providers = [
+            LocalDirectoryCSP(name, Path(path))
+            for name, path in settings["providers"].items()
+        ]
+        if faults is not None:
+            providers = [FaultyProvider(p, faults) for p in providers]
+        config = CyrusConfig(key="cli-key", t=2, n=3, chunk_min=512,
+                             chunk_avg=2048, chunk_max=16384)
+        return CyrusClient.create(
+            providers, config, client_id="cli-test",
+            journal=IntentJournal(store / "journal.jsonl")
+            if journal else None,
+        )
+
+    def test_recover_clean_journal(self, store, capsys):
+        assert run(store, "recover") == 0
+        assert "journal clean" in capsys.readouterr().out
+
+    def test_recover_after_crash(self, store, tmp_path, capsys):
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.faults.plan import SimulatedCrash
+
+        # ops are 0-indexed per provider: list, share upload, metadata
+        # upload — dying at op 2 kills the client mid-publish
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH, window_ops=(2, None),
+                       max_hits=1)],
+            seed=0,
+        )
+        victim = self._library_client(store, faults=plan)
+        with pytest.raises(SimulatedCrash):
+            victim.put("crashy.bin", b"died mid-flight " * 200)
+        assert len(victim.journal.incomplete()) == 1
+
+        capsys.readouterr()
+        assert run(store, "recover") == 0
+        out = capsys.readouterr().out
+        assert "recovery: replayed 1 interrupted" in out
+        assert "recovered 1 interrupted operation(s)" in out
+        # and the journal really is clean now
+        capsys.readouterr()
+        assert run(store, "recover") == 0
+        assert "journal clean" in capsys.readouterr().out
+
+    def test_scrub_healthy_store(self, store, tmp_path, capsys):
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"scrub me " * 400)
+        run(store, "put", source)
+        capsys.readouterr()
+        assert run(store, "scrub") == 0
+        out = capsys.readouterr().out
+        assert "share(s) verified" in out
+        assert "0 missing, 0 corrupt, 0 repaired" in out
+
+    def test_scrub_repairs_deleted_share(self, store, tmp_path, capsys):
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"redundant " * 500)
+        run(store, "put", source)
+        # reach into one provider directory and delete a share object
+        settings = json.loads((store / CONFIG_NAME).read_text())
+        victim = None
+        for path in settings["providers"].values():
+            hexfiles = [p for p in Path(path).iterdir()
+                        if len(p.name) == 40]
+            if hexfiles:
+                victim = hexfiles[0]
+                break
+        assert victim is not None
+        victim.unlink()
+
+        capsys.readouterr()
+        assert run(store, "scrub") == 0
+        out = capsys.readouterr().out
+        assert "1 missing" in out and "1 repaired" in out
+        assert victim.exists()  # regenerated in place
+
+    def test_scrub_no_repair_flag(self, store, tmp_path, capsys):
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"look dont touch " * 300)
+        run(store, "put", source)
+        settings = json.loads((store / CONFIG_NAME).read_text())
+        victim = next(
+            p for path in settings["providers"].values()
+            for p in Path(path).iterdir() if len(p.name) == 40
+        )
+        victim.unlink()
+        capsys.readouterr()
+        assert run(store, "scrub", "--no-repair") == 0
+        assert "0 repaired" in capsys.readouterr().out
+        assert not victim.exists()
+
+    def test_help_mentions_new_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "recover" in out and "scrub" in out
+
+
 class TestConflictCommands:
     def test_no_conflicts(self, store, capsys):
         assert run(store, "conflicts") == 0

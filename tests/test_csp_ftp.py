@@ -72,6 +72,56 @@ class TestFivePrimitives:
         assert "USER alice" in server.command_log
 
 
+class TestAtomicUpload:
+    def test_upload_stages_through_part_then_renames(self):
+        csp, server = make_ftp()
+        csp.upload("share-1", b"payload")
+        stores = [c for c in server.command_log if c.startswith("STOR")]
+        assert stores == ["STOR share-1.part"]  # never a direct STOR
+        assert "RNFR share-1.part" in server.command_log
+        assert "RNTO share-1" in server.command_log
+        assert "share-1" in server.files
+        assert "share-1.part" not in server.files
+
+    def test_torn_upload_never_shadows_the_real_object(self):
+        csp, server = make_ftp()
+        csp.upload("obj", b"good bytes")
+        # a crashed second uploader: its .part landed, the rename never
+        # ran — the committed object must be untouched
+        server.files["obj.part"] = (99.0, b"torn bytes")
+        assert csp.download("obj") == b"good bytes"
+
+    def test_part_objects_are_invisible_to_list(self):
+        csp, server = make_ftp()
+        csp.upload("visible", b"x")
+        server.files["limbo.part"] = (1.0, b"half")
+        assert [i.name for i in csp.list("")] == ["visible"]
+
+    def test_connect_sweeps_stale_part_objects(self):
+        server = InProcessFtpServer(accounts={"alice": "pw"})
+        server.files["stale.part"] = (1.0, b"from a dead session")
+        server.files["real"] = (2.0, b"committed")
+        csp = FtpStyleCSP("ftp0", server, Credentials("alice", "pw"))
+        csp.authenticate(csp.credentials)  # login runs the sweep
+        assert "stale.part" not in server.files
+        assert "real" in server.files
+
+    def test_rnfr_missing_source_is_550(self):
+        _csp, server = make_ftp()
+        server.execute("USER alice")
+        server.execute("PASS pw")
+        assert server.execute("RNFR ghost").code == 550
+
+    def test_rnto_without_rnfr_is_bad_sequence(self):
+        _csp, server = make_ftp()
+        server.execute("USER alice")
+        server.execute("PASS pw")
+        assert server.execute("RNTO anything").code == 503
+        # and a failed RNFR does not arm a later RNTO
+        server.execute("RNFR ghost")
+        assert server.execute("RNTO anything").code == 503
+
+
 class TestCyrusOverFtp:
     def test_mixed_ftp_and_memory_federation(self):
         from repro.core.client import CyrusClient

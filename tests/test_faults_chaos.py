@@ -81,8 +81,8 @@ def _run_scenario(seed: int):
 
 
 class TestChaos:
-    def test_no_data_loss_across_cycles(self):
-        logs, providers, _client = _run_scenario(seed=2026)
+    def test_no_data_loss_across_cycles(self, fault_seed):
+        logs, providers, _client = _run_scenario(seed=fault_seed)
         injected = {
             kind: sum(p.injected_faults.get(kind, 0) for p in providers)
             for kind in FaultKind
@@ -169,11 +169,11 @@ class TestChaos:
         assert degraded.bytes_downloaded == 0
         assert any(e.kind == "degraded_read" for e in client.health_events)
 
-    def test_breaker_events_surface_to_the_client(self):
-        logs, providers, _client = _run_scenario(seed=2026)
+    def test_breaker_events_surface_to_the_client(self, fault_seed):
+        logs, providers, _client = _run_scenario(seed=fault_seed)
         # rebuild the same scenario to inspect the client's event stream
         clock = SimClock()
-        plan = _chaos_plan(2026)
+        plan = _chaos_plan(fault_seed)
         fleet = [
             FaultyProvider(InMemoryCSP(f"csp{i}"), plan, clock=clock)
             for i in range(4)
@@ -204,8 +204,8 @@ class TestChaosMetricsAgreement:
     structured event stream one-for-one.
     """
 
-    def test_engine_failure_counters_match_fault_logs(self):
-        logs, providers, client = _run_scenario(seed=2026)
+    def test_engine_failure_counters_match_fault_logs(self, fault_seed):
+        logs, providers, client = _run_scenario(seed=fault_seed)
         snap = client.obs.snapshot()
         for prov, log in zip(providers, logs):
             # probe list() calls bypass the engine, so count only the
@@ -225,8 +225,8 @@ class TestChaosMetricsAgreement:
                 f"failures, the plan injected {injected}"
             )
 
-    def test_retry_counters_are_bounded_by_injected_faults(self):
-        logs, providers, client = _run_scenario(seed=2026)
+    def test_retry_counters_are_bounded_by_injected_faults(self, fault_seed):
+        logs, providers, client = _run_scenario(seed=fault_seed)
         snap = client.obs.snapshot()
         injected_errors = sum(
             1 for log in logs for e in log
@@ -240,8 +240,8 @@ class TestChaosMetricsAgreement:
         # a failed op leads to at most one retry or failover decision
         assert retried + failovers <= injected_errors
 
-    def test_health_event_metrics_mirror_event_stream(self):
-        _logs, _providers, client = _run_scenario(seed=2026)
+    def test_health_event_metrics_mirror_event_stream(self, fault_seed):
+        _logs, _providers, client = _run_scenario(seed=fault_seed)
         snap = client.obs.snapshot()
         by_kind: dict[str, int] = {}
         for event in client.health_events:
@@ -255,8 +255,8 @@ class TestChaosMetricsAgreement:
         total_metric = snap.counter_total("cyrus_health_events_total")
         assert total_metric == sum(by_kind.values())
 
-    def test_breaker_open_metric_matches_transitions(self):
-        _logs, _providers, client = _run_scenario(seed=2026)
+    def test_breaker_open_metric_matches_transitions(self, fault_seed):
+        _logs, _providers, client = _run_scenario(seed=fault_seed)
         snap = client.obs.snapshot()
         opens = [e for e in client.health_events if e.kind == "breaker_open"]
         assert snap.counter_total(

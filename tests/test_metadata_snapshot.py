@@ -8,6 +8,7 @@ from repro.metadata.snapshot import (
     dump_snapshot,
     load_snapshot,
     load_tree,
+    quarantine_path,
     save_tree,
 )
 from tests.conftest import deterministic_bytes
@@ -62,6 +63,57 @@ class TestTreePersistence:
         other.add(mk("g", "w1"))
         assert load_tree(other, tmp_path / "snap.json") == 0  # nothing new
         assert len(other) == 2
+
+
+class TestCrashSafety:
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        tree = MetadataTree()
+        tree.add(mk("f", "v1"))
+        path = tmp_path / "snap.json"
+        save_tree(tree, path)
+        save_tree(tree, path)  # overwrite goes through the same rename
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+    def test_torn_snapshot_is_quarantined_not_fatal(self, tmp_path):
+        tree = MetadataTree()
+        a = mk("f", "v1")
+        tree.add(a)
+        path = tmp_path / "snap.json"
+        save_tree(tree, path)
+        # the failure save_tree's rename discipline prevents for *new*
+        # writes, injected directly: a truncated file from an old crash
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        fresh = MetadataTree()
+        assert load_tree(fresh, path) == 0  # fresh start, not a raise
+        assert len(fresh) == 0
+        assert not path.exists()  # set aside ...
+        assert quarantine_path(path).exists()  # ... for inspection
+
+    def test_garbage_snapshot_is_quarantined(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"\x00\xff not a snapshot")
+        fresh = MetadataTree()
+        assert load_tree(fresh, path) == 0
+        assert quarantine_path(path).exists()
+
+    def test_quarantined_client_restarts_as_fresh(self, client, csps,
+                                                  config, tmp_path):
+        """The snapshot is a convenience copy: losing it to corruption
+        must cost only a full sync, never the data."""
+        from repro.core.client import CyrusClient
+
+        data = deterministic_bytes(3000, 4)
+        client.put("f.bin", data)
+        snap = tmp_path / "state.json"
+        client.save_local_state(snap)
+        snap.write_bytes(b'{"v": 1, "nodes": ["garbage')
+
+        restarted = CyrusClient.create(csps, config, client_id="alice")
+        assert restarted.load_local_state(snap) == 0
+        assert quarantine_path(snap).exists()
+        restarted.sync()  # the full first sync a fresh client does
+        assert restarted.get("f.bin", sync_first=False).data == data
 
 
 class TestClientPersistence:

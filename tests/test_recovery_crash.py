@@ -1,0 +1,286 @@
+"""Crash chaos: kill the client at every injected point, then recover.
+
+The ISSUE's acceptance scenario.  Each test runs three client
+generations over the same providers and the same journal file:
+
+* **warmup** — a fault-free client stores baseline files;
+* **victim** — a fresh client runs one operation against providers
+  wrapped with ``FaultKind.CRASH`` armed at the k-th op, so the process
+  "dies" (``SimulatedCrash``) at a different pipeline point for every
+  ``k`` — before the scatter, between share uploads, around the
+  metadata publish;
+* **survivor** — a fresh client over the bare providers replays the
+  journal via :func:`recover_client`.
+
+After recovery the ground truth (a raw listing of every provider) must
+show zero orphan shares, every stored chunk with >= t live shares, all
+committed files byte-intact — and a second recovery run must be a
+no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import CyrusClient
+from repro.core.config import CyrusConfig
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import DirectEngine
+from repro.csp.memory import InMemoryCSP
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.faults.plan import SimulatedCrash
+from repro.recovery import IntentJournal
+from repro.util.clock import SimClock
+
+from tests.conftest import SMALL_CHUNKS, deterministic_bytes
+
+CONFIG = dict(key="crash-key", t=2, n=3, **SMALL_CHUNKS)
+
+#: Kill points swept per operation.  The victim op spends at most ~8
+#: ops per provider (sync lists + share uploads + metadata publish), so
+#: this range covers every journal stage plus a tail where no crash
+#: fires at all (the control case).
+KILL_POINTS = range(0, 12)
+
+
+def _client(providers, journal_path, clock=None):
+    clock = clock or SimClock()
+    engine = DirectEngine({p.csp_id: p for p in providers}, clock=clock)
+    journal = IntentJournal(journal_path, clock=clock, fsync=False)
+    return CyrusClient.create(
+        providers, CyrusConfig(**CONFIG), client_id="alice",
+        engine=engine, journal=journal,
+    )
+
+
+def _crash_world(inner, journal_path, kill_op):
+    """A victim client whose k-th provider op raises SimulatedCrash."""
+    clock = SimClock()
+    plan = FaultPlan(
+        [FaultSpec(kind=FaultKind.CRASH, window_ops=(kill_op, None),
+                   max_hits=1)],
+        seed=0,
+    )
+    wrapped = [FaultyProvider(p, plan, clock=clock) for p in inner]
+    return _client(wrapped, journal_path, clock=clock)
+
+
+def _ground_truth(inner):
+    """Raw per-provider listing of chunk-share objects (40-hex names);
+    metadata shares (``md-*``) are named differently and excluded."""
+    out = {}
+    for provider in inner:
+        out[provider.csp_id] = {
+            info.name for info in provider.list("")
+            if len(info.name) == 40
+            and all(ch in "0123456789abcdef" for ch in info.name)
+        }
+    return out
+
+
+def _assert_invariants(client, inner):
+    """The acceptance criteria: no orphans, >= t shares per chunk."""
+    truth = _ground_truth(inner)
+    expected: set[str] = set()
+    for chunk_id in client.chunk_table.all_chunk_ids():
+        location = client.chunk_table.get(chunk_id)
+        names = {
+            chunk_share_object_name(index, chunk_id)
+            for index in range(location.n)
+        }
+        expected |= names
+        live = sum(
+            1 for objects in truth.values() for name in objects
+            if name in names
+        )
+        assert live >= location.t, (
+            f"chunk {chunk_id[:8]} has {live} < t={location.t} live shares"
+        )
+    for csp_id, objects in truth.items():
+        orphans = objects - expected
+        assert not orphans, f"{csp_id} holds orphan shares: {orphans}"
+    return truth
+
+
+class TestCrashDuringPut:
+    @pytest.mark.parametrize("kill_op", KILL_POINTS)
+    def test_recovery_restores_invariants(self, tmp_path, kill_op,
+                                          fault_seed):
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        warmup = _client(inner, journal_path)
+        stable = deterministic_bytes(2500, seed=fault_seed)
+        warmup.put("stable.bin", stable)
+
+        victim = _crash_world(inner, journal_path, kill_op)
+        attempted = deterministic_bytes(3100, seed=fault_seed + 1)
+        crashed = False
+        try:
+            victim.put("victim.bin", attempted)
+        except SimulatedCrash:
+            crashed = True
+
+        survivor = _client(inner, journal_path)
+        report = survivor.run_recovery()
+        survivor.sync()
+        assert report.incomplete_remaining == 0
+        truth = _assert_invariants(survivor, inner)
+
+        # the warmup file survives any crash point, byte-intact
+        assert survivor.get("stable.bin").data == stable
+        # the victim file is atomic: fully there or fully absent
+        visible = {e.name for e in survivor.list_files(sync_first=False)}
+        if "victim.bin" in visible:
+            assert survivor.get("victim.bin").data == attempted
+        else:
+            assert crashed  # invisible only because the put was killed
+
+        # recovery is idempotent: a second run is a no-op
+        again = survivor.run_recovery()
+        assert again.clean
+        assert _ground_truth(inner) == truth
+
+    def test_uncrashed_control_leaves_clean_journal(self, tmp_path,
+                                                    fault_seed):
+        """A kill point past the op count: nothing fires, nothing to
+        recover — proves the sweep's tail is a genuine control."""
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(3)]
+        victim = _crash_world(inner, journal_path, kill_op=10**6)
+        data = deterministic_bytes(1500, seed=fault_seed)
+        victim.put("calm.bin", data)
+        survivor = _client(inner, journal_path)
+        report = survivor.run_recovery()
+        assert report is not None and report.clean
+        assert survivor.get("calm.bin").data == data
+
+    def test_rollforward_metrics_match_report(self, tmp_path, fault_seed):
+        """Kill just before the commit record: all shares + metadata
+        landed, so recovery must roll forward, and the counters must
+        agree with the report."""
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        # find the kill point that produces a roll-forward by sweeping
+        for kill_op in KILL_POINTS:
+            world = [InMemoryCSP(f"csp{i}") for i in range(4)]
+            jp = tmp_path / f"probe-{kill_op}.jsonl"
+            victim = _crash_world(world, jp, kill_op)
+            try:
+                victim.put("f.bin", deterministic_bytes(3100, seed=1))
+            except SimulatedCrash:
+                pass
+            survivor = _client(world, jp)
+            report = survivor.run_recovery()
+            snap = survivor.obs.snapshot()
+            assert snap.counter_total(
+                "cyrus_recovery_rollforward_total"
+            ) == report.rolled_forward
+            assert snap.counter_total(
+                "cyrus_recovery_rollback_total"
+            ) == report.rolled_back
+            assert snap.counter_total(
+                "cyrus_recovery_shares_deleted_total"
+            ) == report.shares_deleted
+            if report.rolled_forward:
+                assert survivor.get("f.bin").data == \
+                    deterministic_bytes(3100, seed=1)
+        del inner, journal_path  # the sweep above is the whole test
+
+
+class TestCrashDuringDelete:
+    @pytest.mark.parametrize("kill_op", KILL_POINTS)
+    def test_delete_is_atomic_across_crashes(self, tmp_path, kill_op,
+                                             fault_seed):
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        warmup = _client(inner, journal_path)
+        data = deterministic_bytes(2200, seed=fault_seed)
+        warmup.put("doomed.bin", data)
+
+        victim = _crash_world(inner, journal_path, kill_op)
+        try:
+            victim.delete("doomed.bin")
+        except SimulatedCrash:
+            pass
+
+        survivor = _client(inner, journal_path)
+        report = survivor.run_recovery()
+        survivor.sync()
+        assert report.incomplete_remaining == 0
+        _assert_invariants(survivor, inner)
+        visible = {e.name for e in survivor.list_files(sync_first=False)}
+        if "doomed.bin" in visible:
+            # delete rolled back: the file must still read intact
+            assert survivor.get("doomed.bin").data == data
+        assert survivor.run_recovery().clean
+
+
+class TestCrashDuringGC:
+    @pytest.mark.parametrize("kill_op", KILL_POINTS)
+    def test_gc_rolls_forward_after_crash(self, tmp_path, kill_op,
+                                          fault_seed):
+        """Crash mid prune/collection: the journaled doomed set is
+        re-deleted on recovery, and whatever garbage a *pre-journal*
+        crash stranded (the journal cannot describe work never begun)
+        is exactly what the anti-entropy scrub's orphan pass reclaims —
+        the two mechanisms together restore the invariant at every kill
+        point."""
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        warmup = _client(inner, journal_path)
+        warmup.put("keep.bin", deterministic_bytes(1800, seed=fault_seed))
+        warmup.put("rewritten.bin",
+                   deterministic_bytes(2600, seed=fault_seed + 1))
+        warmup.put("rewritten.bin",
+                   deterministic_bytes(2600, seed=fault_seed + 2))
+
+        # prune + gc must run in one session: only the pruning client's
+        # chunk table still knows the superseded version's chunks
+        victim = _crash_world(inner, journal_path, kill_op)
+        try:
+            victim.sync()
+            victim.prune_history("rewritten.bin", keep_versions=1)
+            victim.collect_garbage()
+        except SimulatedCrash:
+            pass
+
+        survivor = _client(inner, journal_path)
+        report = survivor.run_recovery()
+        survivor.sync()
+        assert report.incomplete_remaining == 0
+        survivor.collect_garbage()
+        survivor.scrub(delete_orphans=True)
+        _assert_invariants(survivor, inner)
+        keep = deterministic_bytes(1800, seed=fault_seed)
+        assert survivor.get("keep.bin").data == keep
+        assert survivor.get("rewritten.bin").data == \
+            deterministic_bytes(2600, seed=fault_seed + 2)
+        assert survivor.run_recovery().clean
+
+
+class TestCrashDuringRecovery:
+    def test_crash_mid_recovery_is_recoverable(self, tmp_path, fault_seed):
+        """Recovery itself gets killed; running it again finishes the
+        job — every repair action is idempotent by construction."""
+        journal_path = tmp_path / "journal.jsonl"
+        inner = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        victim = _crash_world(inner, journal_path, kill_op=4)
+        try:
+            victim.put("x.bin", deterministic_bytes(3100, seed=fault_seed))
+        except SimulatedCrash:
+            pass
+
+        # first recovery attempt dies too (crash armed over the same
+        # inner providers, fresh op window)
+        doomed_recovery = _crash_world(inner, journal_path, kill_op=2)
+        try:
+            doomed_recovery.run_recovery()
+        except SimulatedCrash:
+            pass
+
+        survivor = _client(inner, journal_path)
+        report = survivor.run_recovery()
+        assert report.incomplete_remaining == 0
+        survivor.sync()
+        _assert_invariants(survivor, inner)
+        assert survivor.run_recovery().clean

@@ -1,0 +1,215 @@
+"""The write-ahead intent journal: records, parsing, compaction.
+
+The journal is the crash-consistency substrate, so its own failure
+modes get direct coverage: torn tails must be skipped (never fatal),
+compaction must be atomic and keep incomplete intents, and a record
+must round-trip encode/decode byte-exactly for any JSON-safe payload
+(hypothesis property).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery import (
+    BEGIN,
+    COMMIT,
+    META_INTENT,
+    SHARE_INTENT,
+    SHARE_UPLOADED,
+    IntentJournal,
+    JournalError,
+    JournalRecord,
+)
+from repro.util.clock import SimClock
+
+
+# -- encode/decode round-trip (hypothesis) --------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+records = st.builds(
+    JournalRecord,
+    intent_id=st.text(
+        alphabet="0123456789abcdef", min_size=1, max_size=16
+    ),
+    stage=st.sampled_from(
+        (BEGIN, SHARE_INTENT, SHARE_UPLOADED, META_INTENT, COMMIT)
+    ),
+    seq=st.integers(min_value=0, max_value=2**31),
+    op=st.sampled_from(("", "put", "delete", "gc", "migrate")),
+    time=st.floats(min_value=0, allow_nan=False, allow_infinity=False,
+                   width=32),
+    fields=st.dictionaries(
+        st.text(min_size=1, max_size=10), json_values, max_size=4
+    ),
+)
+
+
+class TestRecordRoundTrip:
+    @given(record=records)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_is_identity(self, record):
+        assert JournalRecord.decode(record.encode()) == record
+
+    @given(record=records)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_is_one_clean_json_line(self, record):
+        blob = record.encode()
+        assert blob.endswith(b"\n")
+        assert b"\n" not in blob[:-1]  # JSON escapes embedded newlines
+        json.loads(blob)  # and it is honest JSON
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(JournalError):
+            JournalRecord(intent_id="a", stage="frobnicate").encode()
+
+    def test_unencodable_fields_rejected(self):
+        record = JournalRecord(intent_id="a", stage=BEGIN,
+                               fields={"x": object()})
+        with pytest.raises(JournalError):
+            record.encode()
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(JournalError):
+            JournalRecord.decode(b"{not json")
+        with pytest.raises(JournalError):
+            JournalRecord.decode(b'{"seq": 1}')  # missing id/stage/time
+
+
+# -- the journal file ------------------------------------------------------
+
+@pytest.fixture
+def journal(tmp_path):
+    return IntentJournal(tmp_path / "journal.jsonl", clock=SimClock())
+
+
+class TestIntentJournal:
+    def test_begin_record_commit_lifecycle(self, journal):
+        iid = journal.begin(
+            "put", name="a.bin",
+            placements=[{"chunk": "c1", "csp": "csp0", "object": "o1"}],
+        )
+        journal.record(iid, SHARE_UPLOADED,
+                       chunk="c1", csp="csp0", object="o1")
+        assert [i.intent_id for i in journal.incomplete()] == [iid]
+        journal.commit(iid)
+        assert journal.incomplete() == []
+        [intent] = journal.intents()
+        assert intent.committed and intent.op == "put"
+        assert [r.stage for r in intent.records] == [
+            BEGIN, SHARE_UPLOADED, COMMIT
+        ]
+
+    def test_unknown_op_rejected(self, journal):
+        with pytest.raises(JournalError):
+            journal.begin("format-disk")
+
+    def test_planned_shares_dedupes_across_stages(self, journal):
+        iid = journal.begin(
+            "put",
+            placements=[{"chunk": "c1", "csp": "csp0", "object": "o1"},
+                        {"chunk": "c1", "csp": "csp1", "object": "o1"}],
+        )
+        # failover re-plan, then the upload confirmation for the same
+        # object: rollback set must list (csp2, o1) exactly once
+        journal.record(iid, SHARE_INTENT, chunk="c1", csp="csp2",
+                       object="o1")
+        journal.record(iid, SHARE_UPLOADED, chunk="c1", csp="csp2",
+                       object="o1")
+        [intent] = journal.intents()
+        assert intent.planned_shares() == [
+            ("c1", "csp0", "o1"), ("c1", "csp1", "o1"), ("c1", "csp2", "o1"),
+        ]
+
+    def test_torn_tail_is_skipped_not_fatal(self, journal):
+        iid = journal.begin("put", placements=[])
+        journal.commit(iid)
+        iid2 = journal.begin("delete", placements=[])
+        # the one partial write a crash can produce: a torn last line
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"id":"zzzz","seq":99,"stage":"share-up')
+        reopened = IntentJournal(journal.path)
+        assert [i.intent_id for i in reopened.incomplete()] == [iid2]
+
+    def test_interior_corruption_is_skipped(self, journal):
+        iid = journal.begin("put", placements=[])
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        journal.path.write_bytes(b"\x00\xffnot a record\n" + b"".join(lines))
+        reopened = IntentJournal(journal.path)
+        assert [i.intent_id for i in reopened.incomplete()] == [iid]
+
+    def test_seq_continues_across_generations(self, journal):
+        journal.begin("put", placements=[])
+        highest = max(r.seq for r in journal._parse()[0])
+        successor = IntentJournal(journal.path)
+        iid = successor.begin("delete", placements=[])
+        begin = [i for i in successor.intents()
+                 if i.intent_id == iid][0].first(BEGIN)
+        assert begin.seq > highest
+
+    def test_compaction_drops_committed_keeps_incomplete(self, journal):
+        done = journal.begin("put", placements=[])
+        journal.record(done, SHARE_UPLOADED, chunk="c", csp="x", object="o")
+        journal.commit(done)
+        open_iid = journal.begin(
+            "put", placements=[{"chunk": "c2", "csp": "y", "object": "o2"}]
+        )
+        journal.record(open_iid, SHARE_UPLOADED,
+                       chunk="c2", csp="y", object="o2")
+        removed = journal.compact()
+        assert removed == 3  # begin + share-uploaded + commit
+        [survivor] = journal.intents()
+        assert survivor.intent_id == open_iid
+        assert len(survivor.records) == 2  # nothing of the open intent lost
+        assert survivor.planned_shares() == [("c2", "y", "o2")]
+        # idempotent: nothing left to drop
+        assert journal.compact() == 0
+
+    def test_commit_autocompacts_after_threshold(self, tmp_path):
+        journal = IntentJournal(tmp_path / "j.jsonl", compact_after=3)
+        for _ in range(3):
+            journal.commit(journal.begin("put", placements=[]))
+        assert journal.intents() == []  # threshold hit, file compacted
+        assert journal._commits_since_compact == 0
+
+    def test_compaction_leaves_no_temp_file(self, journal, tmp_path):
+        journal.commit(journal.begin("put", placements=[]))
+        journal.compact()
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        journal = IntentJournal(tmp_path / "never-written.jsonl")
+        assert journal.intents() == []
+        assert journal.incomplete() == []
+
+    def test_begin_without_commit_from_torn_begin_is_ignored(self, journal):
+        # records whose begin line was the torn one are unreplayable:
+        # they must not surface as incomplete intents
+        record = JournalRecord(intent_id="feed", stage=SHARE_UPLOADED,
+                               seq=500, fields={"chunk": "c"})
+        with open(journal.path, "ab") as handle:
+            handle.write(record.encode())
+        assert journal.incomplete() == []
+        assert len(journal.intents()) == 1  # still visible to inspection
