@@ -81,6 +81,9 @@ def build_client(store: Path) -> CyrusClient:
         chunk_min=settings["chunk_min"],
         chunk_avg=settings["chunk_avg"],
         chunk_max=settings["chunk_max"],
+        parallelism=settings.get("parallelism", 1),
+        max_inflight_per_csp=settings.get("max_inflight_per_csp"),
+        max_inflight_total=settings.get("max_inflight_total"),
     )
     from repro.recovery import IntentJournal
 
@@ -133,6 +136,9 @@ def cmd_init(args) -> int:
         "chunk_min": args.chunk_min,
         "chunk_avg": args.chunk_avg,
         "chunk_max": args.chunk_max,
+        "parallelism": args.parallelism,
+        "max_inflight_per_csp": args.max_inflight_per_csp,
+        "max_inflight_total": None,
         "client_id": args.client_id or f"cli-{uuid.uuid4().hex[:8]}",
         "providers": {
             name: str(Path(path).expanduser().resolve())
@@ -437,6 +443,18 @@ def cmd_stats(args) -> int:
         print("health events: " + ", ".join(
             f"{kind}={count:.0f}" for kind, count in sorted(events.items())
         ))
+    dispatched = snap.counter_by("cyrus_pool_dispatch_total", "csp")
+    if dispatched:
+        peaks = snap.gauges.get("cyrus_pool_inflight_peak", {})
+        peak_by_csp = {dict(k).get("csp"): v for k, v in peaks.items()}
+        total_peak = peak_by_csp.pop("*", 0)
+        parallelism = getattr(client.engine, "parallelism", 1)
+        print(f"transfer pool: parallelism={parallelism}, "
+              f"peak inflight={total_peak:.0f}, "
+              f"cancelled={snap.counter_total('cyrus_pool_cancelled_total'):.0f}")
+        for csp in sorted(dispatched):
+            print(f"  {csp:<16} {dispatched[csp]:>6.0f} dispatched  "
+                  f"peak inflight {peak_by_csp.get(csp, 0):>3.0f}")
     stats = client.storage_stats()
     print(f"stored: {stats['stored_share_bytes']:,} bytes across "
           f"{len(stats['per_csp_bytes'])} providers")
@@ -529,6 +547,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-min", type=int, default=64 * 1024)
     p.add_argument("--chunk-avg", type=int, default=256 * 1024)
     p.add_argument("--chunk-max", type=int, default=2 * 1024 * 1024)
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="transfer worker threads (1 = serial)")
+    p.add_argument("--max-inflight-per-csp", type=int, default=None,
+                   help="concurrent ops allowed per provider when parallel")
     p.add_argument("--client-id", default=None)
     p.add_argument("--force", action="store_true")
     p.set_defaults(func=cmd_init)

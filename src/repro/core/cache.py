@@ -11,6 +11,7 @@ network entirely for cached chunks.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 
@@ -29,6 +30,9 @@ class ChunkCache:
         self._size = 0
         self.hits = 0
         self.misses = 0
+        # LRU reordering + size accounting are read-modify-write; pool
+        # workers decoding chunks concurrently share one cache
+        self._lock = threading.RLock()
         # optional repro.obs.metrics.MetricsRegistry (duck-typed)
         self._metrics = None
 
@@ -46,17 +50,19 @@ class ChunkCache:
 
     def get(self, chunk_id: str) -> bytes | None:
         """Cached chunk bytes, or None; refreshes LRU position on hit."""
-        data = self._entries.get(chunk_id)
-        if data is None:
-            self.misses += 1
+        with self._lock:
+            data = self._entries.get(chunk_id)
+            if data is None:
+                self.misses += 1
+                if self._metrics is not None:
+                    self._metrics.inc("cyrus_cache_requests_total",
+                                      outcome="miss")
+                return None
+            self._entries.move_to_end(chunk_id)
+            self.hits += 1
             if self._metrics is not None:
-                self._metrics.inc("cyrus_cache_requests_total", outcome="miss")
-            return None
-        self._entries.move_to_end(chunk_id)
-        self.hits += 1
-        if self._metrics is not None:
-            self._metrics.inc("cyrus_cache_requests_total", outcome="hit")
-        return data
+                self._metrics.inc("cyrus_cache_requests_total", outcome="hit")
+            return data
 
     def put(self, chunk_id: str, data: bytes) -> None:
         """Insert a decoded chunk, evicting LRU entries past the budget.
@@ -65,20 +71,22 @@ class ChunkCache:
         """
         if self.capacity_bytes == 0 or len(data) > self.capacity_bytes:
             return
-        old = self._entries.pop(chunk_id, None)
-        if old is not None:
-            self._size -= len(old)
-        self._entries[chunk_id] = data
-        self._size += len(data)
-        while self._size > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            self._size -= len(evicted)
+        with self._lock:
+            old = self._entries.pop(chunk_id, None)
+            if old is not None:
+                self._size -= len(old)
+            self._entries[chunk_id] = data
+            self._size += len(data)
+            while self._size > self.capacity_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._size -= len(evicted)
+                if self._metrics is not None:
+                    self._metrics.inc("cyrus_cache_evictions_total")
             if self._metrics is not None:
-                self._metrics.inc("cyrus_cache_evictions_total")
-        if self._metrics is not None:
-            self._metrics.set_gauge("cyrus_cache_bytes", self._size)
+                self._metrics.set_gauge("cyrus_cache_bytes", self._size)
 
     def clear(self) -> None:
         """Drop everything (e.g. on key change)."""
-        self._entries.clear()
-        self._size = 0
+        with self._lock:
+            self._entries.clear()
+            self._size = 0

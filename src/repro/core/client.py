@@ -37,8 +37,9 @@ from repro.core.cloud import CyrusCloud
 from repro.core.config import CyrusConfig
 from repro.core.downloader import Downloader, DownloadReport
 from repro.core.migration import migrate_metadata
+from repro.core.parallel import ParallelEngine
 from repro.core.sync import SyncReport, SyncService
-from repro.core.transfer import DirectEngine, TransferEngine
+from repro.core.transfer import TransferEngine
 from repro.core.uploader import Uploader, UploadReport
 from repro.csp.base import CloudProvider
 from repro.csp.resilient import HealthEvent, HealthRegistry, RetryPolicy
@@ -160,7 +161,14 @@ class CyrusClient:
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
         if engine is None:
-            engine = DirectEngine({p.csp_id: p for p in providers})
+            # parallelism=1 (the default) keeps ParallelEngine on the
+            # inherited serial DirectEngine path — identical behaviour
+            engine = ParallelEngine(
+                {p.csp_id: p for p in providers},
+                parallelism=config.parallelism,
+                max_inflight_per_csp=config.max_inflight_per_csp,
+                max_inflight_total=config.max_inflight_total,
+            )
         return cls(
             cloud, config, engine, client_id,
             selector=selector, chunker=chunker, cache=cache,

@@ -34,6 +34,13 @@ class CyrusConfig:
             the defaults here are scaled to the simulated workloads).
         respect_clusters: Place at most one share of a chunk per
             platform cluster (Section 4.1).
+        parallelism: Worker threads for scatter/gather transfer; 1 (the
+            default) keeps the serial engine path, bit-for-bit identical
+            to historical behaviour.
+        max_inflight_per_csp: Concurrent in-flight operations allowed
+            per provider when parallel; None means no per-CSP bound.
+        max_inflight_total: Concurrent in-flight operations allowed
+            across all providers; None means "equal to parallelism".
     """
 
     key: str
@@ -48,6 +55,9 @@ class CyrusConfig:
     chunker_engine: str = "vectorized"
     chunker_seed: int = 0x5EED
     respect_clusters: bool = True
+    parallelism: int = 1
+    max_inflight_per_csp: int | None = None
+    max_inflight_total: int | None = None
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -64,6 +74,20 @@ class CyrusConfig:
             raise ConfigurationError(f"epsilon must be in (0,1), got {self.epsilon}")
         if self.meta_t < 1:
             raise ConfigurationError(f"meta_t must be >= 1, got {self.meta_t}")
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.max_inflight_per_csp is not None and self.max_inflight_per_csp < 1:
+            raise ConfigurationError(
+                f"max_inflight_per_csp must be >= 1, "
+                f"got {self.max_inflight_per_csp}"
+            )
+        if self.max_inflight_total is not None and self.max_inflight_total < 1:
+            raise ConfigurationError(
+                f"max_inflight_total must be >= 1, "
+                f"got {self.max_inflight_total}"
+            )
 
     def plan_n(self, available_csps: int) -> int:
         """The share count to use given how many CSPs (or clusters) exist.

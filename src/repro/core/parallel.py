@@ -1,0 +1,402 @@
+"""Parallel scatter/gather transfer execution.
+
+The paper's headline timelines (Figures 14-17) come from moving a
+chunk's ``n`` shares to/from ``n`` CSPs *at the same time*; until this
+module existed only the analytic :class:`repro.netsim` model knew that —
+every real provider path was a serial Python loop.  Two pieces close the
+gap:
+
+* :class:`ScatterGatherPool` — a persistent worker-thread pool that
+  executes one batch of :class:`repro.core.transfer.TransferOp` at a
+  time under two admission bounds: at most ``max_inflight_per_csp``
+  concurrent operations per provider (one slow CSP cannot monopolise
+  workers — ops for other providers are scheduled around it) and at
+  most ``max_inflight_total`` in flight overall.  Batches support the
+  engine's group quotas (queued ops of a satisfied group are cancelled
+  without dispatch — straggler cancellation) and *streaming follow-ups*:
+  an ``on_result`` callback sees every completion as it happens and may
+  enqueue replacement ops into the running batch, which is how the
+  retry loop fails a share over to a standby CSP without waiting for
+  the rest of the batch.
+
+* :class:`ParallelEngine` — a :class:`repro.core.transfer.DirectEngine`
+  whose ``execute`` routes batches through the pool.  With
+  ``parallelism=1`` the pool is never started and every call takes the
+  inherited serial path, bit-for-bit identical to ``DirectEngine`` —
+  the invariant that keeps every pre-existing test and benchmark valid.
+
+Occupancy is exported through the engine's observability registry:
+``cyrus_pool_inflight{csp}`` / ``cyrus_pool_inflight_total`` gauges
+(live), ``cyrus_pool_inflight_peak{csp}`` (high-water marks),
+``cyrus_pool_queue_depth`` and the ``cyrus_pool_dispatch_total`` /
+``cyrus_pool_cancelled_total`` counters — surfaced by ``cyrus stats``.
+
+Thread-safety contract: the pool calls provider code and the engine's
+``_emit``/``on_result`` hooks *outside* its internal lock, so everything
+those hooks touch (metrics, tracer, receiver, health registry, journal,
+chunk cache) carries its own lock — see DESIGN.md's concurrency model
+for the full lock map.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Hashable, Mapping, Sequence
+
+from repro.core.transfer import DirectEngine, OpResult, TransferOp
+from repro.errors import TransferError
+
+# Metric names (referenced by cyrus stats and the pool tests).
+POOL_INFLIGHT = "cyrus_pool_inflight"              # gauge {csp}
+POOL_INFLIGHT_TOTAL = "cyrus_pool_inflight_total"  # gauge
+POOL_INFLIGHT_PEAK = "cyrus_pool_inflight_peak"    # gauge {csp, "*"=total}
+POOL_QUEUE_DEPTH = "cyrus_pool_queue_depth"        # gauge
+POOL_DISPATCH = "cyrus_pool_dispatch_total"        # counter {csp}
+POOL_CANCELLED = "cyrus_pool_cancelled_total"      # counter
+
+#: on_result may return follow-up ops to enqueue into the running batch.
+ResultHook = Callable[[OpResult], "Sequence[TransferOp] | None"]
+
+
+class _Batch:
+    """Mutable state of one in-progress batch (guarded by the pool lock)."""
+
+    __slots__ = ("ops", "results", "pending", "unresolved", "quota",
+                 "inflight", "inflight_total", "on_result")
+
+    def __init__(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None,
+        on_result: ResultHook | None,
+    ):
+        self.ops: list[TransferOp] = list(ops)
+        self.results: list[OpResult | None] = [None] * len(self.ops)
+        self.pending: deque[int] = deque(range(len(self.ops)))
+        self.unresolved = len(self.ops)
+        self.quota: dict[Hashable, int] = dict(group_quota or {})
+        self.inflight: dict[str, int] = {}
+        self.inflight_total = 0
+        self.on_result = on_result
+
+
+class ScatterGatherPool:
+    """Bounded worker-thread executor for transfer-op batches.
+
+    Workers are daemon threads started lazily on the first batch, so a
+    pool that is never used (``parallelism=1`` engines) costs nothing.
+    One batch runs at a time; concurrent ``run`` calls serialise, which
+    matches the synchronous pipelines that drive the engine.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        max_inflight_per_csp: int | None = None,
+        max_inflight_total: int | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        if max_inflight_per_csp is not None and max_inflight_per_csp < 1:
+            raise ValueError("max_inflight_per_csp must be >= 1")
+        if max_inflight_total is not None and max_inflight_total < 1:
+            raise ValueError("max_inflight_total must be >= 1")
+        self.workers = workers
+        self.max_inflight_per_csp = max_inflight_per_csp
+        self.max_inflight_total = (
+            max_inflight_total if max_inflight_total is not None else workers
+        )
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._done = threading.Condition(self._lock)
+        self._serialize = threading.Lock()
+        self._batch: _Batch | None = None
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        # per-run hooks (set under _serialize, so stable for a batch)
+        self._dispatch: Callable[[TransferOp], OpResult] | None = None
+        self._cancel: Callable[[TransferOp], OpResult] | None = None
+        self._metrics = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"cyrus-pool-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def close(self) -> None:
+        """Stop the workers; the pool cannot be reused afterwards."""
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+
+    # -- batch execution --------------------------------------------------
+
+    def run(
+        self,
+        ops: Sequence[TransferOp],
+        dispatch: Callable[[TransferOp], OpResult],
+        cancel: Callable[[TransferOp], OpResult],
+        group_quota: Mapping[Hashable, int] | None = None,
+        on_result: ResultHook | None = None,
+        metrics=None,
+    ) -> list[OpResult]:
+        """Execute one batch; returns results in submission order
+        (initial ops first, then follow-ups in enqueue order)."""
+        if self._closed:
+            raise TransferError("scatter/gather pool is closed")
+        if not ops and on_result is None:
+            return []
+        with self._serialize:
+            self._dispatch = dispatch
+            self._cancel = cancel
+            self._metrics = metrics
+            batch = _Batch(ops, group_quota, on_result)
+            with self._lock:
+                self._ensure_workers()
+                self._batch = batch
+                self._gauge_queue(batch)
+                self._work.notify_all()
+                while batch.unresolved > 0:
+                    self._done.wait()
+                self._batch = None
+                self._gauge_queue(None)
+            results = [r for r in batch.results]
+        if any(r is None for r in results):  # pragma: no cover - invariant
+            raise TransferError("pool lost an op result")
+        return results  # type: ignore[return-value]
+
+    # -- scheduling (all under self._lock) --------------------------------
+
+    def _claimable(self, batch: _Batch, op: TransferOp) -> bool:
+        if self.max_inflight_total is not None and (
+                batch.inflight_total >= self.max_inflight_total):
+            return False
+        if self.max_inflight_per_csp is not None and (
+                batch.inflight.get(op.csp_id, 0) >= self.max_inflight_per_csp):
+            return False
+        return True
+
+    def _claim(self, batch: _Batch) -> tuple[str, int] | None:
+        """The next schedulable task: ("cancel"|"dispatch", op index).
+
+        Scans past ops whose CSP is saturated, so a slow provider never
+        blocks dispatch to the others.
+        """
+        for _ in range(len(batch.pending)):
+            idx = batch.pending.popleft()
+            op = batch.ops[idx]
+            group = op.group
+            if (group is not None and group in batch.quota
+                    and batch.quota[group] <= 0):
+                return ("cancel", idx)
+            if self._claimable(batch, op):
+                batch.inflight[op.csp_id] = (
+                    batch.inflight.get(op.csp_id, 0) + 1
+                )
+                batch.inflight_total += 1
+                self._gauge_inflight(batch, op.csp_id)
+                self._gauge_queue(batch)
+                return ("dispatch", idx)
+            batch.pending.append(idx)  # saturated CSP: rotate past it
+        return None
+
+    def _finish(self, batch: _Batch, idx: int, result: OpResult,
+                dispatched: bool,
+                followups: Sequence[TransferOp] | None) -> None:
+        op = batch.ops[idx]
+        batch.results[idx] = result
+        if dispatched:
+            batch.inflight[op.csp_id] -= 1
+            batch.inflight_total -= 1
+            self._gauge_inflight(batch, op.csp_id)
+        if result.ok and op.group is not None and op.group in batch.quota:
+            batch.quota[op.group] -= 1
+        for extra in followups or ():
+            batch.ops.append(extra)
+            batch.results.append(None)
+            batch.pending.append(len(batch.ops) - 1)
+            batch.unresolved += 1
+        batch.unresolved -= 1
+        self._gauge_queue(batch)
+
+    # -- gauges -----------------------------------------------------------
+
+    def _gauge_inflight(self, batch: _Batch, csp_id: str) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        per_csp = batch.inflight.get(csp_id, 0)
+        metrics.set_gauge(POOL_INFLIGHT, per_csp, csp=csp_id)
+        metrics.set_gauge(POOL_INFLIGHT_TOTAL, batch.inflight_total)
+        peak = metrics.gauge(POOL_INFLIGHT_PEAK)
+        peak.set_max(per_csp, csp=csp_id)
+        peak.set_max(batch.inflight_total, csp="*")
+
+    def _gauge_queue(self, batch: _Batch | None) -> None:
+        if self._metrics is not None:
+            depth = len(batch.pending) if batch is not None else 0
+            self._metrics.set_gauge(POOL_QUEUE_DEPTH, depth)
+
+    # -- workers ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                task = None
+                while task is None:
+                    if self._closed:
+                        return
+                    if self._batch is not None:
+                        task = self._claim(self._batch)
+                    if task is None:
+                        self._work.wait()
+                batch = self._batch
+                kind, idx = task
+            op = batch.ops[idx]
+            dispatched = kind == "dispatch"
+            metrics = self._metrics
+            if dispatched:
+                if metrics is not None:
+                    metrics.inc(POOL_DISPATCH, csp=op.csp_id)
+                result = self._dispatch(op)
+            else:
+                if metrics is not None:
+                    metrics.inc(POOL_CANCELLED, csp=op.csp_id)
+                result = self._cancel(op)
+            followups = None
+            if batch.on_result is not None:
+                followups = batch.on_result(result)
+            with self._lock:
+                self._finish(batch, idx, result, dispatched, followups)
+                self._work.notify_all()
+                self._done.notify_all()
+
+
+class ParallelEngine(DirectEngine):
+    """A direct engine that scatters each batch across a thread pool.
+
+    ``parallelism=1`` (the default everywhere) short-circuits to the
+    inherited serial ``DirectEngine.execute`` — identical behaviour,
+    no threads ever started.  ``parallelism>1`` routes batches through
+    a :class:`ScatterGatherPool` bounded by ``max_inflight_per_csp``
+    and ``max_inflight_total``.
+    """
+
+    def __init__(
+        self,
+        providers,
+        clock=None,
+        receiver=None,
+        health=None,
+        obs=None,
+        parallelism: int = 1,
+        max_inflight_per_csp: int | None = None,
+        max_inflight_total: int | None = None,
+    ):
+        super().__init__(providers, clock=clock, receiver=receiver,
+                         health=health, obs=obs)
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.max_inflight_per_csp = max_inflight_per_csp
+        self.max_inflight_total = max_inflight_total
+        self._pool: ScatterGatherPool | None = None
+
+    # -- capability flags (consulted by the pipelines) ---------------------
+
+    @property
+    def parallel_enabled(self) -> bool:
+        """True when batches genuinely run concurrently — the gate for
+        lazy share encoding and streaming failover in the pipelines."""
+        return self.parallelism > 1
+
+    def pool(self) -> ScatterGatherPool:
+        if self._pool is None:
+            self._pool = ScatterGatherPool(
+                workers=self.parallelism,
+                max_inflight_per_csp=self.max_inflight_per_csp,
+                max_inflight_total=self.max_inflight_total,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Stop pool workers (idempotent; a closed engine stays serial)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self.parallelism = 1
+
+    # -- execution ---------------------------------------------------------
+
+    def _dispatch_one(self, op: TransferOp) -> OpResult:
+        """One op end-to-end on the calling (worker) thread.
+
+        Mirrors the per-op body of :meth:`DirectEngine.execute` minus
+        group-quota handling, which the pool owns in parallel mode.
+        """
+        from repro.errors import CSPError, is_retryable
+
+        start = self.clock.now()
+        blocked = self._breaker_blocks(op, start)
+        if blocked is not None:
+            return blocked
+        try:
+            data = self._apply(op)
+            end = self.clock.now()
+            self._record_health(op.csp_id, None)
+            return OpResult(op=op, ok=True, start=start, end=end, data=data)
+        except CSPError as exc:
+            end = self.clock.now()
+            self._record_health(op.csp_id, exc)
+            return OpResult(op=op, ok=False, start=start, end=end,
+                            error=str(exc), error_type=type(exc).__name__,
+                            retryable=is_retryable(exc))
+
+    def _cancel_one(self, op: TransferOp) -> OpResult:
+        now = self.clock.now()
+        return OpResult(op=op, ok=False, start=now, end=now,
+                        cancelled=True, error="group quota satisfied")
+
+    def execute(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+        on_result: ResultHook | None = None,
+    ) -> list[OpResult]:
+        if not self.parallel_enabled:
+            results = super().execute(ops, group_quota)
+            if on_result is not None:
+                # serial streaming emulation: feed completions through
+                # the hook and run follow-ups until it stops producing
+                extras = [
+                    extra for result in results
+                    for extra in (on_result(result) or ())
+                ]
+                while extras:
+                    batch = super().execute(extras, group_quota)
+                    results.extend(batch)
+                    extras = [
+                        extra for result in batch
+                        for extra in (on_result(result) or ())
+                    ]
+            return results
+
+        def dispatch(op: TransferOp) -> OpResult:
+            return self._emit(self._dispatch_one(op))
+
+        def cancel(op: TransferOp) -> OpResult:
+            return self._emit(self._cancel_one(op))
+
+        return self.pool().run(
+            ops, dispatch, cancel,
+            group_quota=group_quota, on_result=on_result,
+            metrics=self.obs.metrics if self.obs is not None else None,
+        )

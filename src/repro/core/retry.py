@@ -21,6 +21,7 @@ success means, and where alternate shares may live.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Hashable, Sequence
 
 from repro.core.transfer import OpResult, TransferEngine, TransferOp
@@ -86,6 +87,9 @@ class ShareRetryLoop:
         Returns:
             ``(all op results, per-key attempt history)``.
         """
+        if getattr(self.engine, "parallel_enabled", False):
+            return self._run_parallel(items, build_op, on_success,
+                                      on_giveup, pick_alternate)
         all_results: list[OpResult] = []
         attempts: dict[Hashable, list[Attempt]] = {key: [] for key, _ in items}
         tried: dict[Hashable, set[str]] = {key: {csp} for key, csp in items}
@@ -130,4 +134,92 @@ class ShareRetryLoop:
                     tried[key].add(alternate)
                     next_pending.append((key, alternate))
             pending = next_pending
+        return all_results, attempts
+
+    def _run_parallel(
+        self,
+        items: Sequence[Item],
+        build_op: Callable[[Hashable, str], TransferOp],
+        on_success: Callable[[Hashable, str, OpResult], None],
+        on_giveup: Callable[[Hashable, str, OpResult], None],
+        pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+    ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
+        """The streaming variant for parallel engines.
+
+        Same classification as the serial loop, but failures are handled
+        the moment they complete: the engine's ``on_result`` hook fails a
+        share over to its alternate *inside the running batch*, so a
+        permanent error on one CSP re-dispatches immediately instead of
+        waiting for every straggler in the round.  Only same-provider
+        transient retries defer to the next round — that preserves the
+        policy's inter-round backoff semantics exactly.
+
+        The hook runs on pool worker threads; one loop-level lock makes
+        the caller's ``on_success``/``on_giveup``/``pick_alternate``
+        callbacks mutually exclusive, so pipeline state (journal appends,
+        gathered shares) never needs its own cross-share coordination.
+        """
+        all_results: list[OpResult] = []
+        attempts: dict[Hashable, list[Attempt]] = {key: [] for key, _ in items}
+        tried: dict[Hashable, set[str]] = {key: {csp} for key, csp in items}
+        per_csp_tries: dict[Item, int] = {}
+        pending: list[Item] = list(items)
+        lock = threading.Lock()
+        for round_no in range(_MAX_ROUNDS):
+            if not pending:
+                break
+            if round_no > 0:
+                self.engine.sleep(self.policy.delay(round_no))
+            deferred: list[Item] = []
+            assign: dict[int, Item] = {}
+            ops: list[TransferOp] = []
+            for key, csp in pending:
+                op = build_op(key, csp)
+                assign[id(op)] = (key, csp)
+                ops.append(op)
+
+            def hook(result: OpResult, _assign=assign, _deferred=deferred,
+                     _round=round_no) -> list[TransferOp] | None:
+                with lock:
+                    item = _assign.pop(id(result.op), None)
+                    if item is None:  # pragma: no cover - foreign op
+                        return None
+                    key, csp = item
+                    attempts.setdefault(key, []).append(Attempt(
+                        csp_id=csp, round_no=_round, ok=result.ok,
+                        error=result.error, error_type=result.error_type,
+                    ))
+                    if result.ok:
+                        on_success(key, csp, result)
+                        return None
+                    per_csp_tries[(key, csp)] = (
+                        per_csp_tries.get((key, csp), 0) + 1
+                    )
+                    retryable = bool(result.retryable) and not result.cancelled
+                    if (retryable
+                            and per_csp_tries[(key, csp)]
+                            < self.policy.max_attempts
+                            and self.alternate_is_live(csp)):
+                        obs = getattr(self.engine, "obs", None)
+                        if obs is not None:
+                            obs.metrics.inc("cyrus_share_retries_total",
+                                            csp=csp)
+                        _deferred.append((key, csp))
+                        return None
+                    on_giveup(key, csp, result)
+                    alternate = pick_alternate(key, csp, tried[key])
+                    if alternate is None:
+                        return None
+                    obs = getattr(self.engine, "obs", None)
+                    if obs is not None:
+                        obs.metrics.inc("cyrus_share_failovers_total",
+                                        from_csp=csp, to_csp=alternate)
+                    tried[key].add(alternate)
+                    new_op = build_op(key, alternate)
+                    _assign[id(new_op)] = (key, alternate)
+                    return [new_op]
+
+            results = self.engine.execute(ops, on_result=hook)
+            all_results.extend(results)
+            pending = deferred
         return all_results, attempts

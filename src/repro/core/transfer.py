@@ -20,6 +20,7 @@ driving ShareComplete, ChunkComplete and FileComplete) is implemented by
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping, Sequence
 
@@ -31,7 +32,7 @@ from repro.csp.resilient import HealthRegistry
 from repro.errors import CSPError, CSPUnavailableError, TransferError, is_retryable
 from repro.netsim.link import Link
 from repro.netsim.simulator import FlowSimulator, TransferRequest
-from repro.util.clock import Clock, SimClock, WallClock
+from repro.util.clock import Clock, SimClock, WallClock, sleep_on
 
 
 class OpKind(enum.Enum):
@@ -55,6 +56,13 @@ class TransferOp:
     ``size`` must be given for GETs (the expected share size, known from
     the ShareMap); PUT sizes derive from ``data``.  ``chunk_id``/
     ``file_key`` feed the event receiver's completion tracking.
+
+    A PUT may carry ``data_fn`` instead of ``data``: a thunk producing
+    the payload, invoked on the executing worker at dispatch time.  This
+    is how the parallel uploader pipelines encoding with transfer —
+    erasure-coding chunk *k+1* runs on one pool worker while chunk *k*'s
+    shares are already on the wire.  Lazy ops should still set ``size``
+    so planners can cost them without forcing the encode.
     """
 
     kind: OpKind
@@ -65,12 +73,22 @@ class TransferOp:
     chunk_id: str | None = None
     file_key: str | None = None
     group: Hashable | None = None
+    data_fn: Callable[[], bytes] | None = None
+
+    def resolve_data(self) -> bytes | None:
+        """Materialise the payload (runs ``data_fn`` at most once)."""
+        if self.data is None and self.data_fn is not None:
+            self.data = self.data_fn()
+            self.data_fn = None
+        return self.data
 
     def payload_size(self) -> int:
         if self.data is not None:
             return len(self.data)
         if self.size is not None:
             return self.size
+        if self.data_fn is not None:
+            return len(self.resolve_data() or b"")
         return 0
 
 
@@ -126,36 +144,41 @@ class TransferReceiver:
         self._file_chunks: dict[str, set[str]] = {}
         self._file_complete: dict[str, bool] = {}
         self.events: list[OpResult] = []
+        # pool workers emit results concurrently; the counters and the
+        # event log are read-modify-write, so serialise them
+        self._lock = threading.Lock()
 
     def expect_chunk(self, chunk_id: str, shares_needed: int,
                      file_key: str | None = None) -> None:
         """Register a chunk transfer (n shares up or t shares down)."""
-        self._chunk[chunk_id] = _Completion(needed=shares_needed)
-        if file_key is not None:
-            self._file_chunks.setdefault(file_key, set()).add(chunk_id)
-            self._file_complete.setdefault(file_key, False)
+        with self._lock:
+            self._chunk[chunk_id] = _Completion(needed=shares_needed)
+            if file_key is not None:
+                self._file_chunks.setdefault(file_key, set()).add(chunk_id)
+                self._file_complete.setdefault(file_key, False)
 
     def on_result(self, result: OpResult) -> None:
         """Feed one transfer event through the completion logic."""
-        self.events.append(result)
-        if not result.ok:
-            return
-        chunk_id = result.op.chunk_id
-        if chunk_id is None or chunk_id not in self._chunk:
-            return
-        comp = self._chunk[chunk_id]
-        comp.done += 1
-        if comp.done == comp.needed:
-            # a chunk may belong to several registered files (dedup);
-            # membership comes from expect_chunk, not from the op
-            for file_key, chunks in self._file_chunks.items():
-                if chunk_id not in chunks:
-                    continue
-                if all(
-                    self._chunk[c].done >= self._chunk[c].needed
-                    for c in chunks
-                ):
-                    self._file_complete[file_key] = True
+        with self._lock:
+            self.events.append(result)
+            if not result.ok:
+                return
+            chunk_id = result.op.chunk_id
+            if chunk_id is None or chunk_id not in self._chunk:
+                return
+            comp = self._chunk[chunk_id]
+            comp.done += 1
+            if comp.done == comp.needed:
+                # a chunk may belong to several registered files (dedup);
+                # membership comes from expect_chunk, not from the op
+                for file_key, chunks in self._file_chunks.items():
+                    if chunk_id not in chunks:
+                        continue
+                    if all(
+                        self._chunk[c].done >= self._chunk[c].needed
+                        for c in chunks
+                    ):
+                        self._file_complete[file_key] = True
 
     def share_complete(self, result: OpResult) -> bool:
         return result.ok
@@ -201,16 +224,9 @@ class TransferEngine:
         """Subclass hook: re-bind internal components to the new obs."""
 
     def sleep(self, seconds: float) -> None:
-        """Backoff sleep: advance a SimClock exactly, else really sleep."""
-        if seconds <= 0:
-            return
-        advance = getattr(self.clock, "advance", None)
-        if callable(advance):
-            advance(seconds)
-        else:
-            import time
-
-            time.sleep(seconds)
+        """Backoff sleep on the injected clock (see :func:`sleep_on`):
+        fake clocks record it, SimClock advances, WallClock really sleeps."""
+        sleep_on(self.clock, seconds)
 
     def _breaker_blocks(self, op: TransferOp, now: float) -> OpResult | None:
         """Fail fast (without dispatching) when the CSP's circuit is open."""
@@ -251,9 +267,10 @@ class TransferEngine:
         """Perform the actual data operation; raises CSPError on failure."""
         provider = self.provider(op.csp_id)
         if op.kind in (OpKind.PUT, OpKind.PUT_META):
-            if op.data is None:
+            data = op.resolve_data()
+            if data is None:
                 raise TransferError(f"PUT without data: {op.name}")
-            provider.upload(op.name, op.data)
+            provider.upload(op.name, data)
             return None
         if op.kind in (OpKind.GET, OpKind.GET_META):
             return provider.download(op.name)

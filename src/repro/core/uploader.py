@@ -19,6 +19,7 @@ is accepted and reported as degraded.
 from __future__ import annotations
 
 import functools
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -78,19 +79,23 @@ class _ChunkPlan:
     n: int
     placements: dict[int, str] = field(default_factory=dict)  # index -> csp
     _share_cache: dict[int, bytes] = field(default_factory=dict)
+    # pool workers may pull different shares of one chunk concurrently;
+    # the lock makes the one-time encode exactly-once
+    _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def share_data(self, key: str, index: int, obs=None) -> bytes:
         """Coded bytes for one share index (all n computed on first use)."""
-        if not self._share_cache:
-            sharer = get_sharer(key, self.t, self.n)
-            t0 = obs.clock.now() if obs is not None else 0.0
-            self._share_cache = {
-                s.index: s.data for s in sharer.split(self.chunk.data)
-            }
-            if obs is not None:
-                obs.metrics.observe("cyrus_chunk_encode_seconds",
-                                    obs.clock.now() - t0)
-        return self._share_cache[index]
+        with self._lock:
+            if not self._share_cache:
+                sharer = get_sharer(key, self.t, self.n)
+                t0 = obs.clock.now() if obs is not None else 0.0
+                self._share_cache = {
+                    s.index: s.data for s in sharer.split(self.chunk.data)
+                }
+                if obs is not None:
+                    obs.metrics.observe("cyrus_chunk_encode_seconds",
+                                        obs.clock.now() - t0)
+            return self._share_cache[index]
 
 
 class Uploader:
@@ -276,13 +281,31 @@ class Uploader:
 
         obs = getattr(self.engine, "obs", None)
 
+        # On a parallel engine the encode is deferred into the op itself:
+        # the pool worker that dispatches chunk k+1's first share runs
+        # the erasure code while chunk k's shares are still uploading
+        # (the chunk -> encode -> scatter pipeline of the tentpole).
+        lazy = bool(getattr(self.engine, "parallel_enabled", False))
+
         def build_op(key, csp: str) -> TransferOp:
             cid, idx = key
+            plan = outstanding[cid]
+            if lazy:
+                return TransferOp(
+                    kind=OpKind.PUT,
+                    csp_id=csp,
+                    name=chunk_share_object_name(idx, cid),
+                    data_fn=lambda: plan.share_data(
+                        self.config.key, idx, obs=obs
+                    ),
+                    chunk_id=cid,
+                    file_key=None,
+                )
             return TransferOp(
                 kind=OpKind.PUT,
                 csp_id=csp,
                 name=chunk_share_object_name(idx, cid),
-                data=outstanding[cid].share_data(self.config.key, idx, obs=obs),
+                data=plan.share_data(self.config.key, idx, obs=obs),
                 chunk_id=cid,
                 file_key=None,
             )

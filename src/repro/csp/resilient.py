@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 import random
-import time
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -37,7 +37,7 @@ from repro.errors import (
     CSPUnavailableError,
     is_retryable,
 )
-from repro.util.clock import Clock, WallClock
+from repro.util.clock import Clock, WallClock, sleep_on
 
 
 # ---------------------------------------------------------------------------
@@ -130,15 +130,21 @@ class CircuitBreaker:
         self._opened_at: float | None = None
         self._probe_inflight = False
         self.opened_count = 0  # lifetime open transitions (observability)
+        # state transitions are read-modify-write; pool workers hit one
+        # breaker concurrently, and the HALF_OPEN single-probe admission
+        # in allow() must be atomic (reentrant: state refresh nests)
+        self._lock = threading.RLock()
 
     @property
     def state(self) -> BreakerState:
         """Current state, refreshing the OPEN → HALF_OPEN timeout edge."""
-        if (self._state is BreakerState.OPEN
-                and self.clock.now() >= self._opened_at + self.reset_timeout):
-            self._state = BreakerState.HALF_OPEN
-            self._probe_inflight = False
-        return self._state
+        with self._lock:
+            if (self._state is BreakerState.OPEN
+                    and self.clock.now()
+                    >= self._opened_at + self.reset_timeout):
+                self._state = BreakerState.HALF_OPEN
+                self._probe_inflight = False
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
@@ -150,34 +156,38 @@ class CircuitBreaker:
         In HALF_OPEN, only the first caller gets True (the probe); the
         rest fail fast until the probe's outcome is recorded.
         """
-        state = self.state
-        if state is BreakerState.CLOSED:
-            return True
-        if state is BreakerState.HALF_OPEN and not self._probe_inflight:
-            self._probe_inflight = True
-            return True
-        return False
+        with self._lock:
+            state = self.state
+            if state is BreakerState.CLOSED:
+                return True
+            if state is BreakerState.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._probe_inflight = False
-        self._state = BreakerState.CLOSED
-        self._opened_at = None
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = BreakerState.CLOSED
+            self._opened_at = None
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        state = self.state
-        if state is BreakerState.HALF_OPEN:
-            self._trip()  # failed probe: back to a full timeout
-        elif (state is BreakerState.CLOSED
-              and self._consecutive_failures >= self.failure_threshold):
-            self._trip()
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self.state
+            if state is BreakerState.HALF_OPEN:
+                self._trip()  # failed probe: back to a full timeout
+            elif (state is BreakerState.CLOSED
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
 
     def _trip(self) -> None:
-        self._state = BreakerState.OPEN
-        self._opened_at = self.clock.now()
-        self._probe_inflight = False
-        self.opened_count += 1
+        with self._lock:
+            self._state = BreakerState.OPEN
+            self._opened_at = self.clock.now()
+            self._probe_inflight = False
+            self.opened_count += 1
 
 
 # ---------------------------------------------------------------------------
@@ -229,6 +239,10 @@ class HealthRegistry:
         self._failures: dict[str, int] = {}
         self._last_error: dict[str, str] = {}
         self._listeners: list[Callable[[HealthEvent], None]] = []
+        # guards breaker-map population and the per-CSP counters; the
+        # breakers themselves carry their own locks (reentrant so a
+        # listener may query the registry from inside emit)
+        self._lock = threading.RLock()
         # optional repro.obs.metrics.MetricsRegistry (duck-typed so this
         # module stays import-light); every emitted event is counted
         self.metrics = metrics
@@ -240,19 +254,21 @@ class HealthRegistry:
         self.metrics = metrics
 
     def breaker(self, csp_id: str) -> CircuitBreaker:
-        brk = self._breakers.get(csp_id)
-        if brk is None:
-            brk = CircuitBreaker(
-                clock=self.clock,
-                failure_threshold=self.failure_threshold,
-                reset_timeout=self.reset_timeout,
-            )
-            self._breakers[csp_id] = brk
-        return brk
+        with self._lock:
+            brk = self._breakers.get(csp_id)
+            if brk is None:
+                brk = CircuitBreaker(
+                    clock=self.clock,
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout=self.reset_timeout,
+                )
+                self._breakers[csp_id] = brk
+            return brk
 
     def subscribe(self, listener: Callable[[HealthEvent], None]) -> None:
         """Register a structured-event listener (e.g. a client's log)."""
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def emit(self, kind: str, csp_id: str | None, detail: str) -> None:
         event = HealthEvent(
@@ -264,7 +280,9 @@ class HealthRegistry:
             # whole failure-handling event stream
             self.metrics.inc("cyrus_health_events_total",
                              kind=kind, csp=csp_id or "*")
-        for listener in self._listeners:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
             listener(event)
 
     # -- outcome recording ------------------------------------------------
@@ -277,7 +295,8 @@ class HealthRegistry:
         brk = self.breaker(csp_id)
         was_open = brk.state is not BreakerState.CLOSED
         brk.record_success()
-        self._successes[csp_id] = self._successes.get(csp_id, 0) + 1
+        with self._lock:
+            self._successes[csp_id] = self._successes.get(csp_id, 0) + 1
         if was_open:
             self.emit("breaker_close", csp_id, "probe succeeded; circuit closed")
 
@@ -286,8 +305,9 @@ class HealthRegistry:
         was_half_open = brk.state is BreakerState.HALF_OPEN
         before = brk.state
         brk.record_failure()
-        self._failures[csp_id] = self._failures.get(csp_id, 0) + 1
-        self._last_error[csp_id] = str(error)
+        with self._lock:
+            self._failures[csp_id] = self._failures.get(csp_id, 0) + 1
+            self._last_error[csp_id] = str(error)
         self.emit("failure", csp_id, str(error))
         if brk.state is BreakerState.OPEN and before is not BreakerState.OPEN:
             kind = "probe_failed" if was_half_open else "breaker_open"
@@ -305,7 +325,8 @@ class HealthRegistry:
         HALF_OPEN counts as live so that the probe can be routed; an
         unknown CSP is live (innocent until proven otherwise).
         """
-        brk = self._breakers.get(csp_id)
+        with self._lock:
+            brk = self._breakers.get(csp_id)
         return brk is None or brk.state is not BreakerState.OPEN
 
     def live(self, csp_ids: Iterable[str]) -> list[str]:
@@ -313,18 +334,21 @@ class HealthRegistry:
 
     def health_of(self, csp_id: str) -> CSPHealth:
         brk = self.breaker(csp_id)
-        return CSPHealth(
-            csp_id=csp_id,
-            state=brk.state,
-            consecutive_failures=brk.consecutive_failures,
-            successes=self._successes.get(csp_id, 0),
-            failures=self._failures.get(csp_id, 0),
-            last_error=self._last_error.get(csp_id),
-        )
+        with self._lock:
+            return CSPHealth(
+                csp_id=csp_id,
+                state=brk.state,
+                consecutive_failures=brk.consecutive_failures,
+                successes=self._successes.get(csp_id, 0),
+                failures=self._failures.get(csp_id, 0),
+                last_error=self._last_error.get(csp_id),
+            )
 
     def snapshot(self) -> dict[str, CSPHealth]:
         """Health of every provider the registry has seen."""
-        return {csp_id: self.health_of(csp_id) for csp_id in sorted(self._breakers)}
+        with self._lock:
+            known = sorted(self._breakers)
+        return {csp_id: self.health_of(csp_id) for csp_id in known}
 
 
 # ---------------------------------------------------------------------------
@@ -332,11 +356,8 @@ class HealthRegistry:
 
 
 def _default_sleep(clock: Clock) -> Callable[[float], None]:
-    """Backoff sleeper: advance a SimClock, really sleep a WallClock."""
-    advance = getattr(clock, "advance", None)
-    if callable(advance):
-        return lambda seconds: advance(seconds) if seconds > 0 else None
-    return lambda seconds: time.sleep(seconds) if seconds > 0 else None
+    """Backoff sleeper honouring the injected clock (see :func:`sleep_on`)."""
+    return lambda seconds: sleep_on(clock, seconds)
 
 
 class ResilientProvider(CloudProvider):

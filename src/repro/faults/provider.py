@@ -10,6 +10,8 @@ share repair) rather than test doubles of them.
 
 from __future__ import annotations
 
+import threading
+
 from repro.csp.base import CloudProvider, ObjectInfo
 from repro.errors import (
     CSPAuthError,
@@ -52,6 +54,11 @@ class FaultyProvider(CloudProvider):
         self.calls_reaching_inner = 0
         self._op_no = 0
         self.injected_delay_s = 0.0
+        # op numbering + counters under concurrent dispatch (the fault
+        # *decision* stays a pure function of the claimed op_no, so a
+        # seeded plan injects the same multiset of faults regardless of
+        # worker interleaving)
+        self._lock = threading.Lock()
 
     # -- fault machinery --------------------------------------------------
 
@@ -59,7 +66,8 @@ class FaultyProvider(CloudProvider):
         return self.clock.now() if self.clock is not None else 0.0
 
     def _advance(self, seconds: float) -> None:
-        self.injected_delay_s += seconds
+        with self._lock:
+            self.injected_delay_s += seconds
         if self.clock is not None:
             advance = getattr(self.clock, "advance", None)
             if callable(advance):
@@ -71,16 +79,18 @@ class FaultyProvider(CloudProvider):
         Returns the non-error faults (CORRUPT) for the caller to apply
         to the operation's result.
         """
-        op_no = self._op_no
-        self._op_no += 1
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        with self._lock:
+            op_no = self._op_no
+            self._op_no += 1
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
         fired = self._schedule.decide(op, name, op_no, self._now())
         deferred = []
         for idx, spec in fired:
-            self.fault_log.append(FaultEvent(
-                csp_id=self.csp_id, op_no=op_no, op=op, name=name,
-                kind=spec.kind, time=self._now(),
-            ))
+            with self._lock:
+                self.fault_log.append(FaultEvent(
+                    csp_id=self.csp_id, op_no=op_no, op=op, name=name,
+                    kind=spec.kind, time=self._now(),
+                ))
             if spec.kind is FaultKind.LATENCY:
                 self._advance(spec.delay_s)
             elif spec.kind is FaultKind.SLOW:
@@ -137,22 +147,26 @@ class FaultyProvider(CloudProvider):
 
     def authenticate(self, credentials):
         self._before("authenticate")
-        self.calls_reaching_inner += 1
+        with self._lock:
+            self.calls_reaching_inner += 1
         return self.inner.authenticate(credentials)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
         self._before("list", prefix)
-        self.calls_reaching_inner += 1
+        with self._lock:
+            self.calls_reaching_inner += 1
         return self.inner.list(prefix)
 
     def upload(self, name: str, data: bytes) -> None:
         self._before("upload", name, size=len(data))
-        self.calls_reaching_inner += 1
+        with self._lock:
+            self.calls_reaching_inner += 1
         self.inner.upload(name, data)
 
     def download(self, name: str) -> bytes:
         deferred = self._before("download", name)
-        self.calls_reaching_inner += 1
+        with self._lock:
+            self.calls_reaching_inner += 1
         data = self.inner.download(name)
         for op_no, spec in deferred:
             data = self._corrupt(data, name, op_no, spec.flip_bits)
@@ -160,7 +174,8 @@ class FaultyProvider(CloudProvider):
 
     def delete(self, name: str) -> None:
         self._before("delete", name)
-        self.calls_reaching_inner += 1
+        with self._lock:
+            self.calls_reaching_inner += 1
         self.inner.delete(name)
 
     # -- passthroughs -----------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import threading
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterator, Mapping, Sequence
@@ -64,23 +65,28 @@ class Counter:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment {amount}")
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
         """The value of one exact label set (0 if never incremented)."""
-        return self._series.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
 
     def total(self, **labels) -> float:
         """Sum over every series matching the given label *subset*."""
-        return sum(v for k, v in self._series.items() if _matches(k, labels))
+        with self._lock:
+            return sum(v for k, v in self._series.items() if _matches(k, labels))
 
     def series(self) -> dict[LabelKey, float]:
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
 
 class Gauge:
@@ -92,22 +98,34 @@ class Gauge:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, **labels) -> None:
-        self._series[_label_key(labels)] = float(value)
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels) -> None:
         self.inc(-amount, **labels)
 
+    def set_max(self, value: float, **labels) -> None:
+        """Raise the gauge to ``value`` if below (atomic high-water mark)."""
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._series.get(key, 0.0):
+                self._series[key] = float(value)
+
     def value(self, **labels) -> float:
-        return self._series.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
 
     def series(self) -> dict[LabelKey, float]:
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
 
 @dataclass(frozen=True)
@@ -160,30 +178,37 @@ class Histogram:
         self.bounds = bounds
         # per label set: [counts list, count, sum, min, max]
         self._series: dict[LabelKey, list] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels) -> None:
         key = _label_key(labels)
-        state = self._series.get(key)
-        if state is None:
-            state = [[0] * (len(self.bounds) + 1), 0, 0.0, None, None]
-            self._series[key] = state
-        idx = bisect.bisect_left(self.bounds, value)
-        state[0][idx] += 1
-        state[1] += 1
-        state[2] += value
-        state[3] = value if state[3] is None else min(state[3], value)
-        state[4] = value if state[4] is None else max(state[4], value)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = [[0] * (len(self.bounds) + 1), 0, 0.0, None, None]
+                self._series[key] = state
+            idx = bisect.bisect_left(self.bounds, value)
+            state[0][idx] += 1
+            state[1] += 1
+            state[2] += value
+            state[3] = value if state[3] is None else min(state[3], value)
+            state[4] = value if state[4] is None else max(state[4], value)
 
     def data(self, **labels) -> HistogramData:
-        state = self._series.get(_label_key(labels))
-        if state is None:
-            return HistogramData(self.bounds, (0,) * (len(self.bounds) + 1),
-                                 0, 0.0, None, None)
-        counts, count, total, lo, hi = state
-        return HistogramData(self.bounds, tuple(counts), count, total, lo, hi)
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            if state is None:
+                return HistogramData(self.bounds,
+                                     (0,) * (len(self.bounds) + 1),
+                                     0, 0.0, None, None)
+            counts, count, total, lo, hi = state
+            return HistogramData(self.bounds, tuple(counts), count, total,
+                                 lo, hi)
 
     def series(self) -> dict[LabelKey, HistogramData]:
-        return {key: self.data(**_labels_dict(key)) for key in self._series}
+        with self._lock:
+            keys = list(self._series)
+        return {key: self.data(**_labels_dict(key)) for key in keys}
 
 
 def _merge_hist(a: HistogramData, b: HistogramData) -> HistogramData:
@@ -326,16 +351,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def __iter__(self) -> Iterator[object]:
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def _get(self, name: str, kind: type, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = kind(name, **kwargs)
-            self._metrics[name] = metric
-            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, **kwargs)
+                self._metrics[name] = metric
+                return metric
         if not isinstance(metric, kind):
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}"
@@ -350,7 +378,8 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] | None = None) -> Histogram:
-        existing = self._metrics.get(name)
+        with self._lock:
+            existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, Histogram):
                 raise ValueError(
@@ -379,7 +408,9 @@ class MetricsRegistry:
         counters: dict[str, dict[LabelKey, float]] = {}
         gauges: dict[str, dict[LabelKey, float]] = {}
         hists: dict[str, dict[LabelKey, HistogramData]] = {}
-        for name, metric in self._metrics.items():
+        with self._lock:
+            metrics = list(self._metrics.items())
+        for name, metric in metrics:
             if isinstance(metric, Counter):
                 counters[name] = metric.series()
             elif isinstance(metric, Gauge):

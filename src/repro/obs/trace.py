@@ -7,15 +7,20 @@ as plain JSON (for tests) and as a Chrome-trace ``traceEvents`` file
 (open in ``chrome://tracing`` / Perfetto) where each CSP gets its own
 thread lane.
 
-No threading, no globals: a tracer is an explicit object owned by the
-:class:`repro.obs.Observability` facade.  The active-span stack is a
-plain list, which matches the repo's single-threaded engines.
+No globals: a tracer is an explicit object owned by the
+:class:`repro.obs.Observability` facade.  The active-span stack belongs
+to the pipeline thread that opens spans; pool workers attach their
+already-timed op intervals via :meth:`Tracer.record` under the tracer's
+lock, so concurrent recording interleaves children without corrupting
+the tree (attachment order between workers is scheduling-dependent,
+timestamps are not).
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -72,35 +77,38 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
 
     # -- recording --------------------------------------------------------
 
     def start_span(self, name: str, **attrs) -> Span:
-        parent = self._stack[-1] if self._stack else None
-        span = Span(
-            span_id=next(self._ids),
-            name=name,
-            start=self.clock.now(),
-            parent_id=parent.span_id if parent else None,
-            attrs=attrs,
-        )
-        if parent is None:
-            self.roots.append(span)
-        else:
-            parent.children.append(span)
-        self._stack.append(span)
-        return span
+        with self._lock:
+            parent = self._stack[-1] if self._stack else None
+            span = Span(
+                span_id=next(self._ids),
+                name=name,
+                start=self.clock.now(),
+                parent_id=parent.span_id if parent else None,
+                attrs=attrs,
+            )
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+            self._stack.append(span)
+            return span
 
     def end_span(self, span: Span) -> None:
-        if span.end is None:
-            span.end = self.clock.now()
-        while self._stack and self._stack[-1] is not span:
-            # close abandoned inner spans rather than corrupting nesting
-            dangling = self._stack.pop()
-            if dangling.end is None:
-                dangling.end = span.end
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        with self._lock:
+            if span.end is None:
+                span.end = self.clock.now()
+            while self._stack and self._stack[-1] is not span:
+                # close abandoned inner spans rather than corrupting nesting
+                dangling = self._stack.pop()
+                if dangling.end is None:
+                    dangling.end = span.end
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
@@ -113,25 +121,28 @@ class Tracer:
     def record(self, name: str, start: float, end: float, **attrs) -> Span:
         """Attach an already-timed interval (e.g. an engine OpResult)
         as a child of the currently open span."""
-        parent = self._stack[-1] if self._stack else None
-        span = Span(
-            span_id=next(self._ids),
-            name=name,
-            start=start,
-            end=end,
-            parent_id=parent.span_id if parent else None,
-            attrs=attrs,
-        )
-        if parent is None:
-            self.roots.append(span)
-        else:
-            parent.children.append(span)
-        return span
+        with self._lock:
+            parent = self._stack[-1] if self._stack else None
+            span = Span(
+                span_id=next(self._ids),
+                name=name,
+                start=start,
+                end=end,
+                parent_id=parent.span_id if parent else None,
+                attrs=attrs,
+            )
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+            return span
 
     # -- queries ----------------------------------------------------------
 
     def all_spans(self) -> list[Span]:
-        return [s for root in self.roots for s in root.walk()]
+        with self._lock:
+            roots = list(self.roots)
+        return [s for root in roots for s in root.walk()]
 
     def find(self, name: str) -> list[Span]:
         return [s for s in self.all_spans() if s.name == name]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -182,6 +183,12 @@ class IntentJournal:
         self.compact_after = max(1, compact_after)
         self._seq = self._max_seq() + 1
         self._commits_since_compact = 0
+        # seq allocation + file append must be one atomic step: pool
+        # workers journal share-uploaded records concurrently, and the
+        # lock guarantees the on-disk seq order matches append order —
+        # records of one intent stay ordered-per-intent (reentrant so
+        # commit's record() nests)
+        self._lock = threading.RLock()
 
     # -- writing ----------------------------------------------------------
 
@@ -203,29 +210,32 @@ class IntentJournal:
         if op not in OPS:
             raise JournalError(f"unknown journal op {op!r}")
         intent_id = uuid.uuid4().hex[:16]
-        record = JournalRecord(
-            intent_id=intent_id, stage=BEGIN, seq=self._seq, op=op,
-            time=self._now(), fields=fields,
-        )
-        self._seq += 1
-        self._append(record)
+        with self._lock:
+            record = JournalRecord(
+                intent_id=intent_id, stage=BEGIN, seq=self._seq, op=op,
+                time=self._now(), fields=fields,
+            )
+            self._seq += 1
+            self._append(record)
         return intent_id
 
     def record(self, intent_id: str, stage: str, **fields) -> JournalRecord:
         """Append one progress record to an open intent."""
-        record = JournalRecord(
-            intent_id=intent_id, stage=stage, seq=self._seq,
-            time=self._now(), fields=fields,
-        )
-        self._seq += 1
-        return self._append(record)
+        with self._lock:
+            record = JournalRecord(
+                intent_id=intent_id, stage=stage, seq=self._seq,
+                time=self._now(), fields=fields,
+            )
+            self._seq += 1
+            return self._append(record)
 
     def commit(self, intent_id: str, outcome: str = "committed") -> None:
         """Close an intent; periodically compacts the file."""
-        self.record(intent_id, COMMIT, outcome=outcome)
-        self._commits_since_compact += 1
-        if self._commits_since_compact >= self.compact_after:
-            self.compact()
+        with self._lock:
+            self.record(intent_id, COMMIT, outcome=outcome)
+            self._commits_since_compact += 1
+            if self._commits_since_compact >= self.compact_after:
+                self.compact()
 
     # -- reading ----------------------------------------------------------
 

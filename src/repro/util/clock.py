@@ -4,10 +4,17 @@ All time-dependent code takes a :class:`Clock` so that experiments run on
 a deterministic :class:`SimClock` (advanced by the network simulator)
 while the library still works against real providers with a
 :class:`WallClock`.
+
+Backoff sleeps go through :func:`sleep_on`, which honours whatever the
+injected clock provides: a ``sleep`` method first (fake/test clocks), an
+``advance`` method next (:class:`SimClock`), and only falls back to a
+real :func:`time.sleep` for plain wall clocks — so a test that installs
+a fake clock never costs real seconds on retry backoff.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Protocol, runtime_checkable
 
@@ -26,6 +33,11 @@ class WallClock:
     def now(self) -> float:
         return time.monotonic()
 
+    def sleep(self, seconds: float) -> None:
+        """Really sleep (the only clock for which sleeping costs time)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
 
 class SimClock:
     """A manually advanced simulation clock.
@@ -33,10 +45,13 @@ class SimClock:
     Time never goes backwards; ``advance`` rejects negative deltas and
     ``advance_to`` rejects targets in the past, so an out-of-order event
     schedule fails loudly instead of silently corrupting timings.
+    Advancing is guarded by a lock so concurrent workers sharing one
+    simulated timeline cannot interleave a read-modify-write.
     """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
@@ -44,13 +59,41 @@ class SimClock:
     def advance(self, delta: float) -> float:
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta {delta}")
-        self._now += delta
-        return self._now
+        with self._lock:
+            self._now += delta
+            return self._now
 
     def advance_to(self, target: float) -> float:
-        if target < self._now - 1e-9:
-            raise ValueError(
-                f"cannot move clock backwards: now={self._now}, target={target}"
-            )
-        self._now = max(self._now, target)
-        return self._now
+        with self._lock:
+            if target < self._now - 1e-9:
+                raise ValueError(
+                    f"cannot move clock backwards: now={self._now}, "
+                    f"target={target}"
+                )
+            self._now = max(self._now, target)
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """A sleep on simulated time is an exact advance."""
+        if seconds > 0:
+            self.advance(seconds)
+
+
+def sleep_on(clock: Clock, seconds: float) -> None:
+    """Sleep ``seconds`` on whatever notion of time ``clock`` has.
+
+    Preference order: the clock's own ``sleep`` (fake clocks record or
+    swallow it), then ``advance`` (SimClock semantics for clocks that
+    predate ``sleep``), then a real :func:`time.sleep`.
+    """
+    if seconds <= 0:
+        return
+    sleeper = getattr(clock, "sleep", None)
+    if callable(sleeper):
+        sleeper(seconds)
+        return
+    advance = getattr(clock, "advance", None)
+    if callable(advance):
+        advance(seconds)
+        return
+    time.sleep(seconds)
