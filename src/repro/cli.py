@@ -17,6 +17,8 @@ drives or private storage servers):
     cyrus status
     cyrus recover
     cyrus scrub [--budget N] [--no-repair] [--delete-orphans]
+    cyrus debts [--json]
+    cyrus repair [--budget N]
     cyrus stats [--json]
     cyrus trace (put|get|sync) [...] --out trace.json
     cyrus add-csp name=path
@@ -86,10 +88,12 @@ def build_client(store: Path) -> CyrusClient:
         max_inflight_total=settings.get("max_inflight_total"),
     )
     from repro.recovery import IntentJournal
+    from repro.redundancy import DebtLedger
 
     client = CyrusClient.create(
         providers, config, client_id=settings["client_id"],
         journal=IntentJournal(store / "journal.jsonl"),
+        debt_ledger=DebtLedger(store / "debts.jsonl"),
     )
     # local metadata copy (Section 3.2): start from the cached tree so
     # the sync only fetches nodes published since the last invocation
@@ -167,7 +171,17 @@ def cmd_put(args) -> int:
         print(f"{name}: stored {report.node.size:,} bytes as "
               f"{report.new_chunks} new + {report.dedup_chunks} deduplicated "
               f"chunks ({report.bytes_uploaded:,} bytes uploaded)")
+    _warn_degraded(report)
     return 0
+
+
+def _warn_degraded(report) -> None:
+    """Surface degraded writes (< n shares placed) from an upload report."""
+    degraded = getattr(report, "degraded_chunks", ())
+    if degraded:
+        print(f"warning: {len(degraded)} chunk(s) stored with fewer than n "
+              f"shares (debt recorded; run `cyrus repair` or let the sync "
+              f"daemon re-disperse them)")
 
 
 def cmd_get(args) -> int:
@@ -390,7 +404,10 @@ def cmd_sync_dir(args) -> int:
         report = client.put(name, content, sync_first=False)
         if not report.unchanged:
             uploaded += 1
-            print(f"  up   {name} ({len(content):,} bytes)")
+            degraded = len(report.degraded_chunks)
+            note = (f"  [{degraded} degraded chunk(s), debt recorded]"
+                    if degraded else "")
+            print(f"  up   {name} ({len(content):,} bytes){note}")
 
     # pull: every remote file absent locally (or tombstoned remotely)
     for entry in client.list_files(sync_first=False):
@@ -455,10 +472,74 @@ def cmd_stats(args) -> int:
         for csp in sorted(dispatched):
             print(f"  {csp:<16} {dispatched[csp]:>6.0f} dispatched  "
                   f"peak inflight {peak_by_csp.get(csp, 0):>3.0f}")
+    degraded = snap.counter_total("cyrus_upload_degraded_chunks_total")
+    corrupt = snap.counter_by("cyrus_corrupt_shares_total", "csp")
+    open_debts = (len(client.debt_ledger)
+                  if client.debt_ledger is not None else 0)
+    if degraded or corrupt or open_debts:
+        print(f"redundancy: {open_debts} open debt(s), "
+              f"{degraded:.0f} degraded chunk write(s) this invocation")
+        for csp, count in sorted(corrupt.items()):
+            print(f"  {csp:<16} {count:>6.0f} corrupt share(s) detected")
     stats = client.storage_stats()
     print(f"stored: {stats['stored_share_bytes']:,} bytes across "
           f"{len(stats['per_csp_bytes'])} providers")
     return 0
+
+
+def cmd_debts(args) -> int:
+    """List open redundancy debts (chunks stored with fewer than n
+    shares, awaiting re-dispersal)."""
+    client = build_client(_store_path(args))
+    ledger = client.debt_ledger
+    debts = ledger.open_debts() if ledger is not None else []
+    if args.json:
+        print(json.dumps([
+            {
+                "debt_id": d.debt_id,
+                "chunk_id": d.chunk_id,
+                "missing": list(d.missing),
+                "failed_csps": list(d.failed_csps),
+                "attempts": d.attempts,
+            }
+            for d in debts
+        ], indent=2))
+        return 0
+    if not debts:
+        print("no open redundancy debts: every chunk has its full n shares")
+        return 0
+    print(f"{len(debts)} open debt(s):")
+    for d in debts:
+        suspects = ", ".join(d.failed_csps) or "-"
+        print(f"  {d.chunk_id[:12]}  missing shares {list(d.missing)}  "
+              f"suspects: {suspects}  attempts: {d.attempts}")
+    print("run `cyrus repair` to re-disperse the missing shares")
+    return 1
+
+
+def cmd_repair(args) -> int:
+    """Drain the debt ledger: rebuild missing shares onto healthy
+    providers and retire the debts."""
+    client = build_client(_store_path(args))
+    if client.debt_ledger is None or not len(client.debt_ledger):
+        print("no open redundancy debts: nothing to repair")
+        return 0
+    report = client.repair_debts(budget_shares=args.budget)
+    print(f"repair: {report.debts_retired}/{report.debts_seen} debt(s) "
+          f"retired, {report.shares_rebuilt} share(s) re-dispersed "
+          f"({report.transfers_used} transfer(s) used)")
+    if report.debts_deferred:
+        print(f"  {report.debts_deferred} debt(s) deferred (backoff not "
+              f"elapsed yet)")
+    if report.budget_exhausted:
+        print(f"  budget exhausted; re-run to continue")
+    if report.unrecoverable_chunks:
+        print(f"ERROR: {len(report.unrecoverable_chunks)} chunk(s) have no "
+              f"verifying t-subset of shares:")
+        for chunk_id in report.unrecoverable_chunks:
+            print(f"  {chunk_id}")
+        return 1
+    return 0 if report.drained else 1
 
 
 def cmd_trace(args) -> int:
@@ -609,6 +690,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delete share objects no chunk references "
                         "(only when no other client is mid-upload)")
     p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser("debts", help="list open redundancy debts "
+                                     "(chunks stored with < n shares)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable debt list")
+    p.set_defaults(func=cmd_debts)
+
+    p = sub.add_parser("repair", help="re-disperse missing shares and "
+                                      "retire redundancy debts")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max share transfers this pass (default: unlimited)")
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("sync-dir", help="two-way sync a local directory")
     p.add_argument("directory")

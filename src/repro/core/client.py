@@ -99,6 +99,7 @@ class CyrusClient:
         retry_policy: RetryPolicy | None = None,
         obs: Observability | None = None,
         journal=None,
+        debt_ledger=None,
     ):
         self.cloud = cloud
         self.config = config
@@ -110,6 +111,12 @@ class CyrusClient:
         self.journal = journal
         if journal is not None and getattr(journal, "clock", None) is None:
             journal.clock = engine.clock
+        # optional repro.redundancy.DebtLedger: when attached, degraded
+        # writes and corrupt shares become durable repair debts that
+        # :meth:`repair_debts` (or a SyncDaemon tick) drains
+        self.debt_ledger = debt_ledger
+        if debt_ledger is not None and getattr(debt_ledger, "clock", None) is None:
+            debt_ledger.clock = engine.clock
         self.last_recovery = None
         self.tree = MetadataTree()
         self.chunk_table = GlobalChunkTable()
@@ -157,6 +164,7 @@ class CyrusClient:
         chunker: ContentDefinedChunker | None = None,
         cache=None,
         journal=None,
+        debt_ledger=None,
     ) -> "CyrusClient":
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
@@ -172,7 +180,7 @@ class CyrusClient:
         return cls(
             cloud, config, engine, client_id,
             selector=selector, chunker=chunker, cache=cache,
-            journal=journal,
+            journal=journal, debt_ledger=debt_ledger,
         )
 
     def _rebuild_store(self) -> None:
@@ -187,7 +195,7 @@ class CyrusClient:
             chunk_table=self.chunk_table, config=self.config,
             engine=self.engine, chunker=self._chunker,
             policy=self._retry_policy, health=self.health,
-            journal=self.journal,
+            journal=self.journal, ledger=self.debt_ledger,
         )
         self.downloader = Downloader(
             cloud=self.cloud, tree=self.tree, chunk_table=self.chunk_table,
@@ -196,6 +204,7 @@ class CyrusClient:
             policy=self._retry_policy, health=self.health,
         )
         self.downloader.journal = self.journal
+        self.downloader.ledger = self.debt_ledger
         self.syncer = SyncService(
             store=self.store, tree=self.tree, chunk_table=self.chunk_table,
             engine=self.engine,
@@ -428,6 +437,29 @@ class CyrusClient:
             repair=repair, delete_orphans=delete_orphans,
         )
 
+    def repair_debts(self, budget_shares: int | None = None,
+                     sync_first: bool = True):
+        """Drain the redundancy-debt ledger (or a budgeted slice of it);
+        returns the :class:`repro.redundancy.RepairReport`, or None when
+        no ledger is attached.
+
+        ``sync_first`` matters for correctness, not just freshness: the
+        repair loop retires a debt whose chunk the table no longer knows
+        (the chunk was gc'd), so running it over a never-synced table
+        would wrongly retire every debt.  Pass False only when the
+        caller just synced (the daemon tick does).
+        """
+        if self.debt_ledger is None:
+            return None
+        if sync_first:
+            try:
+                self.sync()
+            except CyrusError:
+                pass  # degraded repair: local tables are the best view
+        from repro.redundancy import run_repair
+
+        return run_repair(self, budget_shares=budget_shares)
+
     # -- conflicts -----------------------------------------------------------
 
     def conflicts(self) -> list[Conflict]:
@@ -542,7 +574,7 @@ class CyrusClient:
             self.cloud.mark_recovered(csp_id)
             # a successful probe also closes the breaker so the engine
             # resumes dispatching without waiting out the reset timeout
-            self.health.record_success(csp_id)
+            self.health.record_probe_success(csp_id)
             recovered.append(csp_id)
         return recovered
 

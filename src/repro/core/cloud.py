@@ -218,13 +218,20 @@ class CyrusCloud:
     # -- placement ----------------------------------------------------------
 
     def place_chunk(self, chunk_id: str, n: int,
-                    respect_clusters: bool = True) -> list[str]:
+                    respect_clusters: bool = True,
+                    avoid: Iterable[str] = ()) -> list[str]:
         """The n CSPs to hold a chunk's shares.
 
         Consistent hashing on the chunk id (Section 5.3), walking the
         ring and — when cluster placement is on — skipping CSPs whose
         platform cluster already holds a share (Section 4.1).  Only
         writable CSPs (active and not quota-full) are candidates.
+
+        ``avoid`` *demotes* candidates without excluding them: providers
+        whose breaker is open would cost a guaranteed failed dispatch,
+        so they are walked last and used only when too few preferred
+        candidates remain — a degraded placement beats refusing the
+        upload, and the debt ledger records what is still owed.
         """
         writable = self.writable_csps()
         if len(writable) < n:
@@ -232,6 +239,12 @@ class CyrusCloud:
                 f"need {n} writable CSPs for placement, have {len(writable)}"
             )
         candidates = self._ring.successors(chunk_id, len(writable))
+        shunned = set(avoid)
+        if shunned:
+            candidates = (
+                [c for c in candidates if c not in shunned]
+                + [c for c in candidates if c in shunned]
+            )
         if not respect_clusters:
             return candidates[:n]
         chosen: list[str] = []

@@ -26,6 +26,9 @@ class DaemonTick:
     csps_recovered: tuple[str, ...]
     scrub_verified: int = 0
     scrub_repaired: int = 0
+    debts_retired: int = 0
+    debt_shares_rebuilt: int = 0
+    debts_open: int = 0
 
 
 @dataclass
@@ -41,12 +44,18 @@ class SyncDaemon:
             anti-entropy scrub (0 disables it).  The scrub cursor
             persists across ticks, so a small budget still sweeps the
             whole chunk table over enough periods.
+        repair_budget: Share transfers each tick may spend draining the
+            redundancy-debt ledger (0 disables it; needs a client with
+            a :class:`repro.redundancy.DebtLedger` attached).  Runs
+            *before* the scrub so known debts outrank speculative
+            verification under a shared tick's worth of provider budget.
     """
 
     client: CyrusClient
     interval_s: float = 30.0
     auto_resolve: bool = False
     scrub_budget: int = 0
+    repair_budget: int = 0
     ticks: list[DaemonTick] = field(default_factory=list)
     _next_due: float = field(default=0.0, init=False)
     _scrubber: object = field(default=None, init=False, repr=False)
@@ -68,6 +77,20 @@ class SyncDaemon:
         resolved = 0
         if self.auto_resolve and conflicts:
             resolved = len(self.client.resolve_conflicts())
+        debts_retired = debt_shares_rebuilt = debts_open = 0
+        if (self.repair_budget > 0
+                and getattr(self.client, "debt_ledger", None) is not None):
+            try:
+                repair = self.client.repair_debts(
+                    budget_shares=self.repair_budget, sync_first=False,
+                )
+                debts_retired = repair.debts_retired
+                debt_shares_rebuilt = repair.shares_rebuilt
+                debts_open = repair.debts_open
+            except CyrusError:
+                # fleet too degraded to repair; backoff state is already
+                # recorded per entry, next tick retries
+                debts_open = len(self.client.debt_ledger)
         scrub_verified = scrub_repaired = 0
         if self.scrub_budget > 0:
             if self._scrubber is None:
@@ -90,6 +113,9 @@ class SyncDaemon:
             csps_recovered=recovered,
             scrub_verified=scrub_verified,
             scrub_repaired=scrub_repaired,
+            debts_retired=debts_retired,
+            debt_shares_rebuilt=debt_shares_rebuilt,
+            debts_open=debts_open,
         )
         self.ticks.append(entry)
         self._next_due = clock_now + self.interval_s

@@ -76,12 +76,18 @@ class _ChunkState:
     t: int
     n: int
     placements: dict[int, str]  # index -> csp (usable only)
+    digests: tuple[str, ...] = ()  # per-index share SHA-1s (may be empty)
     shares: dict[int, bytes] = field(default_factory=dict)
     tried: set[str] = field(default_factory=set)
     decoded: bytes | None = None
 
     def share_size(self) -> int:
         return max(1, -(-self.size // self.t))
+
+    def digest_of(self, index: int) -> str | None:
+        if not self.digests or not 0 <= index < self.n:
+            return None
+        return self.digests[index]
 
     def index_at(self, csp: str) -> int:
         for index, holder in sorted(self.placements.items()):
@@ -125,6 +131,9 @@ class Downloader:
         self.store = None
         # set by the client so migrations are crash-journaled (optional)
         self.journal = None
+        # set by the client so corrupt shares become repair debts
+        # (optional repro.redundancy.DebtLedger)
+        self.ledger = None
 
     # ------------------------------------------------------------------
 
@@ -278,10 +287,15 @@ class Downloader:
             placements: dict[int, str] = {}
             for share in node.shares_of(record.chunk_id):
                 placements[share.index] = share.csp_id
+            digests = record.share_digests
             table_entry = self.chunk_table.get(record.chunk_id)
             if table_entry is not None:
                 for index, csp in table_entry.placements:
                     placements.setdefault(index, csp)
+                if not digests:
+                    # a newer node of another file may have fingerprinted
+                    # this (deduped) chunk even if ours predates digests
+                    digests = table_entry.share_digests
             active = set(self.cloud.active_csps())
             usable = {
                 index: csp
@@ -299,6 +313,7 @@ class Downloader:
                 t=record.t,
                 n=record.n,
                 placements=usable,
+                digests=digests,
             )
         return states
 
@@ -357,17 +372,38 @@ class Downloader:
                 ),
                 size=state.share_size(),
                 chunk_id=state.chunk_id,
+                # a non-live target can only be pick_alternate's
+                # last-resort choice (initial selection and same-provider
+                # retries are both health-gated): push past the open
+                # breaker for that one deliberate attempt
+                force_dispatch=not self.retry_loop.alternate_is_live(csp),
             )
 
         def on_success(key, csp: str, result: OpResult) -> None:
             state = states[key[0]]
             state.shares[state.index_at(csp)] = result.data
 
+        def verify(key, csp: str, result: OpResult) -> bool:
+            # Byzantine defense: check the share against its recorded
+            # fingerprint *before* it can poison the decode.  Nodes
+            # written before fingerprints existed have no digest and
+            # fall through to the post-decode t-subset search.
+            state = states[key[0]]
+            index = state.index_at(csp)
+            expected = state.digest_of(index)
+            if expected is None or sha1_hex(result.data) == expected:
+                return True
+            self._note_corruption(state, index, csp)
+            return False
+
         def on_giveup(key, csp: str, result: OpResult) -> None:
-            # an open breaker or a missing object says nothing bad about
-            # the provider's availability; everything else does
+            # an open breaker, a missing object, or a corrupt payload
+            # says nothing bad about the provider's *availability*
+            # (corruption is the quarantine path's business); everything
+            # else does
             if result.error_type not in (
                 "CircuitOpenError", "ObjectNotFoundError",
+                "ShareIntegrityError",
             ):
                 self.cloud.mark_failed(csp)
 
@@ -375,16 +411,33 @@ class Downloader:
             state = states[key[0]]
             if len(state.shares) >= state.t:
                 return None
-            alternates = [
+            holders = [
                 c
                 for c in sorted(set(state.placements.values()))
                 if c not in state.tried
                 and self.cloud.status_of(c) is CSPStatus.ACTIVE
-                and self.retry_loop.alternate_is_live(c)
             ]
-            if not alternates:
+            live = [
+                c for c in holders if self.retry_loop.alternate_is_live(c)
+            ]
+            # corruption-quarantined holders are a last resort, not a
+            # lost cause: the provider is responsive (it answered with
+            # bytes, just wrong ones) and every share is digest-verified
+            # before use, so the worst it can do is fail verification
+            # again — strictly better than failing the read while a
+            # possibly clean share exists.  (Widespread rot can
+            # quarantine the whole fleet mid-gather; avoidance is a
+            # preference, the verify hook is the guarantee.)  Breakers
+            # opened for *unavailability* stay respected: forcing those
+            # is the hammering fail-fast exists to prevent.
+            health = self.retry_loop.health
+            suspects = [] if health is None else [
+                c for c in holders if health.corruption_count(c) > 0
+            ]
+            pool = live or suspects
+            if not pool:
                 return None
-            chosen = alternates[0]
+            chosen = pool[0]
             state.tried.add(chosen)
             return chosen
 
@@ -396,7 +449,8 @@ class Downloader:
                     state.tried.add(csp)
                     items.append(((chunk_id, slot), csp))
         all_results, attempts = self.retry_loop.run(
-            items, build_op, on_success, on_giveup, pick_alternate
+            items, build_op, on_success, on_giveup, pick_alternate,
+            verify=verify,
         )
         for state in states.values():
             if len(state.shares) < state.t:
@@ -415,6 +469,28 @@ class Downloader:
                     attempts=history,
                 )
         return all_results
+
+    def _note_corruption(self, state: _ChunkState, index: int,
+                         csp: str) -> None:
+        """Attribute one verified-corrupt share to its provider.
+
+        Emits the ``corrupt_share`` health event (quarantining repeat
+        offenders via the registry) and records a repair debt naming the
+        provider as a suspect, so the repair loop re-disperses the index
+        somewhere it can be trusted.
+        """
+        detail = f"chunk {state.chunk_id[:8]} share {index}: digest mismatch"
+        health = self.retry_loop.health
+        if health is not None:
+            health.record_corruption(csp, detail=detail)
+        else:
+            obs = getattr(self.engine, "obs", None)
+            if obs is not None:
+                obs.metrics.inc("cyrus_corrupt_shares_total", csp=csp)
+        if self.ledger is not None:
+            self.ledger.record(
+                state.chunk_id, missing=(index,), failed_csps=(csp,),
+            )
 
     def _assemble(
         self,

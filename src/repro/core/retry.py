@@ -21,6 +21,7 @@ success means, and where alternate shares may live.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Callable, Hashable, Sequence
 
@@ -62,6 +63,25 @@ class ShareRetryLoop:
         """Health gate for alternate choice (True without a registry)."""
         return self.health is None or self.health.is_live(csp_id)
 
+    @staticmethod
+    def _check(verify, key, csp: str, result: OpResult) -> OpResult:
+        """Apply the caller's verify hook to a transport-level success.
+
+        A payload that fails verification becomes a *permanent* failure
+        of that provider for this item (``ShareIntegrityError``,
+        retryable=False): the provider answered, so re-asking it wins
+        nothing — the loop fails over to an alternate instead.  Identical
+        on the serial and parallel paths, preserving the parallelism=1
+        bit-for-bit equivalence.
+        """
+        if not result.ok or verify is None or verify(key, csp, result):
+            return result
+        return dataclasses.replace(
+            result, ok=False, data=None,
+            error=f"share from {csp} failed verification",
+            error_type="ShareIntegrityError", retryable=False,
+        )
+
     def run(
         self,
         items: Sequence[Item],
@@ -69,6 +89,7 @@ class ShareRetryLoop:
         on_success: Callable[[Hashable, str, OpResult], None],
         on_giveup: Callable[[Hashable, str, OpResult], None],
         pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+        verify: Callable[[Hashable, str, OpResult], bool] | None = None,
     ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
         """Drive every item to success or exhaustion.
 
@@ -83,13 +104,16 @@ class ShareRetryLoop:
             pick_alternate: ``(key, failed_csp, tried) -> csp | None``;
                 None drops the item (the caller's threshold check
                 decides whether that is fatal).
+            verify: Optional payload check on transport-level successes;
+                returning False reclassifies the result as a permanent
+                provider failure (fail over, never same-provider retry).
 
         Returns:
             ``(all op results, per-key attempt history)``.
         """
         if getattr(self.engine, "parallel_enabled", False):
             return self._run_parallel(items, build_op, on_success,
-                                      on_giveup, pick_alternate)
+                                      on_giveup, pick_alternate, verify)
         all_results: list[OpResult] = []
         attempts: dict[Hashable, list[Attempt]] = {key: [] for key, _ in items}
         tried: dict[Hashable, set[str]] = {key: {csp} for key, csp in items}
@@ -103,7 +127,12 @@ class ShareRetryLoop:
                 # per round (batched, like the dispatch itself)
                 self.engine.sleep(self.policy.delay(round_no))
             ops = [build_op(key, csp) for key, csp in pending]
-            results = self.engine.execute(ops)
+            results = [
+                self._check(verify, key, csp, result)
+                for (key, csp), result in zip(
+                    pending, self.engine.execute(ops)
+                )
+            ]
             all_results.extend(results)
             next_pending: list[Item] = []
             for (key, csp), result in zip(pending, results):
@@ -143,6 +172,7 @@ class ShareRetryLoop:
         on_success: Callable[[Hashable, str, OpResult], None],
         on_giveup: Callable[[Hashable, str, OpResult], None],
         pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+        verify: Callable[[Hashable, str, OpResult], bool] | None = None,
     ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
         """The streaming variant for parallel engines.
 
@@ -172,6 +202,9 @@ class ShareRetryLoop:
                 self.engine.sleep(self.policy.delay(round_no))
             deferred: list[Item] = []
             assign: dict[int, Item] = {}
+            # id(op) -> verify-reclassified result, so all_results shows
+            # the same failure the callbacks saw (as on the serial path)
+            checked: dict[int, OpResult] = {}
             ops: list[TransferOp] = []
             for key, csp in pending:
                 op = build_op(key, csp)
@@ -179,12 +212,17 @@ class ShareRetryLoop:
                 ops.append(op)
 
             def hook(result: OpResult, _assign=assign, _deferred=deferred,
+                     _checked=checked,
                      _round=round_no) -> list[TransferOp] | None:
                 with lock:
                     item = _assign.pop(id(result.op), None)
                     if item is None:  # pragma: no cover - foreign op
                         return None
                     key, csp = item
+                    verified = self._check(verify, key, csp, result)
+                    if verified is not result:
+                        _checked[id(result.op)] = verified
+                    result = verified
                     attempts.setdefault(key, []).append(Attempt(
                         csp_id=csp, round_no=_round, ok=result.ok,
                         error=result.error, error_type=result.error_type,
@@ -220,6 +258,8 @@ class ShareRetryLoop:
                     return [new_op]
 
             results = self.engine.execute(ops, on_result=hook)
-            all_results.extend(results)
+            all_results.extend(
+                checked.get(id(r.op), r) for r in results
+            )
             pending = deferred
         return all_results, attempts

@@ -74,6 +74,12 @@ class TransferOp:
     file_key: str | None = None
     group: Hashable | None = None
     data_fn: Callable[[], bytes] | None = None
+    #: Dispatch even while the CSP's circuit is open.  Set by callers
+    #: that have consciously chosen a quarantined provider as the last
+    #: remaining source (the gather's final failover): the breaker's
+    #: fail-fast protects against hammering, but a read that would
+    #: otherwise fail outright is worth one deliberate attempt.
+    force_dispatch: bool = False
 
     def resolve_data(self) -> bytes | None:
         """Materialise the payload (runs ``data_fn`` at most once)."""
@@ -230,7 +236,8 @@ class TransferEngine:
 
     def _breaker_blocks(self, op: TransferOp, now: float) -> OpResult | None:
         """Fail fast (without dispatching) when the CSP's circuit is open."""
-        if self.health is None or self.health.allow(op.csp_id):
+        if op.force_dispatch or self.health is None \
+                or self.health.allow(op.csp_id):
             return None
         return OpResult(
             op=op, ok=False, start=now, end=now,

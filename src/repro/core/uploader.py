@@ -97,6 +97,19 @@ class _ChunkPlan:
                                         obs.clock.now() - t0)
             return self._share_cache[index]
 
+    def share_digests(self, key: str, obs=None) -> tuple[str, ...]:
+        """Per-index SHA-1 fingerprints (the decode-time verify truth).
+
+        The coding is keyed and deterministic, so these digests are
+        stable across clients — any node fingerprinting this chunk
+        computes the same values.
+        """
+        self.share_data(key, 0, obs=obs)  # ensure the one-time encode ran
+        with self._lock:
+            return tuple(
+                sha1_hex(self._share_cache[i]) for i in range(self.n)
+            )
+
 
 class Uploader:
     """Executes Algorithm 2 against a cloud + metadata store."""
@@ -114,6 +127,7 @@ class Uploader:
         policy: RetryPolicy | None = None,
         health: HealthRegistry | None = None,
         journal=None,
+        ledger=None,
     ):
         self.cloud = cloud
         self.store = store
@@ -124,6 +138,9 @@ class Uploader:
         # optional repro.recovery.IntentJournal: when attached, every
         # mutating pipeline run is bracketed by begin/.../commit records
         self.journal = journal
+        # optional repro.redundancy.DebtLedger: when attached, every
+        # degraded write (t <= stored < n) is recorded as a repair debt
+        self.ledger = ledger
         self.chunker = chunker or ContentDefinedChunker(
             min_size=config.chunk_min,
             avg_size=config.chunk_avg,
@@ -182,6 +199,24 @@ class Uploader:
             intent_id = self._journal_begin("put", name, file_id, plans)
             with span_if(obs, "scatter", chunks=len(plans)):
                 share_results, degraded = self._scatter(plans, intent_id)
+            # degraded writes become durable redundancy debts *inside*
+            # the intent: a crash before commit replays the put, and the
+            # recovery pass reconciles these records into the ledger
+            for cid, (missing, failed_csps) in sorted(degraded.items()):
+                if obs is not None:
+                    obs.metrics.inc("cyrus_upload_degraded_chunks_total")
+                if intent_id is not None:
+                    self.journal.record(
+                        intent_id, "debt", chunk=cid,
+                        missing=list(missing), failed=list(failed_csps),
+                    )
+                if self.ledger is not None:
+                    self.ledger.record(
+                        cid, missing=missing, failed_csps=failed_csps,
+                    )
+                    if obs is not None:
+                        from repro.redundancy.ledger import DEBT_RECORDED
+                        obs.metrics.inc(DEBT_RECORDED)
             # line 10: metadata — only after every chunk upload resolved
             node = self._build_node(
                 name=name, file_id=file_id, prev_id=prev_id,
@@ -259,8 +294,16 @@ class Uploader:
                 dedup += 1
                 continue
             n = self.config.plan_n(limit)
+            # demote breaker-open providers (quarantined or dark): a
+            # share assigned there costs a guaranteed fail-fast plus a
+            # failover round before landing anywhere useful
+            unhealthy = {
+                c for c in self.cloud.writable_csps()
+                if not self.retry_loop.alternate_is_live(c)
+            }
             csps = self.cloud.place_chunk(
-                chunk.id, n, respect_clusters=cluster_aware
+                chunk.id, n, respect_clusters=cluster_aware,
+                avoid=unhealthy,
             )
             plans.append(
                 _ChunkPlan(
@@ -274,7 +317,7 @@ class Uploader:
 
     def _scatter(
         self, plans: list[_ChunkPlan], intent_id: str | None = None
-    ) -> tuple[list[OpResult], set[str]]:
+    ) -> tuple[list[OpResult], dict[str, tuple[tuple[int, ...], tuple[str, ...]]]]:
         """Upload all new chunks' shares via the shared retry loop."""
         outstanding: dict[str, _ChunkPlan] = {p.chunk.id: p for p in plans}
         succeeded: dict[str, set[int]] = {cid: set() for cid in outstanding}
@@ -361,16 +404,18 @@ class Uploader:
         all_results, attempts = self.retry_loop.run(
             items, build_op, on_success, on_giveup, pick_alternate
         )
-        degraded: set[str] = set()
+        # degraded chunks (t <= stored < n) map to their redundancy
+        # debt: the missing share indices and the CSPs that failed them
+        degraded: dict[str, tuple[tuple[int, ...], tuple[str, ...]]] = {}
         for cid, plan in outstanding.items():
             stored = len(succeeded[cid])
+            history = [
+                attempt
+                for (chunk_id, _idx), tries in sorted(attempts.items())
+                if chunk_id == cid
+                for attempt in tries
+            ]
             if stored < plan.t:
-                history = [
-                    attempt
-                    for (chunk_id, _idx), tries in sorted(attempts.items())
-                    if chunk_id == cid
-                    for attempt in tries
-                ]
                 raise TransferError(
                     f"chunk {cid[:8]}: only {stored} shares stored, "
                     f"need t={plan.t} for recoverability "
@@ -379,7 +424,11 @@ class Uploader:
                     attempts=history,
                 )
             if stored < plan.n:
-                degraded.add(cid)
+                missing = tuple(sorted(set(range(plan.n)) - succeeded[cid]))
+                failed_csps = tuple(sorted(
+                    {a.csp_id for a in history if not a.ok}
+                ))
+                degraded[cid] = (missing, failed_csps)
             # keep only placements that actually landed
             plan.placements = {
                 i: c for i, c in plan.placements.items() if i in succeeded[cid]
@@ -401,18 +450,25 @@ class Uploader:
         chunk_records = []
         share_records: list[ShareRecord] = []
         recorded: set[str] = set()
+        obs = getattr(self.engine, "obs", None)
         for chunk in chunks:
             plan = plan_by_id.get(chunk.id)
             if plan is not None:
                 t, n = plan.t, plan.n
+                digests = plan.share_digests(self.config.key, obs=obs)
             else:
                 location = self.chunk_table.get(chunk.id)
                 assert location is not None, "dedup chunk missing from table"
                 t, n = location.t, location.n
+                # dedup chunks inherit whatever fingerprints the table
+                # has; pre-digest chunks stay unfingerprinted (their
+                # recorded rows must keep matching the stored node)
+                digests = location.share_digests
             chunk_records.append(
                 ChunkRecord(
                     chunk_id=chunk.id, offset=chunk.offset,
                     size=chunk.size, t=t, n=n,
+                    share_digests=digests,
                 )
             )
             if chunk.id in recorded:

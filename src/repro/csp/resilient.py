@@ -168,9 +168,15 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
-            self._probe_inflight = False
-            self._state = BreakerState.CLOSED
-            self._opened_at = None
+            # an OPEN circuit only closes through the HALF_OPEN probe: a
+            # success arriving while OPEN can only come from a deliberate
+            # force-dispatched last-resort op, and one good object does
+            # not end a quarantine (the .state read refreshes the
+            # OPEN -> HALF_OPEN timeout edge first)
+            if self.state is not BreakerState.OPEN:
+                self._probe_inflight = False
+                self._state = BreakerState.CLOSED
+                self._opened_at = None
 
     def record_failure(self) -> None:
         with self._lock:
@@ -189,6 +195,30 @@ class CircuitBreaker:
             self._probe_inflight = False
             self.opened_count += 1
 
+    def reset(self) -> None:
+        """Force-close the circuit regardless of its state.
+
+        For callers that have *verified* recovery out of band (a probe
+        listing against the failed provider succeeded); ordinary
+        successes never close an OPEN circuit — see
+        :meth:`record_success`.
+        """
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = BreakerState.CLOSED
+            self._opened_at = None
+
+    def trip(self) -> None:
+        """Force the circuit open regardless of the failure count.
+
+        Used for quarantine decisions made *outside* the availability
+        path — e.g. a provider that answers promptly but returns corrupt
+        shares never accumulates consecutive availability failures, yet
+        must be embargoed just the same.
+        """
+        self._trip()
+
 
 # ---------------------------------------------------------------------------
 # health registry
@@ -199,7 +229,7 @@ class HealthEvent:
     """One structured failure-handling event (for logs and clients)."""
 
     time: float
-    kind: str  # "failure" | "breaker_open" | "breaker_close" | "probe_failed" | "degraded_read" | "sync_degraded"
+    kind: str  # "failure" | "breaker_open" | "breaker_close" | "probe_failed" | "degraded_read" | "sync_degraded" | "corrupt_share" | "quarantined"
     csp_id: str | None
     detail: str
 
@@ -229,14 +259,20 @@ class HealthRegistry:
         clock: Clock | None = None,
         failure_threshold: int = 5,
         reset_timeout: float = 30.0,
+        corruption_threshold: int = 3,
         metrics=None,
     ):
         self.clock = clock if clock is not None else WallClock()
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        # distinct from failure_threshold: a corrupt payload is strong
+        # evidence (a Byzantine provider, not a flaky network), so the
+        # quarantine trigger is tighter than the availability breaker
+        self.corruption_threshold = corruption_threshold
         self._breakers: dict[str, CircuitBreaker] = {}
         self._successes: dict[str, int] = {}
         self._failures: dict[str, int] = {}
+        self._corruptions: dict[str, int] = {}
         self._last_error: dict[str, str] = {}
         self._listeners: list[Callable[[HealthEvent], None]] = []
         # guards breaker-map population and the per-CSP counters; the
@@ -297,7 +333,9 @@ class HealthRegistry:
         brk.record_success()
         with self._lock:
             self._successes[csp_id] = self._successes.get(csp_id, 0) + 1
-        if was_open:
+        # a success while fully OPEN (a force-dispatched last resort)
+        # leaves the circuit open, so only emit when it really closed
+        if was_open and brk.state is BreakerState.CLOSED:
             self.emit("breaker_close", csp_id, "probe succeeded; circuit closed")
 
     def record_failure(self, csp_id: str, error: str | BaseException = "") -> None:
@@ -316,6 +354,57 @@ class HealthRegistry:
                 f"circuit open after {brk.consecutive_failures} consecutive "
                 f"failures (reset in {brk.reset_timeout:g}s)",
             )
+
+    def record_probe_success(self, csp_id: str) -> None:
+        """A caller-run recovery probe verified this provider works.
+
+        Unlike :meth:`record_success` (which an OPEN circuit ignores),
+        the probe is a deliberate out-of-band health check, so it closes
+        the circuit immediately — the engine resumes dispatching without
+        waiting out the reset timeout.
+        """
+        brk = self.breaker(csp_id)
+        was_open = brk.state is not BreakerState.CLOSED
+        brk.reset()
+        with self._lock:
+            self._successes[csp_id] = self._successes.get(csp_id, 0) + 1
+        if was_open:
+            self.emit("breaker_close", csp_id,
+                      "probe succeeded; circuit closed")
+
+    def record_corruption(self, csp_id: str, detail: str = "") -> None:
+        """A verified-corrupt share came back from this provider.
+
+        Emits a ``corrupt_share`` event every time; at
+        ``corruption_threshold`` strikes the provider is quarantined —
+        its breaker is forced open, so every health-filtered code path
+        (engine dispatch, selection, alternate choice, repair placement)
+        routes around it without any status flip in the cloud.  After
+        the breaker's reset timeout a half-open probe lets the provider
+        earn its way back; further corruption re-quarantines it.
+        """
+        with self._lock:
+            strikes = self._corruptions.get(csp_id, 0) + 1
+            self._corruptions[csp_id] = strikes
+            self._last_error[csp_id] = detail or "corrupt share"
+        if self.metrics is not None:
+            self.metrics.inc("cyrus_corrupt_shares_total", csp=csp_id)
+        self.emit("corrupt_share", csp_id, detail or "share failed verification")
+        if strikes % self.corruption_threshold == 0:
+            brk = self.breaker(csp_id)
+            already_open = brk.state is BreakerState.OPEN
+            brk.trip()
+            if not already_open:
+                self.emit(
+                    "quarantined", csp_id,
+                    f"{strikes} corrupt shares; circuit forced open "
+                    f"(reset in {brk.reset_timeout:g}s)",
+                )
+
+    def corruption_count(self, csp_id: str) -> int:
+        """Lifetime verified-corrupt shares attributed to one provider."""
+        with self._lock:
+            return self._corruptions.get(csp_id, 0)
 
     # -- queries ----------------------------------------------------------
 

@@ -11,20 +11,24 @@ operation sequence observe byte-identical fault schedules.
 
 Rules match on operation name, object-name prefix, provider, an
 operation-count window and/or a time window, fire with a probability,
-and inject one of eight fault kinds:
+and inject one of nine fault kinds:
 
-========== ==========================================================
-kind        effect
-========== ==========================================================
-OUTAGE      raise :class:`CSPUnavailableError` (provider down)
-TRANSIENT   raise :class:`CSPUnavailableError` (blip; retries recover)
-LATENCY     advance the clock by ``delay_s`` before the call proceeds
-SLOW        advance the clock by ``delay_s`` per MiB of payload
-QUOTA       raise :class:`CSPQuotaExceededError` on uploads
-AUTH        raise :class:`CSPAuthError` (token expired)
-CORRUPT     flip ``flip_bits`` bits of a download's returned bytes
-CRASH       raise :class:`SimulatedCrash` (kill the client process)
-========== ==========================================================
+============= =======================================================
+kind           effect
+============= =======================================================
+OUTAGE         raise :class:`CSPUnavailableError` (provider down)
+TRANSIENT      raise :class:`CSPUnavailableError` (blip; retries recover)
+LATENCY        advance the clock by ``delay_s`` before the call proceeds
+SLOW           advance the clock by ``delay_s`` per MiB of payload
+QUOTA          raise :class:`CSPQuotaExceededError` on uploads
+AUTH           raise :class:`CSPAuthError` (token expired)
+CORRUPT        flip ``flip_bits`` bits of a download's returned bytes
+CORRUPT_READ   same, but *persistent*: a given object returns the same
+               wrong bytes on every fetch (Byzantine provider whose
+               stored data rotted or was tampered with, as opposed to
+               CORRUPT's per-transfer line noise)
+CRASH          raise :class:`SimulatedCrash` (kill the client process)
+============= =======================================================
 
 CRASH is the crash-consistency hammer: a spec like
 ``FaultSpec(kind=CRASH, window_ops=(k, None), max_hits=1)`` kills the
@@ -54,6 +58,7 @@ class FaultKind(enum.Enum):
     QUOTA = "quota"
     AUTH = "auth"
     CORRUPT = "corrupt"
+    CORRUPT_READ = "corrupt-read"
     CRASH = "crash"
 
 
@@ -132,7 +137,8 @@ class FaultSpec:
                 return False
         if self.kind is FaultKind.QUOTA and op != "upload":
             return False
-        if self.kind is FaultKind.CORRUPT and op != "download":
+        if (self.kind in (FaultKind.CORRUPT, FaultKind.CORRUPT_READ)
+                and op != "download"):
             return False
         return True
 

@@ -120,7 +120,7 @@ class FaultyProvider(CloudProvider):
                     f"injected client death at {self.csp_id} "
                     f"op #{op_no} ({op} {name!r})"
                 )
-            else:  # CORRUPT: applied to the downloaded bytes afterwards
+            else:  # CORRUPT/CORRUPT_READ: applied to the bytes afterwards
                 deferred.append((op_no, spec))
         return deferred
 
@@ -169,7 +169,11 @@ class FaultyProvider(CloudProvider):
             self.calls_reaching_inner += 1
         data = self.inner.download(name)
         for op_no, spec in deferred:
-            data = self._corrupt(data, name, op_no, spec.flip_bits)
+            # CORRUPT_READ keys its RNG by object name alone (op_no 0),
+            # so refetching the object yields the same wrong bytes — a
+            # Byzantine store, not a flaky wire
+            rng_op = 0 if spec.kind is FaultKind.CORRUPT_READ else op_no
+            data = self._corrupt(data, name, rng_op, spec.flip_bits)
         return data
 
     def delete(self, name: str) -> None:

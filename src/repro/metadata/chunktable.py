@@ -20,13 +20,25 @@ from repro.metadata.node import MetadataNode
 
 @dataclass(frozen=True)
 class ChunkLocation:
-    """Where one chunk lives: (t, n), size and share placements."""
+    """Where one chunk lives: (t, n), size and share placements.
+
+    ``share_digests`` (one SHA-1 per index, empty for chunks recorded
+    only by pre-digest nodes) lets the downloader and scrub verify a
+    fetched share without re-deriving it from plaintext.
+    """
 
     chunk_id: str
     size: int
     t: int
     n: int
     placements: tuple[tuple[int, str], ...]  # (share index, csp_id)
+    share_digests: tuple[str, ...] = ()
+
+    def digest_of(self, index: int) -> str | None:
+        """Expected SHA-1 of one share, or None when unknown."""
+        if not self.share_digests or not 0 <= index < self.n:
+            return None
+        return self.share_digests[index]
 
     def csps(self) -> list[str]:
         """CSPs currently holding a share of this chunk."""
@@ -51,14 +63,22 @@ class GlobalChunkTable:
 
     def record_node(self, node: MetadataNode) -> None:
         """Fold one metadata node's ChunkMap + ShareMap into the table."""
-        sizes = {c.chunk_id: (c.size, c.t, c.n) for c in node.chunks}
+        sizes = {
+            c.chunk_id: (c.size, c.t, c.n, c.share_digests)
+            for c in node.chunks
+        }
         for share in node.shares:
-            size, t, n = sizes[share.chunk_id]
+            size, t, n, digests = sizes[share.chunk_id]
             entry = self._chunks.setdefault(
                 share.chunk_id,
-                {"size": size, "t": t, "n": n, "placements": set()},
+                {"size": size, "t": t, "n": n, "placements": set(),
+                 "digests": ()},
             )
             entry["placements"].add((share.index, share.csp_id))
+            # deterministic coding: every node that fingerprints this
+            # chunk computes the same digests, so first-non-empty wins
+            if digests and not entry["digests"]:
+                entry["digests"] = tuple(digests)
 
     def rebuild(self, nodes: Iterable[MetadataNode]) -> None:
         """Recompute the table from scratch (used after metadata sync)."""
@@ -77,6 +97,7 @@ class GlobalChunkTable:
             t=entry["t"],
             n=entry["n"],
             placements=tuple(sorted(entry["placements"])),
+            share_digests=tuple(entry.get("digests", ())),
         )
 
     def is_stored(self, chunk_id: str) -> bool:

@@ -35,8 +35,12 @@ def encode_node(node: MetadataNode) -> bytes:
             "modified": node.modified,
             "size": node.size,
         },
+        # share digests ride as an optional 6th element so pre-digest
+        # readers (and nodes) keep the exact 5-element row bytes
         "chunkMap": [
-            [c.chunk_id, c.offset, c.size, c.t, c.n] for c in node.chunks
+            [c.chunk_id, c.offset, c.size, c.t, c.n]
+            + ([list(c.share_digests)] if c.share_digests else [])
+            for c in node.chunks
         ],
         "shareMap": [[s.chunk_id, s.index, s.csp_id] for s in node.shares],
     }
@@ -59,7 +63,10 @@ def decode_node(data: bytes) -> MetadataNode:
             modified=fm["modified"],
             size=fm["size"],
             chunks=tuple(
-                ChunkRecord(chunk_id=c[0], offset=c[1], size=c[2], t=c[3], n=c[4])
+                ChunkRecord(
+                    chunk_id=c[0], offset=c[1], size=c[2], t=c[3], n=c[4],
+                    share_digests=tuple(c[5]) if len(c) > 5 else (),
+                )
                 for c in doc["chunkMap"]
             ),
             shares=tuple(

@@ -23,19 +23,39 @@ ROOT_ID = "0" * 40
 
 @dataclass(frozen=True)
 class ChunkRecord:
-    """ChunkMap row: one chunk of the file version."""
+    """ChunkMap row: one chunk of the file version.
+
+    ``share_digests`` carries one SHA-1 per share index (the Byzantine
+    defense: a downloaded share is verified against its fingerprint
+    before decoding, so a lying provider is detected and attributed
+    rather than silently poisoning the decode).  Empty on nodes written
+    before fingerprints existed; readers must treat those as
+    unverifiable-but-trusted and fall back to post-decode checks.
+    """
 
     chunk_id: str
     offset: int
     size: int
     t: int
     n: int
+    share_digests: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.offset < 0 or self.size < 0:
             raise ValueError("offset and size must be non-negative")
         if not 1 <= self.t <= self.n:
             raise ValueError(f"bad (t, n) = ({self.t}, {self.n})")
+        if self.share_digests and len(self.share_digests) != self.n:
+            raise ValueError(
+                f"need one share digest per index: got "
+                f"{len(self.share_digests)} for n={self.n}"
+            )
+
+    def digest_of(self, index: int) -> str | None:
+        """Expected SHA-1 of one share, or None on a pre-digest node."""
+        if not self.share_digests or not 0 <= index < self.n:
+            return None
+        return self.share_digests[index]
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,9 @@ Record stages, in pipeline order::
     share-intent                   a failover re-planned one share onto
                                    a new CSP (extends the rollback set)
     share-uploaded(csp, object)    one share landed
+    debt(chunk, missing, failed)   a chunk reached t but not n stored
+                                   shares — a redundancy debt recovery
+                                   must reconcile into the debt ledger
     meta-intent                    the encoded node about to be
                                    published (the roll-forward payload)
     meta-published                 >= t metadata shares landed
@@ -46,11 +49,12 @@ from repro.errors import CyrusError
 BEGIN = "begin"
 SHARE_INTENT = "share-intent"
 SHARE_UPLOADED = "share-uploaded"
+DEBT = "debt"
 META_INTENT = "meta-intent"
 META_PUBLISHED = "meta-published"
 COMMIT = "commit"
 
-STAGES = (BEGIN, SHARE_INTENT, SHARE_UPLOADED, META_INTENT,
+STAGES = (BEGIN, SHARE_INTENT, SHARE_UPLOADED, DEBT, META_INTENT,
           META_PUBLISHED, COMMIT)
 
 #: Operations a ``begin`` record may name.

@@ -44,6 +44,7 @@ from repro.metadata.codec import decode_node
 from repro.obs import span_if
 from repro.recovery.journal import (
     BEGIN,
+    DEBT,
     META_INTENT,
     META_PUBLISHED,
     IntentJournal,
@@ -65,6 +66,7 @@ class RecoveryReport:
     meta_republished: int = 0
     shares_deleted: int = 0
     placements_adopted: int = 0
+    debts_reconciled: int = 0
     incomplete_remaining: int = 0
     actions: tuple[str, ...] = ()
 
@@ -125,11 +127,36 @@ def recover_client(client, journal: IntentJournal | None = None) -> RecoveryRepo
 # -- per-op repair rules ---------------------------------------------------
 
 
+def _reconcile_debts(client, intent, report, actions) -> None:
+    """Fold an intent's journaled redundancy debts into the ledger.
+
+    The uploader records debts in both the journal (inside the intent)
+    and the ledger; a crash between the two appends leaves only the
+    journal copy, so roll-forward re-records it.  The ledger merges
+    per chunk, so re-recording an already-present debt is a no-op.
+    """
+    ledger = getattr(client, "debt_ledger", None)
+    if ledger is None:
+        return
+    for record in intent.stage_records(DEBT):
+        try:
+            chunk_id = str(record.fields["chunk"])
+            missing = tuple(int(i) for i in record.fields["missing"])
+            failed = tuple(str(c) for c in record.fields.get("failed", ()))
+        except (KeyError, TypeError, ValueError):
+            continue
+        ledger.record(chunk_id, missing=missing, failed_csps=failed)
+        report.debts_reconciled += 1
+        actions.append(f"debt {chunk_id[:8]}: reconciled into ledger "
+                       f"(missing {list(missing)})")
+
+
 def _recover_publish(client, journal, intent, report, actions) -> bool:
     """Roll a crashed put/delete forward or back."""
     label = intent.first(BEGIN).fields.get("name", "?")
     if intent.has_stage(META_PUBLISHED):
         # durable before the crash; the sync above already folded it in
+        _reconcile_debts(client, intent, report, actions)
         journal.commit(intent.intent_id, outcome="rolled-forward")
         report.rolled_forward += 1
         client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op=intent.op)
@@ -144,6 +171,7 @@ def _recover_publish(client, journal, intent, report, actions) -> bool:
         client.tree.add(node)
         if intent.op == "put":
             client.chunk_table.record_node(node)
+        _reconcile_debts(client, intent, report, actions)
         journal.commit(intent.intent_id, outcome="rolled-forward")
         report.rolled_forward += 1
         report.meta_republished += 1

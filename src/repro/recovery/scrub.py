@@ -287,6 +287,14 @@ def _scrub_chunk(client, chunk_id, listings, unreachable, budget,
         else:
             report.shares_corrupt += 1
             corrupt.append((index, csp_id))
+            # same attribution path as decode-time verification: emit
+            # corrupt_share, quarantine repeat offenders
+            health = getattr(client, "health", None)
+            if health is not None:
+                health.record_corruption(
+                    csp_id,
+                    detail=f"scrub: chunk {chunk_id[:8]} share {index} corrupt",
+                )
     if not repair:
         return
     # regenerate every index not verifiably held on a healthy CSP

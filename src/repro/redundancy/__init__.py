@@ -1,0 +1,32 @@
+"""Self-healing redundancy: the debt ledger and the repair loop.
+
+CYRUS accepts a write once ``t`` of ``n`` shares land — recoverable but
+under-dispersed.  This package makes the gap explicit and self-healing:
+:class:`DebtLedger` durably records every redundancy deficit (degraded
+writes, corrupt shares detected at decode time), and :func:`run_repair`
+drains it back to ``n`` verified shares using the keyed codec's
+per-index regeneration and journaled migration.
+"""
+
+from repro.redundancy.ledger import (
+    DEBT_OPEN,
+    DEBT_RECORDED,
+    DEBT_RETIRED,
+    DebtEntry,
+    DebtLedger,
+    LedgerError,
+    REPAIR_SHARES,
+)
+from repro.redundancy.repair import RepairReport, run_repair
+
+__all__ = [
+    "DEBT_OPEN",
+    "DEBT_RECORDED",
+    "DEBT_RETIRED",
+    "DebtEntry",
+    "DebtLedger",
+    "LedgerError",
+    "REPAIR_SHARES",
+    "RepairReport",
+    "run_repair",
+]

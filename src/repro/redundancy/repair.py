@@ -1,0 +1,265 @@
+"""Re-dispersal repair: drain the debt ledger back to full redundancy.
+
+A debt names a chunk holding fewer than ``n`` verifiable shares.  The
+repair loop turns each one back into a fully dispersed chunk using only
+machinery that already exists for migration:
+
+1. **Re-derive the deficit** from the global chunk table — the ledger
+   entry's ``missing`` list is advisory; the placements adopted by
+   recovery replay or scrub since the debt was recorded are the truth.
+   A share only counts toward redundancy if its CSP is ACTIVE, its
+   breaker is not open, and the CSP is not one of the entry's suspects
+   (a provider that failed the original write or returned a corrupt
+   share never satisfies the target, even if the table still lists it).
+2. **Regenerate** the missing indices from any ``t`` healthy shares via
+   the keyed codec (``join_verified`` against the chunk's content hash,
+   then ``split_indices`` — the same per-index regeneration scrub uses).
+3. **Re-disperse** onto health-filtered replacement CSPs, journaling the
+   repair as a ``migrate`` intent first, so a crash between upload and
+   debt retirement replays like any crashed migration: recovery adopts
+   the landed shares, and the next repair tick finds the chunk whole
+   and retires the debt with zero transfers — the idempotency the
+   kill-point tests sweep.
+4. **Retire** the debt; a failed attempt instead records an ``attempt``
+   so the entry backs off exponentially while the fleet is unhealthy.
+
+The ``budget_shares`` budget counts share *transfers* (downloads +
+uploads), the same unit the scrub budget uses, so a
+:class:`repro.core.daemon.SyncDaemon` tick can bound both with one
+knob's worth of provider traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cloud import CSPStatus
+from repro.core.naming import chunk_share_object_name
+from repro.core.transfer import OpKind, TransferOp
+from repro.core.uploader import get_sharer
+from repro.erasure import Share
+from repro.errors import CyrusError
+from repro.obs import span_if
+from repro.redundancy.ledger import (
+    DEBT_OPEN,
+    DEBT_RETIRED,
+    DebtEntry,
+    DebtLedger,
+    REPAIR_SHARES,
+)
+from repro.util.hashing import sha1_hex
+
+
+@dataclass
+class RepairReport:
+    """What one repair slice saw and fixed."""
+
+    debts_seen: int = 0
+    debts_retired: int = 0
+    debts_deferred: int = 0  # backoff not yet elapsed
+    debts_failed: int = 0  # attempted, still open (backoff bumped)
+    debts_open: int = 0  # ledger size after the slice
+    shares_rebuilt: int = 0
+    transfers_used: int = 0
+    budget_exhausted: bool = False
+    unrecoverable_chunks: tuple[str, ...] = ()
+
+    @property
+    def drained(self) -> bool:
+        """No open debt remains after this slice."""
+        return self.debts_open == 0
+
+
+def run_repair(
+    client,
+    ledger: DebtLedger | None = None,
+    budget_shares: int | None = None,
+    journal=None,
+    backoff_base: float = 30.0,
+    backoff_multiplier: float = 2.0,
+    backoff_max: float = 3600.0,
+) -> RepairReport:
+    """One re-dispersal pass (or budget-limited slice) over the ledger.
+
+    ``budget_shares`` caps share downloads + uploads (None = unbounded);
+    entries still inside their backoff window are skipped without cost.
+    """
+    if ledger is None:
+        ledger = getattr(client, "debt_ledger", None)
+    report = RepairReport()
+    if ledger is None:
+        return report
+    if journal is None:
+        journal = getattr(client, "journal", None)
+    obs = client.obs
+    budget = [budget_shares if budget_shares is not None else None]
+    unrecoverable: list[str] = []
+    with span_if(obs, "repair", budget=budget_shares or 0):
+        now = client.engine.clock.now()
+        for entry in ledger.open_debts():
+            report.debts_seen += 1
+            if entry.next_due(backoff_base, backoff_multiplier,
+                              backoff_max) > now:
+                report.debts_deferred += 1
+                continue
+            if budget[0] is not None and budget[0] <= 0:
+                report.budget_exhausted = True
+                break
+            outcome = _repair_entry(client, ledger, entry, journal,
+                                    budget, report, unrecoverable)
+            if outcome == "retired":
+                report.debts_retired += 1
+                obs.metrics.inc(DEBT_RETIRED)
+            elif outcome == "failed":
+                report.debts_failed += 1
+            elif outcome == "budget":
+                report.budget_exhausted = True
+                break
+        report.unrecoverable_chunks = tuple(unrecoverable)
+        report.debts_open = len(ledger)
+        obs.metrics.set_gauge(DEBT_OPEN, report.debts_open)
+        obs.metrics.inc(REPAIR_SHARES, report.shares_rebuilt)
+    return report
+
+
+def _usable(client, csp_id: str, suspects: set[str]) -> bool:
+    """May a share at this CSP count toward the redundancy target?"""
+    if csp_id in suspects:
+        return False
+    try:
+        status = client.cloud.status_of(csp_id)
+    except KeyError:
+        return False
+    return status is CSPStatus.ACTIVE and client.health.is_live(csp_id)
+
+
+def _repair_entry(client, ledger: DebtLedger, entry: DebtEntry, journal,
+                  budget, report: RepairReport,
+                  unrecoverable: list[str]) -> str:
+    """Repair one debt; returns retired | failed | budget."""
+    location = client.chunk_table.get(entry.chunk_id)
+    if location is None:
+        # the chunk was garbage-collected (or never published); the
+        # deficit is moot
+        ledger.retire(entry.debt_id)
+        return "retired"
+    suspects = set(entry.failed_csps)
+    healthy: dict[int, str] = {}  # index -> one usable csp holding it
+    for index, csp_id in sorted(location.placements):
+        if index not in healthy and _usable(client, csp_id, suspects):
+            healthy[index] = csp_id
+    deficit = [i for i in range(location.n) if i not in healthy]
+    if not deficit:
+        # already whole — a prior repair landed and crashed before
+        # retirement, or scrub/recovery fixed it first.  Zero transfers.
+        ledger.retire(entry.debt_id)
+        return "retired"
+    if len(healthy) < location.t:
+        # cannot reconstruct yet; wait for providers to come back
+        ledger.note_attempt(
+            entry.debt_id,
+            detail=f"only {len(healthy)} healthy shares, need t={location.t}",
+        )
+        return "failed"
+    # plan replacement targets for every missing index
+    holding = set(healthy.values())
+    dead = {
+        c for c in client.cloud.writable_csps()
+        if not client.health.is_live(c)
+    }
+    moves: list[tuple[int, str]] = []
+    for index in deficit:
+        target = client.cloud.replacement_csp(
+            entry.chunk_id, holding=holding, exclude=suspects | dead,
+        )
+        if target is None:
+            # every non-suspect is holding a share or down.  A suspect
+            # that is healthy *now* may receive a freshly regenerated
+            # share: the distrust covers bytes it already holds (failed
+            # or corrupt), not bytes we are about to write — without
+            # this, a (t, n) = (t, #CSPs) deployment could never retire
+            # a degraded-write debt, because the missing share's only
+            # possible home is the provider that failed the write.
+            target = client.cloud.replacement_csp(
+                entry.chunk_id, holding=holding, exclude=dead,
+            )
+        if target is None:
+            break  # no live CSP left for further indices
+        moves.append((index, target))
+        holding.add(target)
+    if not moves:
+        ledger.note_attempt(
+            entry.debt_id,
+            detail=f"no replacement CSP for indices {deficit}",
+        )
+        return "failed"
+    # budget: t downloads to reconstruct + one upload per regenerated share
+    fetch = sorted(healthy.items())[:location.t]
+    cost = len(fetch) + len(moves)
+    if budget[0] is not None and budget[0] < cost:
+        return "budget"
+    if budget[0] is not None:
+        budget[0] -= cost
+    report.transfers_used += cost
+    share_size = max(1, -(-location.size // location.t))
+    results = client.engine.execute([
+        TransferOp(kind=OpKind.GET, csp_id=csp_id,
+                   name=chunk_share_object_name(index, entry.chunk_id),
+                   size=share_size, chunk_id=entry.chunk_id)
+        for index, csp_id in fetch
+    ])
+    shares = [
+        Share(index=index, data=result.data, t=location.t, n=location.n,
+              chunk_size=location.size)
+        for (index, _csp), result in zip(fetch, results)
+        if result.ok
+    ]
+    sharer = get_sharer(client.config.key, location.t, location.n)
+    try:
+        plaintext = sharer.join_verified(
+            shares, verify=lambda pt: sha1_hex(pt) == entry.chunk_id,
+        )
+    except CyrusError:
+        unrecoverable.append(entry.chunk_id)
+        ledger.note_attempt(
+            entry.debt_id,
+            detail=f"no verifying t-subset among {len(shares)} fetched shares",
+        )
+        return "failed"
+    intent_id = None
+    if journal is not None:
+        intent_id = journal.begin("migrate", chunk=entry.chunk_id, moves=[
+            [index, csp_id, chunk_share_object_name(index, entry.chunk_id)]
+            for index, csp_id in moves
+        ])
+    put_results = client.engine.execute([
+        TransferOp(kind=OpKind.PUT, csp_id=csp_id,
+                   name=chunk_share_object_name(index, entry.chunk_id),
+                   data=sharer.split_indices(plaintext, [index])[0].data,
+                   chunk_id=entry.chunk_id)
+        for index, csp_id in moves
+    ])
+    landed = 0
+    for (index, csp_id), result in zip(moves, put_results):
+        if not result.ok:
+            continue
+        if (index, csp_id) not in location.placements:
+            client.chunk_table.add_placement(entry.chunk_id, index, csp_id)
+        if intent_id is not None:
+            journal.record(
+                intent_id, "share-uploaded", chunk=entry.chunk_id,
+                index=index, csp=csp_id,
+                object=chunk_share_object_name(index, entry.chunk_id),
+            )
+        landed += 1
+        report.shares_rebuilt += 1
+    if intent_id is not None:
+        journal.commit(intent_id)
+    if landed == len(deficit):
+        ledger.retire(entry.debt_id)
+        return "retired"
+    ledger.note_attempt(
+        entry.debt_id,
+        detail=f"re-dispersed {landed}/{len(deficit)} missing shares",
+    )
+    return "failed"

@@ -86,13 +86,23 @@ class TestDedup:
 
         client = CyrusClient.create(csps, config, client_id="a")
         data = deterministic_bytes(8000, 10)
+        def share_objects():
+            return {
+                (c.csp_id, info.name) for c in csps for info in c.list("")
+                if len(info.name) == 40
+            }
+
         client.put("one.bin", data)
         before = sum(c.stored_bytes for c in csps)
+        shares_before = share_objects()
         client.put("two.bin", data)
         after = sum(c.stored_bytes for c in csps)
-        # only new metadata is stored for the duplicate file; re-storing
-        # the chunk shares would have added >= size * n/t = 12000 bytes
-        assert after - before < 8000
+        # only new metadata is stored for the duplicate file (the node
+        # carries n per-share fingerprints per chunk, so it outweighs a
+        # digest-less node); re-storing the chunk shares would have
+        # added >= size * n/t = 12000 bytes
+        assert after - before < 12000
+        assert share_objects() == shares_before  # not one new share
 
     def test_repeated_chunk_within_file(self, client):
         # same span twice: the second occurrence must dedup

@@ -150,6 +150,21 @@ class TestCircuitBreaker:
         assert brk.state is BreakerState.CLOSED
         assert brk.allow()
 
+    def test_success_while_open_does_not_close(self):
+        # a force-dispatched last-resort op can succeed against an OPEN
+        # circuit; that must not end the quarantine — only the HALF_OPEN
+        # probe after the reset timeout may close it
+        clock = SimClock()
+        brk = CircuitBreaker(clock=clock, failure_threshold=1,
+                             reset_timeout=10.0)
+        brk.record_failure()
+        assert brk.state is BreakerState.OPEN
+        brk.record_success()
+        assert brk.state is BreakerState.OPEN
+        clock.advance(10.0)
+        brk.record_success()  # the sanctioned probe
+        assert brk.state is BreakerState.CLOSED
+
     def test_success_resets_consecutive_failures(self):
         brk = CircuitBreaker(clock=SimClock(), failure_threshold=3)
         brk.record_failure()
