@@ -1,0 +1,146 @@
+"""The CI perf-regression gate.
+
+A committed baseline file holds conservative *floors* for the bench
+metrics that matter (absolute MB/s floors set well below any healthy
+machine, plus machine-independent speedup ratios like
+``encode_speedup``).  The gate passes a metric when
+
+    current >= floor * (1 - tolerance)
+
+— equality passes, and the tolerance absorbs run-to-run noise on shared
+CI hardware.  Metrics present in a report but absent from the baseline
+are ignored (new metrics don't fail the gate until a floor is
+committed); a floor whose metric is *missing* from the report fails,
+so a silently dropped measurement cannot slip through.
+
+Baseline format (``cyrus-bench-baseline/v1``)::
+
+    {"schema": "cyrus-bench-baseline/v1",
+     "tolerance": 0.5,
+     "floors": {"codec": {"encode_speedup": 10.0, ...},
+                "e2e":   {"put_mbps": 5.0, ...}}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import BENCH_KINDS, validate_bench_report
+
+BASELINE_SCHEMA = "cyrus-bench-baseline/v1"
+
+
+def validate_baseline(baseline: dict) -> None:
+    """Raise ValueError unless ``baseline`` is a well-formed floor set."""
+    if not isinstance(baseline, dict):
+        raise ValueError("baseline must be a dict")
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {baseline.get('schema')!r} != {BASELINE_SCHEMA!r}"
+        )
+    tolerance = baseline.get("tolerance")
+    if not isinstance(tolerance, (int, float)) or not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    floors = baseline.get("floors")
+    if not isinstance(floors, dict):
+        raise ValueError("baseline 'floors' must be a dict")
+    for kind, metrics in floors.items():
+        if kind not in BENCH_KINDS:
+            raise ValueError(f"baseline floor kind {kind!r} not in {BENCH_KINDS}")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"floors[{kind!r}] must be a dict")
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"floor {kind}/{name} must be a number")
+            if value <= 0:
+                raise ValueError(f"floor {kind}/{name} must be positive")
+
+
+def load_baseline(path) -> dict:
+    """Read and validate a baseline file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    validate_baseline(baseline)
+    return baseline
+
+
+@dataclass
+class MetricCheck:
+    """One metric's verdict against its floor."""
+
+    kind: str
+    metric: str
+    floor: float
+    threshold: float  # floor * (1 - tolerance)
+    current: float | None  # None = metric missing from the report
+    passed: bool
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        shown = "missing" if self.current is None else f"{self.current:.3f}"
+        return (
+            f"{status} {self.kind}/{self.metric}: {shown} "
+            f"(floor {self.floor:.3f}, threshold {self.threshold:.3f})"
+        )
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one or more reports against a baseline."""
+
+    checks: list[MetricCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[MetricCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.checks]
+        verdict = "gate PASSED" if self.passed else "gate FAILED"
+        return "\n".join(lines + [f"{verdict} ({len(self.checks)} checks)"])
+
+
+def check_report(
+    report: dict, baseline: dict, tolerance: float | None = None
+) -> GateResult:
+    """Gate one validated bench report against the baseline floors.
+
+    ``tolerance`` overrides the baseline's committed tolerance when
+    given (the CLI's ``--tolerance`` flag).
+    """
+    validate_bench_report(report)
+    validate_baseline(baseline)
+    tol = baseline["tolerance"] if tolerance is None else tolerance
+    if not 0 <= tol < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tol!r}")
+    kind = report["kind"]
+    floors = baseline["floors"].get(kind, {})
+    result = GateResult()
+    for metric, floor in sorted(floors.items()):
+        threshold = floor * (1 - tol)
+        current = report["metrics"].get(metric)
+        passed = current is not None and current >= threshold
+        result.checks.append(
+            MetricCheck(
+                kind=kind, metric=metric, floor=float(floor),
+                threshold=threshold, current=current, passed=passed,
+            )
+        )
+    return result
+
+
+def check_reports(
+    reports: dict[str, dict], baseline: dict, tolerance: float | None = None
+) -> GateResult:
+    """Gate several reports ({kind: report}) in one combined result."""
+    combined = GateResult()
+    for kind in sorted(reports):
+        combined.checks.extend(
+            check_report(reports[kind], baseline, tolerance).checks
+        )
+    return combined

@@ -14,12 +14,21 @@ Two interchangeable engines compute the rolling hash:
   invertible modulo 2^32, which lets the hash of the window ending at
   byte ``i`` be written as ``a^i * (S[i+1] - S[i-w+1])`` for a single
   prefix-sum array ``S`` — one pass over the data, no per-byte loop.
+* ``"rabin"`` — the same GF(2) Rabin fingerprint as the reference,
+  computed in batch by :class:`repro.chunking.rabin_vec.VectorRabin`
+  (one table gather per window offset).  Produces **bit-identical cut
+  points** to ``"reference"`` at vectorised speed.
 * ``"reference"`` — the classic GF(2) Rabin fingerprint
   (:class:`repro.chunking.rabin.RabinFingerprint`), byte-at-a-time.
+  The oracle the ``"rabin"`` engine is verified against.
 
-The engines use different hash functions, so their boundaries differ,
-but both are deterministic and content-defined; tests verify the
-structural properties for each.
+``"vectorized"`` uses a different hash function, so its boundaries
+differ from the Rabin pair, but all engines are deterministic and
+content-defined; tests verify the structural properties for each.
+
+``chunk_bytes`` slices chunks as ``memoryview`` windows over the input
+buffer rather than copying each chunk out — the zero-copy entry of the
+chunk → encode → upload hot path.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import numpy as np
 
 from repro.chunking.chunk import Chunk
 from repro.chunking.rabin import RabinFingerprint
+from repro.chunking.rabin_vec import VectorRabin
 from repro.errors import ChunkingError
 
 #: Odd 32-bit multiplier (Knuth); odd => invertible mod 2^32.
@@ -101,7 +111,7 @@ class ContentDefinedChunker:
             becomes the modulus M of the boundary test).
         max_size: Largest chunk; longer runs are force-cut.
         window: Rolling-hash window width in bytes.
-        engine: ``"vectorized"`` or ``"reference"``.
+        engine: ``"vectorized"``, ``"rabin"``, or ``"reference"``.
         seed: Seed for the byte-mixing table (vectorized engine) — all
             clients of one CYRUS cloud must share it for dedup to work.
     """
@@ -126,7 +136,7 @@ class ContentDefinedChunker:
             )
         if window < 2:
             raise ChunkingError(f"window must be >= 2, got {window}")
-        if engine not in ("vectorized", "reference"):
+        if engine not in ("vectorized", "rabin", "reference"):
             raise ChunkingError(f"unknown engine {engine!r}")
         self.min_size = min_size
         self.avg_size = avg_size
@@ -143,6 +153,8 @@ class ContentDefinedChunker:
             max_block = _BLOCK + window
             self._pows = _power_series(_MULTIPLIER, max_block)
             self._inv_pows = _power_series(_MULT_INV, max_block)
+        elif engine == "rabin":
+            self._vrabin = VectorRabin(window=window)
         else:
             self._rabin = RabinFingerprint(window=window)
 
@@ -159,12 +171,13 @@ class ContentDefinedChunker:
         # boundary test uses the top log2(M) bits of the 32-bit hash
         shift = _U32(32 - self._bits)
         target = _U32(self._target)
+        full = np.frombuffer(data, dtype=np.uint8)
         start = 0
         with np.errstate(over="ignore"):
             while start < n:
                 end = min(n, start + _BLOCK)
                 lo = max(0, start - (w - 1))  # carry window overlap
-                buf = np.frombuffer(data[lo:end], dtype=np.uint8)
+                buf = full[lo:end]  # zero-copy view of the source buffer
                 m = buf.size
                 vals = self._table[buf]  # uint32 gather
                 # S[k] = sum_{j<k} vals[j] * a^-j (block-relative, mod 2^32)
@@ -181,6 +194,29 @@ class ContentDefinedChunker:
                     positions = positions[positions > start]
                 out.extend(positions.tolist())
                 start = end
+        return out
+
+    def _candidates_rabin(self, data) -> list[int]:
+        """Rabin candidates in batch — bit-identical to the reference engine.
+
+        Blocked over window end positions so the uint64 fingerprint array
+        stays bounded regardless of input size.
+        """
+        w = self.window
+        full = np.frombuffer(data, dtype=np.uint8)
+        n = full.size
+        if n < w:
+            return []
+        out: list[int] = []
+        for lo in range(0, n - w + 1, _BLOCK):
+            hi = min(n - w + 1, lo + _BLOCK)
+            # windows starting at lo..hi-1 need bytes [lo, hi + w - 1)
+            fps = self._vrabin.masked_fingerprints(full[lo : hi + w - 1], self._mask)
+            target = fps.dtype.type(self._target)
+            hits = np.nonzero(fps == target)[0]
+            # hit j is the window ending at absolute byte lo + j + w - 1;
+            # the cut point is one past it, as in the reference engine
+            out.extend((hits + (lo + w)).tolist())
         return out
 
     def _candidates_reference(self, data: bytes) -> list[int]:
@@ -204,16 +240,24 @@ class ContentDefinedChunker:
         """Cut points (exclusive chunk ends) for ``data``, ending at len."""
         if self.engine == "vectorized":
             candidates = self._candidates_vectorized(data)
+        elif self.engine == "rabin":
+            candidates = self._candidates_rabin(data)
         else:
             candidates = self._candidates_reference(data)
         return select_boundaries(candidates, len(data), self.min_size, self.max_size)
 
-    def chunk_bytes(self, data: bytes) -> list[Chunk]:
-        """Split ``data`` into content-addressed chunks."""
+    def chunk_bytes(self, data) -> list[Chunk]:
+        """Split ``data`` into content-addressed chunks.
+
+        Chunk payloads are zero-copy ``memoryview`` slices of ``data``;
+        the caller must keep the source buffer alive while the chunks
+        are in use (and may call ``Chunk.to_bytes()`` to detach one).
+        """
         cuts = self.boundaries(data)
+        view = memoryview(data)
         chunks: list[Chunk] = []
         prev = 0
         for cut in cuts:
-            chunks.append(Chunk.from_data(data[prev:cut], offset=prev))
+            chunks.append(Chunk.from_data(view[prev:cut], offset=prev))
             prev = cut
         return chunks

@@ -3,6 +3,13 @@
 A chunk is identified by the SHA-1 of its content (the paper's ChunkMap
 ``Id``), which is what makes deduplication work: two files containing
 the same bytes at chunk granularity produce chunks with equal ids.
+
+``data`` is any read-only bytes-like object: the chunkers slice one
+``memoryview`` over the source buffer instead of copying every chunk
+out, so a file flows from the chunker through the erasure encoder
+without per-chunk ``bytes`` copies.  Equality still compares content,
+and ``to_bytes()`` materialises an owning copy when one is needed
+(e.g. to pickle the chunk across a process boundary).
 """
 
 from __future__ import annotations
@@ -18,20 +25,26 @@ class Chunk:
 
     Attributes:
         id: Hex SHA-1 of ``data``.
-        data: Chunk content.
+        data: Chunk content (bytes-like; often a memoryview of the file).
         offset: Byte offset of the chunk within its source file.
     """
 
     id: str
-    data: bytes = field(repr=False)
+    # hash=False: memoryview payloads are unhashable; the content hash in
+    # ``id`` already identifies the chunk for sets/dicts
+    data: bytes = field(repr=False, hash=False)
     offset: int
 
     @classmethod
-    def from_data(cls, data: bytes, offset: int = 0) -> "Chunk":
-        """Build a chunk, computing its content id."""
+    def from_data(cls, data, offset: int = 0) -> "Chunk":
+        """Build a chunk, computing its content id (accepts bytes-like)."""
         return cls(id=sha1_hex(data), data=data, offset=offset)
 
     @property
     def size(self) -> int:
         """Chunk length in bytes."""
         return len(self.data)
+
+    def to_bytes(self) -> bytes:
+        """The content as an owning ``bytes`` object (copies if needed)."""
+        return self.data if type(self.data) is bytes else bytes(self.data)

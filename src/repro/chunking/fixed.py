@@ -28,11 +28,15 @@ class FixedSizeChunker:
         cuts.append(len(data))
         return cuts
 
-    def chunk_bytes(self, data: bytes) -> list[Chunk]:
-        """Split ``data`` into fixed-size content-addressed chunks."""
+    def chunk_bytes(self, data) -> list[Chunk]:
+        """Split ``data`` into fixed-size content-addressed chunks.
+
+        Chunk payloads are zero-copy ``memoryview`` slices of ``data``.
+        """
+        view = memoryview(data)
         chunks: list[Chunk] = []
         prev = 0
         for cut in self.boundaries(data):
-            chunks.append(Chunk.from_data(data[prev:cut], offset=prev))
+            chunks.append(Chunk.from_data(view[prev:cut], offset=prev))
             prev = cut
         return chunks

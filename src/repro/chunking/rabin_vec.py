@@ -1,0 +1,117 @@
+"""Vectorised Rabin fingerprinting over GF(2).
+
+Computes the same degree-``d`` polynomial fingerprints as the
+byte-at-a-time :class:`repro.chunking.rabin.RabinFingerprint`, but for
+every window position of a buffer at once.  The trick is linearity over
+GF(2): the fingerprint of the window ending at byte ``i`` is
+
+    fp[i] = XOR_{k=0..w-1}  (data[i-k] * x^(8k))  mod  P
+
+so with one precomputed 256-entry table per window offset,
+
+    T_k[b] = (b << 8k) mod P,
+
+the whole fingerprint array is ``w`` numpy gathers XORed together —
+no rolling state, no per-byte Python loop.  Output values are
+bit-identical to the reference pusher's, which is what lets the
+``"rabin"`` chunker engine reproduce the reference engine's cut points
+exactly (the reference only emits candidates once the window is full,
+i.e. at positions where this formula is the complete fingerprint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunking.rabin import DEFAULT_POLY, DEFAULT_WINDOW, _poly_mod
+
+__all__ = ["VectorRabin"]
+
+
+class VectorRabin:
+    """Batch Rabin fingerprints for every full window of a buffer.
+
+    Args:
+        poly: Irreducible GF(2) polynomial (degree <= 63 so residues fit
+            in uint64).
+        window: Window width in bytes.
+    """
+
+    def __init__(self, poly: int = DEFAULT_POLY, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        degree = poly.bit_length() - 1
+        if degree < 1:
+            raise ValueError("polynomial must have degree >= 1")
+        if degree > 63:
+            raise ValueError(f"polynomial degree {degree} exceeds uint64 residues")
+        self.poly = poly
+        self.window = window
+        self.degree = degree
+        # tables[k][b] = contribution of byte value b at window offset k
+        # (offset 0 = newest byte)
+        tables = np.empty((window, 256), dtype=np.uint64)
+        for k in range(window):
+            shift = 8 * k
+            for b in range(256):
+                tables[k, b] = _poly_mod(b << shift, poly, degree)
+        self._tables = tables
+        #: Truncated table cache for :meth:`masked_fingerprints`, keyed by mask.
+        self._masked_tables: dict[int, np.ndarray] = {}
+
+    def fingerprints(self, buf) -> np.ndarray:
+        """Fingerprints of every full window of ``buf``.
+
+        Args:
+            buf: uint8 ndarray (or bytes-like) of length n.
+
+        Returns:
+            uint64 array of length ``max(0, n - window + 1)`` where entry
+            ``j`` is the fingerprint of ``buf[j : j + window]`` — the
+            window *ending* at index ``j + window - 1``.
+        """
+        data = np.frombuffer(buf, dtype=np.uint8) if not isinstance(
+            buf, np.ndarray
+        ) else buf
+        n = data.size
+        w = self.window
+        if n < w:
+            return np.empty(0, dtype=np.uint64)
+        acc = self._tables[0][data[w - 1 :]]
+        # fancy indexing already copied; accumulate the older offsets in place
+        for k in range(1, w):
+            acc ^= self._tables[k][data[w - 1 - k : n - k]]
+        return acc
+
+    def masked_fingerprints(self, buf, mask: int) -> np.ndarray:
+        """``fingerprints(buf) & mask`` without computing full residues.
+
+        XOR is bitwise, so ``(XOR_k T_k[.]) & mask == XOR_k (T_k[.] & mask)``
+        — the chunker's boundary test (``fp & mask == target``) only needs
+        the low ``mask`` bits, which lets the gather run in the smallest
+        integer dtype that holds them (uint8 for the common avg-size
+        masks) instead of uint64: an ~8x cut in memory traffic.
+        """
+        tables = self._masked_tables.get(mask)
+        if tables is None:
+            if mask < 1 << 8:
+                dtype = np.uint8
+            elif mask < 1 << 16:
+                dtype = np.uint16
+            elif mask < 1 << 32:
+                dtype = np.uint32
+            else:
+                dtype = np.uint64
+            tables = (self._tables & np.uint64(mask)).astype(dtype)
+            self._masked_tables[mask] = tables
+        data = np.frombuffer(buf, dtype=np.uint8) if not isinstance(
+            buf, np.ndarray
+        ) else buf
+        n = data.size
+        w = self.window
+        if n < w:
+            return np.empty(0, dtype=tables.dtype)
+        acc = tables[0][data[w - 1 :]]
+        for k in range(1, w):
+            acc ^= tables[k][data[w - 1 - k : n - k]]
+        return acc

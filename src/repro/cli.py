@@ -20,6 +20,7 @@ drives or private storage servers):
     cyrus debts [--json]
     cyrus repair [--budget N]
     cyrus stats [--json]
+    cyrus bench [--quick] [--out-dir DIR] [--gate BASELINE]
     cyrus trace (put|get|sync) [...] --out trace.json
     cyrus add-csp name=path
     cyrus remove-csp name
@@ -86,6 +87,7 @@ def build_client(store: Path) -> CyrusClient:
         parallelism=settings.get("parallelism", 1),
         max_inflight_per_csp=settings.get("max_inflight_per_csp"),
         max_inflight_total=settings.get("max_inflight_total"),
+        encode_workers=settings.get("encode_workers", 0),
     )
     from repro.recovery import IntentJournal
     from repro.redundancy import DebtLedger
@@ -141,6 +143,7 @@ def cmd_init(args) -> int:
         "chunk_avg": args.chunk_avg,
         "chunk_max": args.chunk_max,
         "parallelism": args.parallelism,
+        "encode_workers": args.encode_workers,
         "max_inflight_per_csp": args.max_inflight_per_csp,
         "max_inflight_total": None,
         "client_id": args.client_id or f"cli-{uuid.uuid4().hex[:8]}",
@@ -427,6 +430,29 @@ def cmd_sync_dir(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.gate import check_reports, load_baseline
+    from repro.bench.harness import run_bench
+
+    out_dir = Path(args.out_dir).expanduser()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} bench (codec + e2e) ...")
+    reports = run_bench(quick=args.quick, out_dir=out_dir)
+    for kind in sorted(reports):
+        metrics = reports[kind]["metrics"]
+        print(f"{kind} (BENCH_{kind}.json):")
+        for name in sorted(metrics):
+            print(f"  {name}: {metrics[name]:.3f}")
+    print(f"reports written to {out_dir}")
+    if args.gate:
+        baseline = load_baseline(args.gate)
+        result = check_reports(reports, baseline, tolerance=args.tolerance)
+        print(result.describe())
+        return 0 if result.passed else 1
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Observability snapshot: op counts, bytes per CSP, health events.
 
@@ -630,6 +656,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-max", type=int, default=2 * 1024 * 1024)
     p.add_argument("--parallelism", type=int, default=1,
                    help="transfer worker threads (1 = serial)")
+    p.add_argument("--encode-workers", type=int, default=0,
+                   help="erasure-encode worker processes (0 = inline)")
     p.add_argument("--max-inflight-per-csp", type=int, default=None,
                    help="concurrent ops allowed per provider when parallel")
     p.add_argument("--client-id", default=None)
@@ -721,6 +749,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("object")
     p.add_argument("--as", dest="as_name", default=None)
     p.set_defaults(func=cmd_import)
+
+    p = sub.add_parser("bench", help="measure coding/chunking/e2e throughput "
+                                     "and write BENCH_codec.json / BENCH_e2e.json")
+    p.add_argument("--quick", action="store_true",
+                   help="small payloads (the CI-sized run)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for the BENCH_*.json reports")
+    p.add_argument("--gate", default=None, metavar="BASELINE",
+                   help="exit 1 on regression against this baseline JSON")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="override the baseline's committed tolerance")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("stats", help="observability snapshot (ops, bytes, "
                                      "retries per provider)")

@@ -100,11 +100,22 @@ class CyrusClient:
         obs: Observability | None = None,
         journal=None,
         debt_ledger=None,
+        encode_pool=None,
     ):
         self.cloud = cloud
         self.config = config
         self.engine = engine
         self.client_id = client_id
+        # optional repro.erasure.pool.EncodePool (built automatically by
+        # create() when config.encode_workers > 0); owned by the client
+        # when _owns_encode_pool — close() shuts the workers down
+        self.encode_pool = encode_pool
+        self._owns_encode_pool = False
+        if encode_pool is None and config.encode_workers > 0:
+            from repro.erasure.pool import EncodePool
+
+            self.encode_pool = EncodePool(config.encode_workers)
+            self._owns_encode_pool = True
         # optional repro.recovery.IntentJournal: when attached, put /
         # delete / gc / migrate are crash-journaled and
         # :meth:`run_recovery` replays whatever a dead process left open
@@ -165,6 +176,7 @@ class CyrusClient:
         cache=None,
         journal=None,
         debt_ledger=None,
+        encode_pool=None,
     ) -> "CyrusClient":
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
@@ -181,6 +193,7 @@ class CyrusClient:
             cloud, config, engine, client_id,
             selector=selector, chunker=chunker, cache=cache,
             journal=journal, debt_ledger=debt_ledger,
+            encode_pool=encode_pool,
         )
 
     def _rebuild_store(self) -> None:
@@ -196,6 +209,7 @@ class CyrusClient:
             engine=self.engine, chunker=self._chunker,
             policy=self._retry_policy, health=self.health,
             journal=self.journal, ledger=self.debt_ledger,
+            encode_pool=self.encode_pool,
         )
         self.downloader = Downloader(
             cloud=self.cloud, tree=self.tree, chunk_table=self.chunk_table,
@@ -209,6 +223,23 @@ class CyrusClient:
             store=self.store, tree=self.tree, chunk_table=self.chunk_table,
             engine=self.engine,
         )
+
+    def close(self) -> None:
+        """Release client-owned resources (the encode pool's workers).
+
+        Idempotent; only pools the client built itself are shut down —
+        an injected pool belongs to its creator.
+        """
+        if self._owns_encode_pool and self.encode_pool is not None:
+            self.encode_pool.close()
+            self.encode_pool = None
+            self._owns_encode_pool = False
+
+    def __enter__(self) -> "CyrusClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- membership (Table 3 add / remove) -----------------------------------
 

@@ -31,6 +31,7 @@ from repro.core.retry import ShareRetryLoop
 from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
 from repro.csp.resilient import HealthRegistry, RetryPolicy
 from repro.erasure import KeyedSharer
+from repro.erasure.rs import default_backend
 from repro.errors import TransferError
 from repro.metadata import (
     ChunkRecord,
@@ -47,9 +48,18 @@ from repro.util.hashing import sha1_hex
 
 
 @functools.lru_cache(maxsize=64)
+def _cached_sharer(key: str, t: int, n: int, backend: str) -> KeyedSharer:
+    return KeyedSharer(key, t, n, backend=backend)
+
+
 def get_sharer(key: str, t: int, n: int) -> KeyedSharer:
-    """Cached keyed sharers — (t, n) pairs recur across every chunk."""
-    return KeyedSharer(key, t, n)
+    """Cached keyed sharers — (t, n) pairs recur across every chunk.
+
+    The resolved codec backend is part of the cache key so a
+    ``CYRUS_CODEC`` change between calls cannot hand back a sharer
+    built for the other backend.
+    """
+    return _cached_sharer(key, t, n, default_backend())
 
 
 @dataclass
@@ -79,6 +89,8 @@ class _ChunkPlan:
     n: int
     placements: dict[int, str] = field(default_factory=dict)  # index -> csp
     _share_cache: dict[int, bytes] = field(default_factory=dict)
+    # an in-flight EncodePool future; collected on first share_data call
+    prefetch: object | None = None
     # pool workers may pull different shares of one chunk concurrently;
     # the lock makes the one-time encode exactly-once
     _lock: threading.Lock = field(default_factory=threading.Lock)
@@ -87,11 +99,16 @@ class _ChunkPlan:
         """Coded bytes for one share index (all n computed on first use)."""
         with self._lock:
             if not self._share_cache:
-                sharer = get_sharer(key, self.t, self.n)
                 t0 = obs.clock.now() if obs is not None else 0.0
-                self._share_cache = {
-                    s.index: s.data for s in sharer.split(self.chunk.data)
-                }
+                if self.prefetch is not None:
+                    # encoded out-of-process while earlier chunks flew
+                    self._share_cache = self.prefetch.get()
+                    self.prefetch = None
+                else:
+                    sharer = get_sharer(key, self.t, self.n)
+                    self._share_cache = {
+                        s.index: s.data for s in sharer.split(self.chunk.data)
+                    }
                 if obs is not None:
                     obs.metrics.observe("cyrus_chunk_encode_seconds",
                                         obs.clock.now() - t0)
@@ -128,8 +145,13 @@ class Uploader:
         health: HealthRegistry | None = None,
         journal=None,
         ledger=None,
+        encode_pool=None,
     ):
         self.cloud = cloud
+        # optional repro.erasure.pool.EncodePool: when attached, planned
+        # chunks are submitted for out-of-process encoding at scatter
+        # start, overlapping encode with transfer across CPU cores
+        self.encode_pool = encode_pool
         self.store = store
         self.tree = tree
         self.chunk_table = chunk_table
@@ -323,6 +345,15 @@ class Uploader:
         succeeded: dict[str, set[int]] = {cid: set() for cid in outstanding}
 
         obs = getattr(self.engine, "obs", None)
+
+        if self.encode_pool is not None:
+            # fan every planned chunk out to the worker processes now;
+            # share_data() collects each future on first use, so chunk
+            # k+1 encodes while chunk k's shares upload
+            for plan in plans:
+                plan.prefetch = self.encode_pool.submit(
+                    self.config.key, plan.t, plan.n, plan.chunk.data
+                )
 
         # On a parallel engine the encode is deferred into the op itself:
         # the pool worker that dispatches chunk k+1's first share runs

@@ -547,7 +547,11 @@ class ResilientProvider(CloudProvider):
                 raise exc
             self.registry.record_success(self.csp_id)
             if self.metrics is not None:
-                down_bytes = len(result) if isinstance(result, bytes) else 0
+                down_bytes = (
+                    len(result)
+                    if isinstance(result, (bytes, bytearray, memoryview))
+                    else 0
+                )
                 if down_bytes:
                     self.metrics.inc("cyrus_provider_attempt_bytes_total",
                                      down_bytes, csp=self.csp_id,

@@ -6,24 +6,65 @@ no row of the default Vandermonde matrix is a unit vector, so no share
 contains plaintext (paper Figure 5).  Decoding inverts the ``t x t``
 submatrix formed by the rows of any ``t`` distinct shares.
 
-The hot paths (encode, decode) use the precomputed 256x256
-multiplication table with numpy gathers: encoding a chunk is ``n * t``
-row-gathers plus XORs, with no per-byte Python loop, which keeps
-throughput in the hundreds of MB/s — fast enough that transfer, not
-coding, bounds end-to-end completion time (paper Section 7.1).
+Two interchangeable backends produce byte-identical shares:
+
+* ``"vector"`` (:mod:`repro.gf.vector`) — one blocked numpy gather
+  through the 256x256 multiplication table encodes all ``n`` rows of a
+  chunk at once and hands out the output rows as zero-copy memoryview
+  payloads.  Throughput is hundreds of MB/s, so transfer rather than
+  coding bounds end-to-end completion time (paper Section 7.1).
+* ``"scalar"`` (:mod:`repro.gf.scalar`) — pure-Python byte-at-a-time
+  loops with independently built tables.  It is the fallback when numpy
+  is unavailable and the oracle the equivalence suites compare against.
+
+Selection is automatic (``default_backend``): ``CYRUS_CODEC`` may force
+``vector`` or ``scalar``; ``CYRUS_NO_NUMPY_ACCEL=1`` is an alias for
+scalar; otherwise ``auto`` picks vector whenever numpy imports.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Iterable, Sequence
-
-import numpy as np
 
 from repro.errors import CodingError, InsufficientSharesError
 from repro.erasure.share import Share
-from repro.gf.matrix import gf_mat_inv, vandermonde
-from repro.gf.tables import MUL_TABLE
+from repro.gf import scalar as gfscalar
+
+try:  # pragma: no cover - exercised implicitly by backend selection
+    import numpy as np
+
+    from repro.gf import vector as gfvec
+    from repro.gf.matrix import gf_mat_inv
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - container always ships numpy
+    np = None
+    gfvec = None
+    gf_mat_inv = None
+    _HAVE_NUMPY = False
+
+BACKENDS = ("vector", "scalar")
+
+
+def default_backend() -> str:
+    """Resolve the codec backend from the environment.
+
+    ``CYRUS_NO_NUMPY_ACCEL=1`` forces scalar; else ``CYRUS_CODEC`` may
+    name ``vector``/``scalar`` explicitly (``auto``/unset picks vector
+    when numpy is importable, scalar otherwise).
+    """
+    if os.environ.get("CYRUS_NO_NUMPY_ACCEL") == "1":
+        return "scalar"
+    choice = os.environ.get("CYRUS_CODEC", "auto").strip().lower()
+    if choice in BACKENDS:
+        return choice
+    if choice not in ("", "auto"):
+        raise CodingError(
+            f"unknown CYRUS_CODEC backend {choice!r}; expected auto, vector or scalar"
+        )
+    return "vector" if _HAVE_NUMPY else "scalar"
 
 
 class RSCodec:
@@ -34,11 +75,19 @@ class RSCodec:
         n: Total shares produced per chunk.
         points: Optional explicit dispersal evaluation points (n distinct
             non-zero field elements).  Defaults to ``1..n``, which is what
-        an unkeyed deployment uses; :class:`repro.erasure.KeyedSharer`
-        passes key-derived points instead.
+            an unkeyed deployment uses; :class:`repro.erasure.KeyedSharer`
+            passes key-derived points instead.
+        backend: ``"vector"``, ``"scalar"``, or None for
+            :func:`default_backend`.
     """
 
-    def __init__(self, t: int, n: int, points: Sequence[int] | None = None):
+    def __init__(
+        self,
+        t: int,
+        n: int,
+        points: Sequence[int] | None = None,
+        backend: str | None = None,
+    ):
         if t < 1:
             raise CodingError(f"t must be >= 1, got {t}")
         if n < t:
@@ -49,68 +98,67 @@ class RSCodec:
             points = list(range(1, n + 1))
         if len(points) != n:
             raise CodingError(f"expected {n} dispersal points, got {len(points)}")
+        backend = default_backend() if backend is None else backend
+        if backend not in BACKENDS:
+            raise CodingError(f"unknown codec backend {backend!r}")
+        if backend == "vector" and not _HAVE_NUMPY:
+            raise CodingError("vector backend requested but numpy is unavailable")
         self.t = t
         self.n = n
-        self._points = np.asarray(points, dtype=np.uint8)
+        self.backend = backend
+        self._points = list(points)
         try:
-            self._matrix = vandermonde(self._points, t)
+            # Pure-Python construction either way; the two backends must
+            # agree on the matrix bit-for-bit.
+            self._matrix = gfscalar.vandermonde_rows(self._points, t)
         except ValueError as exc:
             raise CodingError(str(exc)) from exc
+        self._matrix_np = (
+            np.asarray(self._matrix, dtype=np.uint8) if _HAVE_NUMPY else None
+        )
 
     @property
-    def dispersal_matrix(self) -> np.ndarray:
+    def dispersal_matrix(self) -> "np.ndarray":
         """The n x t encoding matrix (copy; rows index shares)."""
-        return self._matrix.copy()
+        if self._matrix_np is None:  # pragma: no cover - numpy-less fallback
+            raise CodingError("dispersal_matrix requires numpy")
+        return self._matrix_np.copy()
 
-    def _stripe(self, data: bytes) -> np.ndarray:
-        """Pad and reshape chunk bytes into a (t, stripe_len) array."""
-        stripe_len = (len(data) + self.t - 1) // self.t
-        if stripe_len == 0:
-            stripe_len = 1  # encode empty chunks as one zero column
-        padded = np.zeros(self.t * stripe_len, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        return padded.reshape(self.t, stripe_len)
+    def encode(self, data) -> list[Share]:
+        """Encode chunk bytes into ``n`` shares of ``ceil(len/t)`` bytes each.
 
-    def encode(self, data: bytes) -> list[Share]:
-        """Encode chunk bytes into ``n`` shares of ``ceil(len/t)`` bytes each."""
-        stripes = self._stripe(data)
-        shares = []
-        for i in range(self.n):
-            coded = self._combine(self._matrix[i], stripes)
-            shares.append(
-                Share(index=i, data=coded.tobytes(), t=self.t, n=self.n,
-                      chunk_size=len(data))
-            )
-        return shares
+        On the vector backend the share payloads are zero-copy
+        memoryviews over one contiguous ``(n, L)`` output matrix.
+        """
+        return self._encode_rows(data, range(self.n))
 
-    def encode_rows(self, data: bytes, indices: Iterable[int]) -> list[Share]:
+    def encode_rows(self, data, indices: Iterable[int]) -> list[Share]:
         """Encode only the shares with the given indices.
 
         Used by lazy share migration (paper Section 5.5): after a CSP is
         removed, only the missing share index is regenerated.
         """
-        stripes = self._stripe(data)
-        out = []
-        for i in indices:
+        idx = list(indices)
+        for i in idx:
             if not 0 <= i < self.n:
                 raise CodingError(f"share index {i} outside [0, {self.n})")
-            coded = self._combine(self._matrix[i], stripes)
-            out.append(
-                Share(index=i, data=coded.tobytes(), t=self.t, n=self.n,
-                      chunk_size=len(data))
-            )
-        return out
+        return self._encode_rows(data, idx)
 
-    @staticmethod
-    def _combine(coeffs: np.ndarray, stripes: np.ndarray) -> np.ndarray:
-        """XOR-accumulate coeff[j] * stripes[j] using the mul table."""
-        acc = np.zeros(stripes.shape[1], dtype=np.uint8)
-        for j, c in enumerate(coeffs):
-            if c == 0:
-                continue
-            acc ^= MUL_TABLE[c][stripes[j]]
-        return acc
+    def _encode_rows(self, data, indices: Iterable[int]) -> list[Share]:
+        idx = list(indices)
+        size = len(data)
+        if self.backend == "vector":
+            sub = self._matrix_np[idx, :]
+            coded = gfvec.encode_blocks(sub, data, self.t)
+            payloads = [coded[row].data for row in range(len(idx))]
+        else:
+            stripes = gfscalar.stripe_rows(data, self.t)
+            rows = [self._matrix[i] for i in idx]
+            payloads = [bytes(p) for p in gfscalar.matmul_rows(rows, stripes)]
+        return [
+            Share(index=i, data=payload, t=self.t, n=self.n, chunk_size=size)
+            for i, payload in zip(idx, payloads)
+        ]
 
     def decode(self, shares: Sequence[Share]) -> bytes:
         """Reconstruct the chunk from any ``t`` distinct shares.
@@ -143,7 +191,14 @@ class RSCodec:
                 raise CodingError(
                     f"share {s.index} has {len(s.data)} bytes, expected {stripe_len}"
                 )
-        sub = self._matrix[[s.index for s in chosen], :]
+        if self.backend == "vector":
+            return self._decode_vector(chosen, chunk_size, stripe_len)
+        return self._decode_scalar(chosen, chunk_size)
+
+    def _decode_vector(
+        self, chosen: Sequence[Share], chunk_size: int, stripe_len: int
+    ) -> bytes:
+        sub = self._matrix_np[[s.index for s in chosen], :]
         try:
             inv = gf_mat_inv(sub)
         except np.linalg.LinAlgError as exc:
@@ -151,10 +206,18 @@ class RSCodec:
         coded = np.stack(
             [np.frombuffer(s.data, dtype=np.uint8) for s in chosen], axis=0
         )
-        stripes = np.zeros((self.t, stripe_len), dtype=np.uint8)
-        for j in range(self.t):
-            stripes[j] = self._combine(inv[j], coded)
+        stripes = gfvec.matmul(inv, coded)
         return stripes.reshape(-1)[:chunk_size].tobytes()
+
+    def _decode_scalar(self, chosen: Sequence[Share], chunk_size: int) -> bytes:
+        sub = [self._matrix[s.index] for s in chosen]
+        try:
+            inv_rows = gfscalar.mat_inv(sub)
+        except ValueError as exc:
+            raise CodingError("singular share submatrix") from exc
+        coded = [bytes(s.data) for s in chosen]
+        stripes = gfscalar.matmul_rows(inv_rows, coded)
+        return b"".join(bytes(row) for row in stripes)[:chunk_size]
 
     def decode_verified(
         self,

@@ -5,11 +5,22 @@ carries its creation ``index`` (the row of the dispersal matrix that
 produced it) because decoding must know which rows of the matrix to
 invert, and the original ``chunk_size`` because encoding pads the chunk
 to a multiple of ``t``.
+
+``data`` is any read-only bytes-like object.  The vectorised codec
+hands out zero-copy ``memoryview`` rows of its output matrix here, so
+a share travels from encode to the provider upload without being
+copied; providers that need to own the payload (anything that stores
+it) take their copy at the storage boundary, where a real network send
+would consume the buffer.  Use :meth:`to_bytes` when an owning ``bytes``
+object is genuinely required.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+#: Payload types a Share may carry (anything the buffer protocol covers).
+BytesLike = "bytes | bytearray | memoryview"
 
 
 @dataclass(frozen=True)
@@ -18,14 +29,17 @@ class Share:
 
     Attributes:
         index: Dispersal-matrix row index in ``[0, n)``.
-        data: The coded bytes (``ceil(chunk_size / t)`` bytes).
+        data: The coded payload (``ceil(chunk_size / t)`` bytes), as any
+            bytes-like object — equality still compares content.
         t: Reconstruction threshold used at encoding time.
         n: Total number of shares produced at encoding time.
         chunk_size: Unpadded length of the original chunk in bytes.
     """
 
     index: int
-    data: bytes = field(repr=False)
+    # hash=False: memoryview payloads are unhashable; identity for sets/
+    # dicts comes from the remaining fields (equal shares still hash equal)
+    data: bytes = field(repr=False, hash=False)
     t: int
     n: int
     chunk_size: int
@@ -42,3 +56,7 @@ class Share:
     def size(self) -> int:
         """Size of the coded payload in bytes."""
         return len(self.data)
+
+    def to_bytes(self) -> bytes:
+        """The payload as an owning ``bytes`` object (copies if needed)."""
+        return self.data if type(self.data) is bytes else bytes(self.data)

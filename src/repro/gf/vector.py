@@ -1,0 +1,77 @@
+"""Batched GF(2^8) kernels over whole 2-D share matrices.
+
+The scalar reference multiplies one coefficient into one stripe at a
+time (``n * t`` Python-level passes per chunk).  These kernels encode a
+chunk in a single table-lookup gather: the full ``(rows, t)`` dispersal
+matrix is broadcast against the ``(t, L)`` stripe matrix through the
+precomputed 256x256 multiplication table, and the ``t`` partial
+products are XOR-reduced in one numpy reduction —
+
+    out[i, k] = XOR_j MUL_TABLE[matrix[i, j], stripes[j, k]]
+
+The gather materialises a ``(rows, t, block)`` intermediate, so long
+stripes are processed in fixed-size column blocks to bound peak memory
+at roughly ``2 * _BLOCK_BYTES`` regardless of chunk size.
+
+Outputs are C-contiguous ``uint8`` matrices whose rows the codec hands
+out as zero-copy ``memoryview`` share payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.tables import MUL_TABLE
+
+__all__ = ["stripe", "matmul", "encode_blocks"]
+
+#: Upper bound on the (rows * t * block) gather intermediate, in bytes.
+_BLOCK_BYTES = 4 * 1024 * 1024
+
+
+def stripe(data, t: int) -> np.ndarray:
+    """Reshape chunk bytes into a zero-padded ``(t, L)`` stripe matrix.
+
+    ``data`` may be any bytes-like object (bytes, memoryview, ndarray).
+    When the length is already a multiple of ``t`` the result is a
+    zero-copy reshaped view of the input buffer; otherwise one padded
+    copy is made (the pad bytes must exist somewhere).
+    """
+    buf = np.frombuffer(data, dtype=np.uint8)
+    stripe_len = max(1, -(-buf.size // t))
+    if buf.size == t * stripe_len:
+        return buf.reshape(t, stripe_len)
+    padded = np.zeros(t * stripe_len, dtype=np.uint8)
+    padded[: buf.size] = buf
+    return padded.reshape(t, stripe_len)
+
+
+def matmul(matrix: np.ndarray, stripes: np.ndarray) -> np.ndarray:
+    """``matrix @ stripes`` over GF(2^8) via table-lookup xor-accumulate.
+
+    Args:
+        matrix: ``(rows, t)`` uint8 coefficient matrix.
+        stripes: ``(t, L)`` uint8 data matrix.
+
+    Returns:
+        ``(rows, L)`` C-contiguous uint8 product.
+    """
+    m = np.ascontiguousarray(matrix, dtype=np.uint8)
+    s = np.asarray(stripes, dtype=np.uint8)
+    rows, t = m.shape
+    if s.shape[0] != t:
+        raise ValueError(f"shape mismatch: {m.shape} @ {s.shape}")
+    length = s.shape[1]
+    out = np.empty((rows, length), dtype=np.uint8)
+    step = max(1, _BLOCK_BYTES // max(1, rows * t))
+    row_idx = m[:, :, None]  # (rows, t, 1)
+    for lo in range(0, length, step):
+        hi = min(length, lo + step)
+        partial = MUL_TABLE[row_idx, s[None, :, lo:hi]]  # (rows, t, hi-lo)
+        np.bitwise_xor.reduce(partial, axis=1, out=out[:, lo:hi])
+    return out
+
+
+def encode_blocks(matrix: np.ndarray, data, t: int) -> np.ndarray:
+    """Encode chunk bytes against ``matrix``: all output rows in one call."""
+    return matmul(matrix, stripe(data, t))
