@@ -34,56 +34,57 @@ def main() -> None:
         config = CyrusConfig(key="backup-key", t=2, n=3,
                              chunk_min=8 * 1024, chunk_avg=32 * 1024,
                              chunk_max=256 * 1024)
-        client = CyrusClient.create(csps, config, client_id="backup-agent")
-
-        # --- day 0: initial backup of a working set ---------------------
         documents = {
             "projects/report.docx": random_bytes(400_000, seed=1),
             "projects/data.csv": random_bytes(900_000, seed=2),
             "photos/team.jpg": random_bytes(600_000, seed=3),
         }
-        for name, content in documents.items():
-            client.put(name, content)
-        day0 = provider_bytes(roots)
-        logical = sum(len(c) for c in documents.values())
-        print(f"day 0: {logical:,} logical bytes -> {day0:,} stored "
-              f"({day0 / logical:.2f}x, the n/t redundancy factor)")
+        with CyrusClient.create(csps, config,
+                                client_id="backup-agent") as client:
+            # --- day 0: initial backup of a working set -----------------
+            for name, content in documents.items():
+                client.put(name, content)
+            day0 = provider_bytes(roots)
+            logical = sum(len(c) for c in documents.values())
+            print(f"day 0: {logical:,} logical bytes -> {day0:,} stored "
+                  f"({day0 / logical:.2f}x, the n/t redundancy factor)")
 
-        # --- days 1-3: small edits; incremental cost stays small ---------
-        for day in range(1, 4):
-            documents["projects/report.docx"] = edited_copy(
-                documents["projects/report.docx"], seed=10 + day, edits=3,
-                max_edit=4096,
-            )
-            report = client.put("projects/report.docx",
-                                documents["projects/report.docx"])
-            grown = provider_bytes(roots)
-            print(f"day {day}: edit stored {report.new_chunks} new chunks, "
-                  f"{report.dedup_chunks} deduplicated "
-                  f"(+{grown - day0:,} bytes total since day 0)")
-            day0 = grown
+            # --- days 1-3: small edits; incremental cost stays small -----
+            for day in range(1, 4):
+                documents["projects/report.docx"] = edited_copy(
+                    documents["projects/report.docx"], seed=10 + day,
+                    edits=3, max_edit=4096,
+                )
+                report = client.put("projects/report.docx",
+                                    documents["projects/report.docx"])
+                grown = provider_bytes(roots)
+                print(f"day {day}: edit stored {report.new_chunks} new "
+                      f"chunks, {report.dedup_chunks} deduplicated "
+                      f"(+{grown - day0:,} bytes total since day 0)")
+                day0 = grown
 
         # --- disaster: the laptop is gone; restore from the drives -------
-        fresh = CyrusClient.create(csps, config, client_id="new-laptop")
-        fresh.recover()
-        for name, content in documents.items():
-            assert fresh.get(name, sync_first=False).data == content
-        print(f"\nrestore on a fresh machine: {len(documents)} files OK")
+        with CyrusClient.create(csps, config,
+                                client_id="new-laptop") as fresh:
+            fresh.recover()
+            for name, content in documents.items():
+                assert fresh.get(name, sync_first=False).data == content
+            print(f"\nrestore on a fresh machine: {len(documents)} files OK")
 
-        history = fresh.history("projects/report.docx")
-        print(f"report.docx history: {len(history)} versions; "
-              f"day-0 copy recovered "
-              f"{len(fresh.get('projects/report.docx', version=3, sync_first=False).data):,}"
-              f" bytes")
+            history = fresh.history("projects/report.docx")
+            print(f"report.docx history: {len(history)} versions; "
+                  f"day-0 copy recovered "
+                  f"{len(fresh.get('projects/report.docx', version=3, sync_first=False).data):,}"
+                  f" bytes")
 
         # --- and one drive can be lost entirely ---------------------------
         shutil.rmtree(roots[0])
         roots[0].mkdir()
-        survivor = CyrusClient.create(csps, config, client_id="survivor")
-        survivor.recover()
-        assert survivor.get("projects/data.csv", sync_first=False).data == (
-            documents["projects/data.csv"]
-        )
+        with CyrusClient.create(csps, config,
+                                client_id="survivor") as survivor:
+            survivor.recover()
+            restored = survivor.get("projects/data.csv", sync_first=False)
+            assert restored.data == documents["projects/data.csv"]
         print("drive-0 wiped: everything still restorable from the rest")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

@@ -48,41 +48,40 @@ def main() -> None:
     config = CyrusConfig(key="vendor-agnostic-key", t=2, n=3,
                          chunk_min=4 * 1024, chunk_avg=16 * 1024,
                          chunk_max=64 * 1024)
-    client = CyrusClient.create(providers, config, client_id="laptop")
+    with CyrusClient.create(providers, config, client_id="laptop") as client:
+        # --- the same client code, three wire protocols underneath ---------
+        payload = os.urandom(150_000)
+        report = client.put("cross-vendor.bin", payload)
+        print(f"stored {report.node.size:,} bytes across three vendor APIs "
+              f"({report.new_chunks} chunks x 3 shares)")
+        assert client.get("cross-vendor.bin").data == payload
+        print("read back byte-for-byte\n")
 
-    # --- the same client code, three wire protocols underneath -------------
-    payload = os.urandom(150_000)
-    report = client.put("cross-vendor.bin", payload)
-    print(f"stored {report.node.size:,} bytes across three vendor APIs "
-          f"({report.new_chunks} chunks x 3 shares)")
-    assert client.get("cross-vendor.bin").data == payload
-    print("read back byte-for-byte\n")
+        # --- what actually went over each wire ------------------------------
+        for server, label in [
+            (dropbox_srv, "dropbox (JSON, path-keyed, OAuth2 bearer)"),
+            (drive_srv, "gdrive  (JSON, file-id-keyed, OAuth2 bearer)"),
+            (s3_srv, "s3      (XML, per-request HMAC signature)"),
+        ]:
+            calls = {}
+            for request in server.request_log:
+                calls[request.path] = calls.get(request.path, 0) + 1
+            summary = ", ".join(
+                f"{path} x{count}" for path, count in sorted(calls.items())
+            )
+            print(f"{label}:")
+            print(f"  {len(server.object_names())} objects, "
+                  f"{server.stored_bytes():,} bytes")
+            print(f"  wire calls: {summary}")
 
-    # --- what actually went over each wire ---------------------------------
-    for server, label in [
-        (dropbox_srv, "dropbox (JSON, path-keyed, OAuth2 bearer)"),
-        (drive_srv, "gdrive  (JSON, file-id-keyed, OAuth2 bearer)"),
-        (s3_srv, "s3      (XML, per-request HMAC signature)"),
-    ]:
-        calls = {}
-        for request in server.request_log:
-            calls[request.path] = calls.get(request.path, 0) + 1
-        summary = ", ".join(
-            f"{path} x{count}" for path, count in sorted(calls.items())
-        )
-        print(f"{label}:")
-        print(f"  {len(server.object_names())} objects, "
-              f"{server.stored_bytes():,} bytes")
-        print(f"  wire calls: {summary}")
-
-    # --- the Section 3.1 quirk, observable ---------------------------------
-    # CYRUS's content-derived share names mean re-uploading a share is
-    # always byte-identical, so Drive's duplicate-on-upload semantics
-    # and Dropbox's overwrite semantics become indistinguishable
-    name = client.tree.latest("cross-vendor.bin").shares[0]
-    print(f"\nvendor quirk check: share names are content hashes "
-          f"(e.g. {name.chunk_id[:12]}...), so overwrite-vs-duplicate "
-          f"vendor semantics cannot corrupt data")
+        # --- the Section 3.1 quirk, observable ------------------------------
+        # CYRUS's content-derived share names mean re-uploading a share is
+        # always byte-identical, so Drive's duplicate-on-upload semantics
+        # and Dropbox's overwrite semantics become indistinguishable
+        name = client.tree.latest("cross-vendor.bin").shares[0]
+        print(f"\nvendor quirk check: share names are content hashes "
+              f"(e.g. {name.chunk_id[:12]}...), so overwrite-vs-duplicate "
+              f"vendor semantics cannot corrupt data")
 
 
 if __name__ == "__main__":

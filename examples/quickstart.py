@@ -5,6 +5,10 @@ Creates a client-defined cloud, stores a file, reads it back, edits it,
 and shows the privacy layout: no single provider holds enough data to
 reconstruct anything.
 
+Everything imports from the top-level ``repro`` façade, and the client
+is a context manager — ``with`` owns the encode pool and transfer
+engine, so there is nothing to remember to shut down.
+
 Run:  python examples/quickstart.py
 """
 
@@ -25,28 +29,27 @@ def main() -> None:
     config = CyrusConfig(key="my secret key string", t=2, n=3,
                          chunk_min=4 * 1024, chunk_avg=16 * 1024,
                          chunk_max=128 * 1024)
-    client = CyrusClient.create(csps, config, client_id="laptop")
+    with CyrusClient.create(csps, config, client_id="laptop") as client:
+        # --- store and fetch ----------------------------------------------
+        document = os.urandom(200_000)
+        report = client.put("thesis/draft.tex", document)
+        print(f"uploaded {report.node.size:,} bytes as {report.new_chunks} "
+              f"chunks ({report.bytes_uploaded:,} bytes incl. redundancy)")
 
-    # --- store and fetch ------------------------------------------------
-    document = os.urandom(200_000)
-    report = client.put("thesis/draft.tex", document)
-    print(f"uploaded {report.node.size:,} bytes as {report.new_chunks} "
-          f"chunks ({report.bytes_uploaded:,} bytes incl. redundancy)")
+        fetched = client.get("thesis/draft.tex")
+        assert fetched.data == document
+        print("download verified byte-for-byte")
 
-    fetched = client.get("thesis/draft.tex")
-    assert fetched.data == document
-    print("download verified byte-for-byte")
+        # --- edit: content-defined chunking dedups the unchanged part ------
+        edited = document[:90_000] + b"<<REVISED>>" + document[90_000:]
+        report = client.put("thesis/draft.tex", edited)
+        print(f"edit re-uploaded only {report.new_chunks} new chunks "
+              f"({report.dedup_chunks} deduplicated)")
 
-    # --- edit: content-defined chunking dedups the unchanged part --------
-    edited = document[:90_000] + b"<<REVISED>>" + document[90_000:]
-    report = client.put("thesis/draft.tex", edited)
-    print(f"edit re-uploaded only {report.new_chunks} new chunks "
-          f"({report.dedup_chunks} deduplicated)")
-
-    # --- versions --------------------------------------------------------
-    assert client.get("thesis/draft.tex", version=1).data == document
-    print(f"history: {len(client.history('thesis/draft.tex'))} versions, "
-          f"all recoverable")
+        # --- versions ------------------------------------------------------
+        assert client.get("thesis/draft.tex", version=1).data == document
+        print(f"history: {len(client.history('thesis/draft.tex'))} versions, "
+              f"all recoverable")
 
     # --- privacy layout ---------------------------------------------------
     print("\nper-provider view (no provider holds your data or names):")

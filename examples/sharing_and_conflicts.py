@@ -20,55 +20,55 @@ def main() -> None:
     config = CyrusConfig(key="team-shared-key", t=2, n=3,
                          chunk_min=1024, chunk_avg=4096, chunk_max=32768)
 
-    alice = CyrusClient.create(csps, config, client_id="alice-laptop")
-    bob = CyrusClient.create(csps, config, client_id="bob-desktop")
+    with CyrusClient.create(csps, config, client_id="alice-laptop") as alice, \
+            CyrusClient.create(csps, config, client_id="bob-desktop") as bob:
+        # --- normal sharing -----------------------------------------------
+        alice.put("minutes.md", b"# Meeting minutes\n- agenda item 1\n" * 30)
+        entry = bob.list_files()[0]
+        print(f"bob sees {entry.name!r} ({entry.size} bytes) after syncing")
+        assert bob.get("minutes.md").data.startswith(b"# Meeting minutes")
 
-    # --- normal sharing ---------------------------------------------------
-    alice.put("minutes.md", b"# Meeting minutes\n- agenda item 1\n" * 30)
-    entry = bob.list_files()[0]
-    print(f"bob sees {entry.name!r} ({entry.size} bytes) after syncing")
-    assert bob.get("minutes.md").data.startswith(b"# Meeting minutes")
+        # --- concurrent edits -> conflict ----------------------------------
+        # both start from the same version, then upload without seeing each
+        # other (e.g. both were offline); neither blocks on a lock
+        alice.sync()
+        bob.sync()
+        alice.uploader.upload(
+            "minutes.md", b"# Minutes (Alice's edit)\n" * 40,
+            client_id="alice-laptop",
+        )
+        bob.uploader.upload(
+            "minutes.md", b"# Minutes (Bob's edit)\n" * 45,
+            client_id="bob-desktop",
+        )
 
-    # --- concurrent edits -> conflict --------------------------------------
-    # both start from the same version, then upload without seeing each
-    # other (e.g. both were offline); neither blocks on a lock
-    alice.sync()
-    bob.sync()
-    alice.uploader.upload(
-        "minutes.md", b"# Minutes (Alice's edit)\n" * 40,
-        client_id="alice-laptop",
-    )
-    bob.uploader.upload(
-        "minutes.md", b"# Minutes (Bob's edit)\n" * 45,
-        client_id="bob-desktop",
-    )
+        report = alice.sync()
+        for conflict in report.conflicts:
+            print(f"conflict detected: {conflict.kind} on {conflict.name!r} "
+                  f"({len(conflict.node_ids)} concurrent versions)")
 
-    report = alice.sync()
-    for conflict in report.conflicts:
-        print(f"conflict detected: {conflict.kind} on {conflict.name!r} "
-              f"({len(conflict.node_ids)} concurrent versions)")
+        # --- resolution ------------------------------------------------------
+        created = alice.resolve_conflicts()
+        print(f"resolution kept the newest version; preserved: {created}")
 
-    # --- resolution ----------------------------------------------------------
-    created = alice.resolve_conflicts()
-    print(f"resolution kept the newest version; preserved: {created}")
+        bob.sync()
+        files = [e.name for e in bob.list_files(sync_first=False)]
+        print(f"bob's view after resolution: {files}")
+        assert not bob.conflicts()
 
-    bob.sync()
-    files = [e.name for e in bob.list_files(sync_first=False)]
-    print(f"bob's view after resolution: {files}")
-    assert not bob.conflicts()
-
-    winner = bob.get("minutes.md", sync_first=False)
-    print(f"winning content starts with: {winner.data[:30]!r}")
-    loser_name = next(n for n in files if "conflicted copy" in n)
-    loser = bob.get(loser_name, sync_first=False)
-    print(f"losing content preserved under {loser_name!r}: "
-          f"{loser.data[:30]!r}")
+        winner = bob.get("minutes.md", sync_first=False)
+        print(f"winning content starts with: {winner.data[:30]!r}")
+        loser_name = next(n for n in files if "conflicted copy" in n)
+        loser = bob.get(loser_name, sync_first=False)
+        print(f"losing content preserved under {loser_name!r}: "
+              f"{loser.data[:30]!r}")
 
     # --- a third device recovers everything from the cloud alone ----------
-    phone = CyrusClient.create(csps, config, client_id="alice-phone")
-    report = phone.recover()
-    print(f"\nfresh device recovered {report.new_nodes} versions from the "
-          f"providers alone (no central server, no device-to-device sync)")
+    with CyrusClient.create(csps, config, client_id="alice-phone") as phone:
+        report = phone.recover()
+        print(f"\nfresh device recovered {report.new_nodes} versions from "
+              f"the providers alone (no central server, no device-to-device "
+              f"sync)")
 
 
 if __name__ == "__main__":

@@ -7,47 +7,117 @@ autonomous cloud storage providers so that no single provider can read
 user data, the data survives provider outages, and parallel downloads
 from optimally chosen providers minimise latency.
 
-Quickstart::
+This module is the **stable public API façade**: everything a caller
+needs — the sync and async clients, configuration, the provider
+protocols, the report types and the error hierarchy — imports from
+here.  Deeper paths (``repro.core.*`` package re-exports) are
+deprecated shims; the canonical implementation modules remain importable
+for advanced use.
+
+Quickstart (sync)::
 
     from repro import CyrusClient, CyrusConfig
     from repro.csp import InMemoryCSP
 
     csps = [InMemoryCSP(f"csp{i}") for i in range(4)]
-    client = CyrusClient.create(csps, CyrusConfig(key="secret", t=2, n=3))
-    client.put("hello.txt", b"hello, cyrus")
-    print(client.get("hello.txt").data)
+    with CyrusClient.create(csps, CyrusConfig(key="secret", t=2, n=3)) as client:
+        client.put("hello.txt", b"hello, cyrus")
+        print(client.get("hello.txt").data)
 
-See :mod:`repro.core` for the client, :mod:`repro.selection` for the
-download optimiser, :mod:`repro.csp` for providers, and DESIGN.md for
-the full system inventory.
+Quickstart (async — thousands of concurrent sessions per process)::
+
+    from repro import AsyncCyrusClient, CyrusConfig
+    from repro.csp import InMemoryCSP
+
+    async def main():
+        csps = [InMemoryCSP(f"csp{i}") for i in range(4)]
+        config = CyrusConfig(key="secret", t=2, n=3, parallelism=4)
+        async with AsyncCyrusClient(csps, config) as session:
+            await session.put("hello.txt", b"hello, cyrus")
+            print((await session.get("hello.txt")).data)
+
+See DESIGN.md's "public API & async core" section for the protocol,
+semaphore model and loop-ownership rules.
 """
 
+from repro.core.async_client import AsyncCyrusClient
+from repro.core.async_engine import AsyncTransferEngine
+from repro.core.async_retry import AsyncShareRetryLoop
 from repro.core.client import CyrusClient, FileEntry
 from repro.core.cloud import CSPStatus, CyrusCloud
 from repro.core.config import CyrusConfig
 from repro.core.downloader import DownloadReport
+from repro.core.parallel import ParallelEngine
+from repro.core.retry import ShareRetryLoop
 from repro.core.sync import SyncReport
-from repro.core.transfer import DirectEngine, SimulatedEngine, TransferReceiver
+from repro.core.transfer import (
+    DirectEngine,
+    OpResult,
+    SimulatedEngine,
+    TransferOp,
+    TransferReceiver,
+)
 from repro.core.uploader import UploadReport
+from repro.csp.aio import AsyncCloudProvider, SyncProviderAdapter, as_async_provider
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.csp.resilient import HealthRegistry, ResilientProvider, RetryPolicy
-from repro.errors import CyrusError
+from repro.errors import (
+    Attempt,
+    ChunkingError,
+    CircuitOpenError,
+    CodingError,
+    ConfigurationError,
+    ConflictError,
+    CSPAuthError,
+    CSPError,
+    CSPQuotaExceededError,
+    CSPTimeoutError,
+    CSPUnavailableError,
+    CyrusError,
+    InsufficientSharesError,
+    MetadataError,
+    ObjectNotFoundError,
+    ReliabilityError,
+    SelectionError,
+    ShareGatherError,
+    ShareIntegrityError,
+    TransferError,
+    is_retryable,
+)
 from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # clients & configuration
     "CyrusClient",
-    "CyrusCloud",
+    "AsyncCyrusClient",
     "CyrusConfig",
+    "CyrusCloud",
     "CSPStatus",
     "FileEntry",
+    # reports
     "UploadReport",
     "DownloadReport",
     "SyncReport",
+    # provider protocols
+    "CloudProvider",
+    "AsyncCloudProvider",
+    "SyncProviderAdapter",
+    "as_async_provider",
+    "BytesLike",
+    "ObjectInfo",
+    # engines & retry
     "DirectEngine",
     "SimulatedEngine",
+    "ParallelEngine",
+    "AsyncTransferEngine",
+    "TransferOp",
+    "OpResult",
     "TransferReceiver",
-    "CyrusError",
+    "ShareRetryLoop",
+    "AsyncShareRetryLoop",
+    # resilience
     "HealthRegistry",
     "ResilientProvider",
     "RetryPolicy",
@@ -55,5 +125,27 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyProvider",
+    # errors
+    "CyrusError",
+    "ConfigurationError",
+    "CodingError",
+    "InsufficientSharesError",
+    "ShareIntegrityError",
+    "ChunkingError",
+    "CSPError",
+    "CSPUnavailableError",
+    "CSPTimeoutError",
+    "CircuitOpenError",
+    "CSPAuthError",
+    "CSPQuotaExceededError",
+    "ObjectNotFoundError",
+    "MetadataError",
+    "ConflictError",
+    "SelectionError",
+    "ReliabilityError",
+    "TransferError",
+    "ShareGatherError",
+    "Attempt",
+    "is_retryable",
     "__version__",
 ]

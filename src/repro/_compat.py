@@ -1,0 +1,52 @@
+"""Deprecation shims for pre-façade import paths.
+
+The blessed public surface is the top-level :mod:`repro` package (plus
+the canonical implementation modules, e.g. ``repro.core.client``).
+Older package-level re-export paths keep working through PEP 562 module
+``__getattr__`` hooks built by :func:`deprecated_getattr`: each access
+resolves the name from its canonical module and emits a
+:class:`DeprecationWarning` attributed to the importing module.
+
+CI runs the tier-1 suite with ``DeprecationWarning`` escalated to an
+error for warnings attributed to ``repro`` modules, so internal code
+can never reintroduce a deprecated import path; external callers (and
+the tests that pin the shims) merely see the warning.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Callable, Mapping
+
+
+def deprecated_getattr(
+    package: str, moved: Mapping[str, str]
+) -> Callable[[str], object]:
+    """Build a module ``__getattr__`` resolving ``moved`` names lazily.
+
+    Args:
+        package: The shim module's ``__name__``.
+        moved: ``exported name -> canonical module`` mapping.
+
+    The resolved object is *not* cached in the shim's namespace, so
+    every fresh ``from <package> import <name>`` warns again — imports
+    are rare and the repetition is what makes the deprecation visible.
+    """
+
+    def __getattr__(name: str) -> object:
+        target = moved.get(name)
+        if target is None:
+            raise AttributeError(
+                f"module {package!r} has no attribute {name!r}"
+            )
+        warnings.warn(
+            f"importing {name!r} from {package!r} is deprecated; use "
+            f"'from {target} import {name}' or the top-level 'repro' "
+            f"facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(target), name)
+
+    return __getattr__

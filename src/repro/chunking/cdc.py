@@ -33,6 +33,8 @@ chunk → encode → upload hot path.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.chunking.chunk import Chunk
@@ -49,16 +51,30 @@ _U32 = np.uint32
 _BLOCK = 8 * 1024 * 1024
 
 
+@functools.lru_cache(maxsize=8)
 def _byte_table(seed: int) -> np.ndarray:
-    """Random odd uint32 per byte value; decorrelates the hash input."""
+    """Random odd uint32 per byte value; decorrelates the hash input.
+
+    Cached and frozen: the table is a pure function of the seed and is
+    only ever read, so every chunker instance in the process (there is
+    one per client session) shares one copy.
+    """
     rng = np.random.default_rng(seed)
-    return (
+    table = (
         rng.integers(0, 1 << 31, size=256, dtype=np.uint32) * _U32(2) + _U32(1)
     )
+    table.setflags(write=False)
+    return table
 
 
+@functools.lru_cache(maxsize=8)
 def _power_series(base: int, count: int) -> np.ndarray:
-    """[base^0, base^1, ..., base^(count-1)] modulo 2^32."""
+    """[base^0, base^1, ..., base^(count-1)] modulo 2^32.
+
+    Cached and frozen: at the default block size each series is a
+    ~32 MB array, which must be shared across chunker instances — a
+    thousand concurrent sessions would otherwise each pay for their own.
+    """
     out = np.empty(count, dtype=np.uint32)
     out[0] = _U32(1)
     if count > 1:
@@ -67,6 +83,7 @@ def _power_series(base: int, count: int) -> np.ndarray:
                 np.full(count - 1, _U32(base & 0xFFFFFFFF), dtype=np.uint32),
                 out=out[1:],
             )
+    out.setflags(write=False)
     return out
 
 

@@ -71,6 +71,12 @@ def load_settings(store: Path) -> dict:
     return json.loads(path.read_text())
 
 
+#: Clients built during the current command; ``main`` closes them on the
+#: way out, so every command shares one teardown path (encode pool,
+#: engine threads/loop) without per-command boilerplate.
+_active_clients: list[CyrusClient] = []
+
+
 def build_client(store: Path) -> CyrusClient:
     settings = load_settings(store)
     providers = [
@@ -88,6 +94,7 @@ def build_client(store: Path) -> CyrusClient:
         max_inflight_per_csp=settings.get("max_inflight_per_csp"),
         max_inflight_total=settings.get("max_inflight_total"),
         encode_workers=settings.get("encode_workers", 0),
+        transfer_backend=settings.get("transfer_backend", "thread"),
     )
     from repro.recovery import IntentJournal
     from repro.redundancy import DebtLedger
@@ -113,6 +120,7 @@ def build_client(store: Path) -> CyrusClient:
               f"{report.shares_deleted} orphaned share(s) deleted)")
     client.sync()
     client.save_local_state(cache_path)
+    _active_clients.append(client)
     return client
 
 
@@ -143,6 +151,7 @@ def cmd_init(args) -> int:
         "chunk_avg": args.chunk_avg,
         "chunk_max": args.chunk_max,
         "parallelism": args.parallelism,
+        "transfer_backend": args.transfer_backend,
         "encode_workers": args.encode_workers,
         "max_inflight_per_csp": args.max_inflight_per_csp,
         "max_inflight_total": None,
@@ -655,7 +664,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-avg", type=int, default=256 * 1024)
     p.add_argument("--chunk-max", type=int, default=2 * 1024 * 1024)
     p.add_argument("--parallelism", type=int, default=1,
-                   help="transfer worker threads (1 = serial)")
+                   help="concurrent transfer ops (1 = serial)")
+    p.add_argument("--transfer-backend", choices=("thread", "async"),
+                   default="thread",
+                   help="parallel transfer core: 'thread' pool or "
+                        "'async' event loop (default: thread)")
     p.add_argument("--encode-workers", type=int, default=0,
                    help="erasure-encode worker processes (0 = inline)")
     p.add_argument("--max-inflight-per-csp", type=int, default=None,
@@ -806,6 +819,10 @@ def main(argv: list[str] | None = None) -> int:
     except CyrusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # the single teardown path: whatever clients the command built
+        while _active_clients:
+            _active_clients.pop().close()
 
 
 if __name__ == "__main__":  # pragma: no cover

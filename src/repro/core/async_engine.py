@@ -1,0 +1,529 @@
+"""The asyncio event-driven transfer core.
+
+:class:`AsyncTransferEngine` executes :class:`repro.core.transfer.TransferOp`
+batches on an asyncio event loop: each op is one coroutine gated by two
+:class:`asyncio.Semaphore` admission caps — at most
+``max_inflight_per_csp`` concurrent operations per provider and at most
+``max_inflight_total`` (default ``parallelism``) in flight overall —
+mirroring the bounds of :class:`repro.core.parallel.ScatterGatherPool`
+at a fraction of the per-session cost: a thousand concurrent client
+sessions share one loop instead of a thousand thread pools.
+
+Providers are spoken to through :class:`repro.csp.aio.AsyncCloudProvider`;
+existing synchronous CSPs are wrapped in
+:class:`repro.csp.aio.SyncProviderAdapter` automatically, offloading each
+blocking call to a bounded engine-owned executor.  Native async
+providers are awaited directly on the loop.
+
+The engine presents *both* faces of the stable API:
+
+* ``await execute_async(ops, ...)`` — the native coroutine, for async
+  pipelines and :class:`repro.core.async_client.AsyncCyrusClient`;
+* ``execute(ops, ...)`` — the synchronous bridge the existing
+  uploader/downloader/retry stack calls, which submits the coroutine to
+  the engine's loop (an externally bound running loop, or a lazily
+  started background loop the engine owns) and blocks the calling
+  pipeline thread for the result.
+
+Correctness anchor: at ``parallelism=1`` with synchronous providers the
+engine never touches the loop at all — ``execute`` takes the inherited
+serial :class:`repro.core.transfer.DirectEngine` path, bit-for-bit
+identical to the serial reference engine.  The semantics of the async
+path (group-quota straggler cancellation, streaming ``on_result``
+follow-ups, breaker fail-fast, health recording, pool occupancy gauges)
+replicate the thread pool's exactly; the hypothesis outcome-identity
+suite pins cloud state equality across backends and parallelism levels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs import Observability
+
+from repro.core.parallel import (
+    POOL_CANCELLED,
+    POOL_DISPATCH,
+    POOL_INFLIGHT,
+    POOL_INFLIGHT_PEAK,
+    POOL_INFLIGHT_TOTAL,
+    POOL_QUEUE_DEPTH,
+    ResultHook,
+)
+from repro.core.transfer import DirectEngine, OpKind, OpResult, TransferOp
+from repro.csp.aio import AsyncCloudProvider, SyncProviderAdapter
+from repro.csp.base import CloudProvider
+from repro.csp.resilient import HealthRegistry
+from repro.errors import CSPError, TransferError, is_retryable
+from repro.util.clock import Clock, WallClock, sleep_on
+
+#: Upper bound on the dispatch executor; sync-adapted providers cannot
+#: usefully exceed this many truly concurrent blocking calls anyway.
+_MAX_DISPATCH_THREADS = 32
+
+
+class _AsyncBatch:
+    """State of one in-progress batch (confined to the event loop)."""
+
+    __slots__ = ("results", "unresolved", "quota", "on_result", "done",
+                 "queued")
+
+    def __init__(
+        self,
+        group_quota: Mapping[Hashable, int] | None,
+        on_result: ResultHook | None,
+    ):
+        self.results: list[OpResult | None] = []
+        self.unresolved = 0
+        self.quota: dict[Hashable, int] = dict(group_quota or {})
+        self.on_result = on_result
+        self.done = asyncio.Event()
+        self.queued = 0  # ops admitted but not yet holding a dispatch slot
+
+
+class AsyncTransferEngine(DirectEngine):
+    """Event-driven engine: semaphore-capped coroutines per batch.
+
+    ``parallelism=1`` with synchronous providers short-circuits to the
+    inherited serial ``DirectEngine.execute`` — identical behaviour, no
+    loop or executor ever started.  ``parallelism>1`` (or any native
+    async provider) routes batches through the event loop.
+
+    Args:
+        providers: Sync providers, async providers, or a mix.
+        loop: An externally owned *running* loop to bind to (e.g. the
+            caller's, via :func:`asyncio.get_running_loop`).  When None
+            the engine lazily starts a private background loop thread
+            on first parallel use and owns its lifecycle.
+        executor: Dispatch executor for sync-adapted provider calls and
+            lazy ``data_fn`` encodes.  When None the engine creates one
+            sized ``min(max_inflight_total or parallelism, 32)`` and
+            owns its shutdown.
+    """
+
+    def __init__(
+        self,
+        providers: Mapping[str, CloudProvider | AsyncCloudProvider],
+        clock: Clock | None = None,
+        receiver=None,
+        health: HealthRegistry | None = None,
+        obs: "Observability | None" = None,
+        parallelism: int = 1,
+        max_inflight_per_csp: int | None = None,
+        max_inflight_total: int | None = None,
+        loop: asyncio.AbstractEventLoop | None = None,
+        executor: concurrent.futures.Executor | None = None,
+    ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        sync_map: dict[str, CloudProvider] = {}
+        native: dict[str, AsyncCloudProvider] = {}
+        for csp_id, prov in dict(providers).items():
+            if isinstance(prov, AsyncCloudProvider):
+                native[csp_id] = prov
+            else:
+                sync_map[csp_id] = prov
+        super().__init__(sync_map, clock=clock, receiver=receiver,
+                         health=health, obs=obs)
+        self.parallelism = parallelism
+        self.max_inflight_per_csp = max_inflight_per_csp
+        self.max_inflight_total = (
+            max_inflight_total if max_inflight_total is not None else parallelism
+        )
+        self._native = native
+        self._adapters: dict[str, SyncProviderAdapter] = {}
+        self._loop = loop
+        self._owns_loop = False
+        self._loop_thread: threading.Thread | None = None
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._closed = False
+        # asyncio primitives bind to a loop on first use; recreated if
+        # the engine is ever re-bound (single-loop engines never are)
+        self._sem_loop: asyncio.AbstractEventLoop | None = None
+        self._sem_total: asyncio.Semaphore | None = None
+        self._sem_csp: dict[str, asyncio.Semaphore] = {}
+        # loop-confined occupancy (exported via the pool gauge names)
+        self._inflight: dict[str, int] = {}
+        self._inflight_total = 0
+        self._lifecycle = threading.Lock()
+
+    # -- capability flags (consulted by the pipelines) ---------------------
+
+    @property
+    def parallel_enabled(self) -> bool:
+        """True when batches genuinely run concurrently — the gate for
+        lazy share encoding and streaming failover in the pipelines."""
+        return self.parallelism > 1
+
+    @property
+    def native_async(self) -> bool:
+        """Marker for callers that can hand the engine whole coroutines
+        (e.g. :class:`repro.core.retry.ShareRetryLoop` delegating to
+        :class:`repro.core.async_retry.AsyncShareRetryLoop`)."""
+        return True
+
+    # -- providers ---------------------------------------------------------
+
+    def register_provider(
+        self, provider: CloudProvider | AsyncCloudProvider
+    ) -> None:
+        if isinstance(provider, AsyncCloudProvider):
+            self._native[provider.csp_id] = provider
+            self._providers.pop(provider.csp_id, None)
+        else:
+            super().register_provider(provider)
+            self._native.pop(provider.csp_id, None)
+        self._adapters.pop(provider.csp_id, None)
+
+    def unregister_provider(self, csp_id: str) -> None:
+        super().unregister_provider(csp_id)
+        self._native.pop(csp_id, None)
+        self._adapters.pop(csp_id, None)
+
+    def provider(self, csp_id: str) -> CloudProvider:
+        if csp_id in self._native and csp_id not in self._providers:
+            raise TransferError(
+                f"{csp_id!r} is a native async provider; "
+                f"use async_provider() from async code"
+            )
+        return super().provider(csp_id)
+
+    def async_provider(self, csp_id: str) -> AsyncCloudProvider:
+        """The async face of one provider (adapting sync ones lazily)."""
+        prov = self._native.get(csp_id)
+        if prov is not None:
+            return prov
+        adapter = self._adapters.get(csp_id)
+        if adapter is None:
+            adapter = SyncProviderAdapter(
+                super().provider(csp_id), executor=self._ensure_executor()
+            )
+            self._adapters[csp_id] = adapter
+        return adapter
+
+    def link_caps(self, direction: str) -> dict[str, float]:
+        caps = super().link_caps(direction)
+        for csp_id in self._native:
+            caps.setdefault(csp_id, 1.0)
+        return caps
+
+    # -- loop / executor lifecycle ----------------------------------------
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Adopt an externally owned running loop (the caller keeps it
+        alive; :meth:`close` will not stop it)."""
+        with self._lifecycle:
+            if self._owns_loop and self._loop is not None \
+                    and self._loop is not loop:
+                raise TransferError(
+                    "engine already owns a background loop; close() first"
+                )
+            self._loop = loop
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lifecycle:
+            if self._closed:
+                raise TransferError("async engine is closed")
+            if self._loop is not None:
+                return self._loop
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="cyrus-aio-loop", daemon=True
+            )
+            thread.start()
+            self._loop = loop
+            self._loop_thread = thread
+            self._owns_loop = True
+            return loop
+
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        with self._lifecycle:
+            if self._executor is None:
+                width = self.max_inflight_total or self.parallelism
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=max(1, min(width, _MAX_DISPATCH_THREADS)),
+                    thread_name_prefix="cyrus-aio-dispatch",
+                )
+                self._owns_executor = True
+            return self._executor
+
+    def close(self) -> None:
+        """Release owned resources (idempotent; a closed engine stays
+        usable on the serial sync path, like a closed ParallelEngine)."""
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            loop, owns_loop = self._loop, self._owns_loop
+            thread = self._loop_thread
+            executor, owns_executor = self._executor, self._owns_executor
+            self._loop = None
+            self._loop_thread = None
+            self._owns_loop = False
+            self._executor = None
+            self._owns_executor = False
+            self.parallelism = 1
+        if owns_executor and executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        if owns_loop and loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=10)
+            loop.close()
+        # a closed engine can still run serial sync batches
+        self._closed = False
+        self._sem_loop = None
+        self._sem_total = None
+        self._sem_csp.clear()
+
+    def run_coro(self, coro):
+        """Run a coroutine on the engine's loop from a non-loop thread."""
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            coro.close()
+            raise TransferError(
+                "run_coro() called from an event loop; await the "
+                "coroutine (or execute_async) directly instead"
+            )
+        loop = self._ensure_loop()
+        return asyncio.run_coroutine_threadsafe(coro, loop).result()
+
+    # -- async sleeping (retry backoff) ------------------------------------
+
+    async def async_sleep(self, seconds: float) -> None:
+        """Backoff sleep that never blocks the loop: wall clocks await
+        :func:`asyncio.sleep`; fake/sim clocks advance instantly via
+        :func:`repro.util.clock.sleep_on`."""
+        if seconds <= 0:
+            return
+        if isinstance(self.clock, WallClock):
+            await asyncio.sleep(seconds)
+        else:
+            sleep_on(self.clock, seconds)
+
+    # -- semaphores --------------------------------------------------------
+
+    def _caps_for(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._sem_loop is not loop:
+            self._sem_loop = loop
+            self._sem_total = asyncio.Semaphore(
+                self.max_inflight_total or self.parallelism
+            )
+            self._sem_csp = {}
+
+    def _csp_sem(self, csp_id: str) -> asyncio.Semaphore | None:
+        if self.max_inflight_per_csp is None:
+            return None
+        sem = self._sem_csp.get(csp_id)
+        if sem is None:
+            sem = asyncio.Semaphore(self.max_inflight_per_csp)
+            self._sem_csp[csp_id] = sem
+        return sem
+
+    # -- gauges (loop-confined state, thread-safe registry) ----------------
+
+    def _gauge_inflight(self, csp_id: str) -> None:
+        obs = self.obs
+        if obs is None:
+            return
+        per_csp = self._inflight.get(csp_id, 0)
+        metrics = obs.metrics
+        metrics.set_gauge(POOL_INFLIGHT, per_csp, csp=csp_id)
+        metrics.set_gauge(POOL_INFLIGHT_TOTAL, self._inflight_total)
+        peak = metrics.gauge(POOL_INFLIGHT_PEAK)
+        peak.set_max(per_csp, csp=csp_id)
+        peak.set_max(self._inflight_total, csp="*")
+
+    def _gauge_queue(self, batch: _AsyncBatch) -> None:
+        if self.obs is not None:
+            self.obs.metrics.set_gauge(POOL_QUEUE_DEPTH, batch.queued)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+        on_result: ResultHook | None = None,
+    ) -> list[OpResult]:
+        """Synchronous bridge for the thread-world pipelines."""
+        needs_loop = self.parallel_enabled or any(
+            op.csp_id in self._native for op in ops
+        )
+        if not needs_loop:
+            results = super().execute(ops, group_quota)
+            if on_result is not None:
+                # serial streaming emulation, identical to ParallelEngine
+                extras = [
+                    extra for result in results
+                    for extra in (on_result(result) or ())
+                ]
+                while extras:
+                    batch = super().execute(extras, group_quota)
+                    results.extend(batch)
+                    extras = [
+                        extra for result in batch
+                        for extra in (on_result(result) or ())
+                    ]
+            return results
+        return self.run_coro(
+            self.execute_async(ops, group_quota=group_quota,
+                               on_result=on_result)
+        )
+
+    async def execute_async(
+        self,
+        ops: Sequence[TransferOp],
+        group_quota: Mapping[Hashable, int] | None = None,
+        on_result: ResultHook | None = None,
+    ) -> list[OpResult]:
+        """Execute one batch natively on the running loop.
+
+        Results come back in submission order (initial ops first, then
+        ``on_result`` follow-ups in enqueue order), like the pool.
+        """
+        loop = asyncio.get_running_loop()
+        self._caps_for(loop)
+        batch = _AsyncBatch(group_quota, on_result)
+        tasks = [self._submit(batch, op) for op in ops]
+        if not tasks:
+            return []
+        await batch.done.wait()
+        results = list(batch.results)
+        if any(r is None for r in results):  # pragma: no cover - invariant
+            raise TransferError("async engine lost an op result")
+        return results  # type: ignore[return-value]
+
+    def _submit(self, batch: _AsyncBatch, op: TransferOp) -> asyncio.Task:
+        idx = len(batch.results)
+        batch.results.append(None)
+        batch.unresolved += 1
+        batch.queued += 1
+        self._gauge_queue(batch)
+        return asyncio.get_running_loop().create_task(
+            self._run_one(batch, idx, op)
+        )
+
+    async def _run_one(self, batch: _AsyncBatch, idx: int,
+                       op: TransferOp) -> None:
+        try:
+            result = await self._perform(batch, op)
+        except Exception as exc:  # engine invariant: a task never vanishes
+            now = self.clock.now()
+            result = OpResult(
+                op=op, ok=False, start=now, end=now, error=str(exc),
+                error_type=type(exc).__name__, retryable=is_retryable(exc),
+            )
+        batch.results[idx] = result
+        if result.ok and op.group is not None and op.group in batch.quota:
+            batch.quota[op.group] -= 1
+        self._emit(result)
+        followups = batch.on_result(result) if batch.on_result else None
+        for extra in followups or ():
+            self._submit(batch, extra)
+        batch.unresolved -= 1
+        if batch.unresolved == 0:
+            batch.done.set()
+
+    def _quota_satisfied(self, batch: _AsyncBatch, op: TransferOp) -> bool:
+        group = op.group
+        return (group is not None and group in batch.quota
+                and batch.quota[group] <= 0)
+
+    def _cancelled(self, op: TransferOp) -> OpResult:
+        if self.obs is not None:
+            self.obs.metrics.inc(POOL_CANCELLED, csp=op.csp_id)
+        now = self.clock.now()
+        return OpResult(op=op, ok=False, start=now, end=now,
+                        cancelled=True, error="group quota satisfied")
+
+    async def _perform(self, batch: _AsyncBatch, op: TransferOp) -> OpResult:
+        if self._quota_satisfied(batch, op):
+            batch.queued -= 1
+            self._gauge_queue(batch)
+            return self._cancelled(op)
+        # per-CSP admission first, so ops queued behind a saturated
+        # provider never hold global slots (the pool's claim-scan
+        # equivalent); the global cap is acquired last, consistently
+        csp_sem = self._csp_sem(op.csp_id)
+        if csp_sem is not None:
+            await csp_sem.acquire()
+        try:
+            await self._sem_total.acquire()
+            try:
+                batch.queued -= 1
+                self._gauge_queue(batch)
+                # the group may have been satisfied while we waited —
+                # the straggler-cancellation point
+                if self._quota_satisfied(batch, op):
+                    return self._cancelled(op)
+                self._inflight[op.csp_id] = (
+                    self._inflight.get(op.csp_id, 0) + 1
+                )
+                self._inflight_total += 1
+                self._gauge_inflight(op.csp_id)
+                if self.obs is not None:
+                    self.obs.metrics.inc(POOL_DISPATCH, csp=op.csp_id)
+                try:
+                    return await self._dispatch_async(op)
+                finally:
+                    self._inflight[op.csp_id] -= 1
+                    self._inflight_total -= 1
+                    self._gauge_inflight(op.csp_id)
+            finally:
+                self._sem_total.release()
+        finally:
+            if csp_sem is not None:
+                csp_sem.release()
+
+    async def _dispatch_async(self, op: TransferOp) -> OpResult:
+        """One op end-to-end on the loop (provider I/O awaited/offloaded).
+
+        Mirrors :meth:`repro.core.parallel.ParallelEngine._dispatch_one`.
+        """
+        start = self.clock.now()
+        blocked = self._breaker_blocks(op, start)
+        if blocked is not None:
+            return blocked
+        try:
+            data = await self._apply_async(op)
+            end = self.clock.now()
+            self._record_health(op.csp_id, None)
+            return OpResult(op=op, ok=True, start=start, end=end, data=data)
+        except CSPError as exc:
+            end = self.clock.now()
+            self._record_health(op.csp_id, exc)
+            return OpResult(op=op, ok=False, start=start, end=end,
+                            error=str(exc), error_type=type(exc).__name__,
+                            retryable=is_retryable(exc))
+
+    async def _apply_async(self, op: TransferOp) -> bytes | None:
+        """Perform the data operation through the async provider face."""
+        prov = self.async_provider(op.csp_id)
+        if op.kind in (OpKind.PUT, OpKind.PUT_META):
+            data = op.data
+            if data is None and op.data_fn is not None:
+                # lazy encodes are CPU work: run them on the dispatch
+                # executor, never the loop
+                loop = asyncio.get_running_loop()
+                data = await loop.run_in_executor(
+                    self._ensure_executor(), op.resolve_data
+                )
+            if data is None:
+                raise TransferError(f"PUT without data: {op.name}")
+            await prov.upload(op.name, data)
+            return None
+        if op.kind in (OpKind.GET, OpKind.GET_META):
+            return await prov.download(op.name)
+        if op.kind == OpKind.DELETE:
+            await prov.delete(op.name)
+            return None
+        raise TransferError(f"unknown op kind {op.kind}")  # pragma: no cover

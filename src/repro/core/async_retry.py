@@ -1,0 +1,146 @@
+"""The native-async share-transfer retry loop.
+
+:class:`AsyncShareRetryLoop` is the coroutine mirror of
+:class:`repro.core.retry.ShareRetryLoop`'s streaming parallel variant:
+identical round structure, failure classification, failover and metric
+accounting, expressed against :meth:`AsyncTransferEngine.execute_async`
+so a whole retry campaign (batches, inter-round backoff, failovers) runs
+on the event loop without a thread hop per round.
+
+``ShareRetryLoop.run`` delegates here automatically when its engine is
+natively async (``engine.native_async`` and ``engine.parallel_enabled``),
+so the synchronous pipelines gain the loop-resident retry path without
+changing a line — and :class:`repro.core.async_client.AsyncCyrusClient`
+sessions share one loop across every concurrent retry campaign.
+
+Concurrency note: the result hook — and through it the caller's
+``on_success``/``on_giveup``/``pick_alternate``/``verify`` callbacks —
+runs on the event-loop thread, one completion at a time.  That gives the
+same mutual-exclusion guarantee the thread-pool variant buys with its
+loop-level lock.  Callbacks must not block on the engine (re-entrant
+``execute`` would stall the loop); the pipelines' callbacks only touch
+their own locked state (journal, gathered-share maps), which the PR 5
+thread-safety audit already requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from repro.core.retry import _MAX_ROUNDS, Item, ShareRetryLoop
+from repro.core.transfer import OpResult, TransferOp
+from repro.csp.resilient import HealthRegistry, RetryPolicy
+from repro.errors import Attempt
+
+
+class AsyncShareRetryLoop:
+    """Round-based retry driver for natively async engines.
+
+    Args:
+        engine: An :class:`repro.core.async_engine.AsyncTransferEngine`
+            (anything exposing ``execute_async`` and ``async_sleep``).
+        policy: Backoff and per-provider attempt budget.
+        health: Optional shared registry gating alternate choice.
+    """
+
+    def __init__(
+        self,
+        engine,
+        policy: RetryPolicy | None = None,
+        health: HealthRegistry | None = None,
+    ):
+        self.engine = engine
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.health = health
+
+    def alternate_is_live(self, csp_id: str) -> bool:
+        """Health gate for alternate choice (True without a registry)."""
+        return self.health is None or self.health.is_live(csp_id)
+
+    async def run(
+        self,
+        items: Sequence[Item],
+        build_op: Callable[[Hashable, str], TransferOp],
+        on_success: Callable[[Hashable, str, OpResult], None],
+        on_giveup: Callable[[Hashable, str, OpResult], None],
+        pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+        verify: Callable[[Hashable, str, OpResult], bool] | None = None,
+    ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
+        """Drive every item to success or exhaustion (see
+        :meth:`repro.core.retry.ShareRetryLoop.run` for the contract)."""
+        check = ShareRetryLoop._check
+        all_results: list[OpResult] = []
+        attempts: dict[Hashable, list[Attempt]] = {key: [] for key, _ in items}
+        tried: dict[Hashable, set[str]] = {key: {csp} for key, csp in items}
+        per_csp_tries: dict[Item, int] = {}
+        pending: list[Item] = list(items)
+        for round_no in range(_MAX_ROUNDS):
+            if not pending:
+                break
+            if round_no > 0:
+                # all pending items are same-provider transient retries:
+                # back off once per round, without blocking the loop
+                await self.engine.async_sleep(self.policy.delay(round_no))
+            deferred: list[Item] = []
+            assign: dict[int, Item] = {}
+            # id(op) -> verify-reclassified result, so all_results shows
+            # the same failure the callbacks saw (as on the serial path)
+            checked: dict[int, OpResult] = {}
+            ops: list[TransferOp] = []
+            for key, csp in pending:
+                op = build_op(key, csp)
+                assign[id(op)] = (key, csp)
+                ops.append(op)
+
+            def hook(result: OpResult, _assign=assign, _deferred=deferred,
+                     _checked=checked,
+                     _round=round_no) -> list[TransferOp] | None:
+                # loop-thread confined: completions arrive one at a time
+                item = _assign.pop(id(result.op), None)
+                if item is None:  # pragma: no cover - foreign op
+                    return None
+                key, csp = item
+                verified = check(verify, key, csp, result)
+                if verified is not result:
+                    _checked[id(result.op)] = verified
+                result = verified
+                attempts.setdefault(key, []).append(Attempt(
+                    csp_id=csp, round_no=_round, ok=result.ok,
+                    error=result.error, error_type=result.error_type,
+                ))
+                if result.ok:
+                    on_success(key, csp, result)
+                    return None
+                per_csp_tries[(key, csp)] = (
+                    per_csp_tries.get((key, csp), 0) + 1
+                )
+                retryable = bool(result.retryable) and not result.cancelled
+                if (retryable
+                        and per_csp_tries[(key, csp)]
+                        < self.policy.max_attempts
+                        and self.alternate_is_live(csp)):
+                    obs = getattr(self.engine, "obs", None)
+                    if obs is not None:
+                        obs.metrics.inc("cyrus_share_retries_total",
+                                        csp=csp)
+                    _deferred.append((key, csp))
+                    return None
+                on_giveup(key, csp, result)
+                alternate = pick_alternate(key, csp, tried[key])
+                if alternate is None:
+                    return None
+                obs = getattr(self.engine, "obs", None)
+                if obs is not None:
+                    obs.metrics.inc("cyrus_share_failovers_total",
+                                    from_csp=csp, to_csp=alternate)
+                tried[key].add(alternate)
+                new_op = build_op(key, alternate)
+                _assign[id(new_op)] = (key, alternate)
+                return [new_op]
+
+            results = await self.engine.execute_async(ops, on_result=hook)
+            all_results.extend(
+                checked.get(id(r.op), r) for r in results
+            )
+            pending = deferred
+        return all_results, attempts

@@ -106,6 +106,9 @@ class CyrusClient:
         self.config = config
         self.engine = engine
         self.client_id = client_id
+        # engines built by create() belong to the client — close() shuts
+        # them down; an injected engine belongs to its creator
+        self._owns_engine = False
         # optional repro.erasure.pool.EncodePool (built automatically by
         # create() when config.encode_workers > 0); owned by the client
         # when _owns_encode_pool — close() shuts the workers down
@@ -180,21 +183,30 @@ class CyrusClient:
     ) -> "CyrusClient":
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
+        owns_engine = engine is None
         if engine is None:
-            # parallelism=1 (the default) keeps ParallelEngine on the
+            # parallelism=1 (the default) keeps both backends on the
             # inherited serial DirectEngine path — identical behaviour
-            engine = ParallelEngine(
+            if config.transfer_backend == "async":
+                from repro.core.async_engine import AsyncTransferEngine
+
+                engine_cls = AsyncTransferEngine
+            else:
+                engine_cls = ParallelEngine
+            engine = engine_cls(
                 {p.csp_id: p for p in providers},
                 parallelism=config.parallelism,
                 max_inflight_per_csp=config.max_inflight_per_csp,
                 max_inflight_total=config.max_inflight_total,
             )
-        return cls(
+        client = cls(
             cloud, config, engine, client_id,
             selector=selector, chunker=chunker, cache=cache,
             journal=journal, debt_ledger=debt_ledger,
             encode_pool=encode_pool,
         )
+        client._owns_engine = owns_engine
+        return client
 
     def _rebuild_store(self) -> None:
         self.store = MetadataStore(
@@ -225,15 +237,25 @@ class CyrusClient:
         )
 
     def close(self) -> None:
-        """Release client-owned resources (the encode pool's workers).
+        """Release every client-owned resource in one place: the encode
+        pool's worker processes and the transfer engine's threads/loop.
 
-        Idempotent; only pools the client built itself are shut down —
-        an injected pool belongs to its creator.
+        Idempotent; only resources the client built itself (via
+        ``create()`` or ``__init__`` defaults) are shut down — injected
+        pools and engines belong to their creators.  The client remains
+        usable for serial work afterwards (closed engines fall back to
+        the serial path), so ``with`` blocks can be followed by
+        diagnostics.
         """
         if self._owns_encode_pool and self.encode_pool is not None:
             self.encode_pool.close()
             self.encode_pool = None
             self._owns_encode_pool = False
+        if self._owns_engine:
+            closer = getattr(self.engine, "close", None)
+            if callable(closer):
+                closer()
+            self._owns_engine = False
 
     def __enter__(self) -> "CyrusClient":
         return self
@@ -599,7 +621,7 @@ class CyrusClient:
             if self.cloud.status_of(csp_id) is not CSPStatus.FAILED:
                 continue  # removed CSPs stay removed
             try:
-                self.cloud.provider(csp_id).list("")
+                self.cloud.provider(csp_id).list(prefix="")
             except CSPError:
                 continue
             self.cloud.mark_recovered(csp_id)

@@ -50,10 +50,10 @@ class _MetadataSlot(CloudProvider):
     def authenticate(self, credentials):
         return self._target().authenticate(credentials)
 
-    def list(self, prefix: str = ""):
-        return self._target().list(prefix)
+    def list(self, *, prefix: str = ""):
+        return self._target().list(prefix=prefix)
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data) -> None:
         self._target().upload(name, data)
 
     def download(self, name: str) -> bytes:

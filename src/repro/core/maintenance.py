@@ -73,7 +73,7 @@ def import_object(client, csp_id: str, object_name: str,
 
 
 def _object_size(provider, object_name: str) -> int:
-    for info in provider.list(object_name):
+    for info in provider.list(prefix=object_name):
         if info.name == object_name:
             return info.size
     return 0

@@ -155,7 +155,7 @@ def migrate_metadata(
         for provider, obj_name, share in store.shares_for(node):
             try:
                 existing = {info.name for info in provider.list(
-                    metadata_share_name(node_id, share.index)
+                    prefix=metadata_share_name(node_id, share.index)
                 )}
             except CSPError:
                 continue  # slot down; nothing to do

@@ -112,6 +112,9 @@ class ShareRetryLoop:
             ``(all op results, per-key attempt history)``.
         """
         if getattr(self.engine, "parallel_enabled", False):
+            if getattr(self.engine, "native_async", False):
+                return self._run_async(items, build_op, on_success,
+                                       on_giveup, pick_alternate, verify)
             return self._run_parallel(items, build_op, on_success,
                                       on_giveup, pick_alternate, verify)
         all_results: list[OpResult] = []
@@ -164,6 +167,33 @@ class ShareRetryLoop:
                     next_pending.append((key, alternate))
             pending = next_pending
         return all_results, attempts
+
+    def _run_async(
+        self,
+        items: Sequence[Item],
+        build_op: Callable[[Hashable, str], TransferOp],
+        on_success: Callable[[Hashable, str, OpResult], None],
+        on_giveup: Callable[[Hashable, str, OpResult], None],
+        pick_alternate: Callable[[Hashable, str, set[str]], str | None],
+        verify: Callable[[Hashable, str, OpResult], bool] | None = None,
+    ) -> tuple[list[OpResult], dict[Hashable, list[Attempt]]]:
+        """Delegate the whole campaign to the engine's event loop.
+
+        For natively async engines the coroutine mirror
+        (:class:`repro.core.async_retry.AsyncShareRetryLoop`) runs every
+        round — batches, backoff, streaming failover — loop-resident,
+        instead of hopping a thread per batch through the sync bridge.
+        The calling pipeline thread blocks on the campaign's result, so
+        the pipelines' contract is unchanged.
+        """
+        from repro.core.async_retry import AsyncShareRetryLoop
+
+        aloop = AsyncShareRetryLoop(self.engine, policy=self.policy,
+                                    health=self.health)
+        return self.engine.run_coro(
+            aloop.run(items, build_op, on_success, on_giveup,
+                      pick_alternate, verify)
+        )
 
     def _run_parallel(
         self,

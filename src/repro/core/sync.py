@@ -59,7 +59,7 @@ class SyncService:
         reachable = 0
         for provider in self.store.providers:
             try:
-                infos = provider.list(METADATA_PREFIX)
+                infos = provider.list(prefix=METADATA_PREFIX)
             except CSPError:
                 continue
             reachable += 1

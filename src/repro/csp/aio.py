@@ -1,0 +1,123 @@
+"""Async cloud-provider protocol and the sync-provider adapter.
+
+The asyncio transfer core (:mod:`repro.core.async_engine`) speaks to
+providers through :class:`AsyncCloudProvider` — the same five primitives
+as :class:`repro.csp.base.CloudProvider`, as coroutines.  Two kinds of
+implementation exist:
+
+* native async providers (e.g. a future aiohttp-backed REST connector)
+  subclass :class:`AsyncCloudProvider` directly and get genuine
+  event-driven concurrency — thousands of in-flight operations cost
+  one coroutine each, not one thread each;
+* every existing synchronous provider is adapted by
+  :class:`SyncProviderAdapter`, which offloads each blocking call to a
+  thread-pool executor (``loop.run_in_executor``).  Concurrency for
+  adapted providers is therefore additionally bounded by the executor
+  width, which the engine sizes from its in-flight caps.
+
+:func:`as_async_provider` is the canonical coercion: async providers
+pass through untouched, sync providers gain an adapter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING
+
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.csp.account import AuthToken, Credentials
+
+
+class AsyncCloudProvider(ABC):
+    """Abstract async CSP exposing the five basic operations.
+
+    The contract mirrors :class:`repro.csp.base.CloudProvider` exactly —
+    same error hierarchy, same keyword-only ``list(prefix=...)``, same
+    bytes-like ``upload`` payloads — with every method a coroutine.
+    """
+
+    def __init__(self, csp_id: str):
+        self.csp_id = csp_id
+
+    @abstractmethod
+    async def authenticate(self, credentials: "Credentials") -> "AuthToken":
+        """Exchange credentials for a session token."""
+
+    @abstractmethod
+    async def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
+
+    @abstractmethod
+    async def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``."""
+
+    @abstractmethod
+    async def download(self, name: str) -> bytes:
+        """Retrieve the object stored under ``name``."""
+
+    @abstractmethod
+    async def delete(self, name: str) -> None:
+        """Remove the object stored under ``name``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.csp_id!r}>"
+
+
+class SyncProviderAdapter(AsyncCloudProvider):
+    """Adapt a synchronous provider to the async protocol.
+
+    Each call runs on ``executor`` via ``loop.run_in_executor`` (the
+    loop's default executor when None), so a blocking provider never
+    stalls the event loop.  The adapter adds no semantics of its own:
+    exceptions, return values and retry classification are exactly the
+    wrapped provider's.
+    """
+
+    def __init__(self, inner: CloudProvider, executor: Executor | None = None):
+        super().__init__(inner.csp_id)
+        self.inner = inner
+        #: engine-owned dispatch executor; mutable so the owning engine
+        #: can (re)bind its pool after construction
+        self.executor = executor
+
+    async def _offload(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        call = functools.partial(fn, *args, **kwargs)
+        return await loop.run_in_executor(self.executor, call)
+
+    async def authenticate(self, credentials: "Credentials") -> "AuthToken":
+        return await self._offload(self.inner.authenticate, credentials)
+
+    async def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        return await self._offload(self.inner.list, prefix=prefix)
+
+    async def upload(self, name: str, data: BytesLike) -> None:
+        await self._offload(self.inner.upload, name, data)
+
+    async def download(self, name: str) -> bytes:
+        return await self._offload(self.inner.download, name)
+
+    async def delete(self, name: str) -> None:
+        await self._offload(self.inner.delete, name)
+
+    def is_up(self, t: float | None = None) -> bool:
+        """Delegate reachability to the wrapped provider when it models it."""
+        checker = getattr(self.inner, "is_up", None)
+        if callable(checker):
+            return bool(checker(t))
+        return True
+
+
+def as_async_provider(
+    provider: CloudProvider | AsyncCloudProvider,
+    executor: Executor | None = None,
+) -> AsyncCloudProvider:
+    """Coerce any provider to the async protocol (idempotent)."""
+    if isinstance(provider, AsyncCloudProvider):
+        return provider
+    return SyncProviderAdapter(provider, executor=executor)

@@ -13,6 +13,13 @@ from dataclasses import dataclass
 
 from repro.csp.account import AuthToken, Credentials
 
+#: Payload type accepted by ``upload``: anything exposing the buffer
+#: protocol.  The zero-copy encode path hands providers ``memoryview``
+#: slices of the encoded share arrays; an implementation may only
+#: materialise (``bytes(data)``) when it must retain the payload beyond
+#: the call.
+BytesLike = bytes | bytearray | memoryview
+
 
 @dataclass(frozen=True)
 class ObjectInfo:
@@ -42,12 +49,12 @@ class CloudProvider(ABC):
         """Exchange credentials for a session token."""
 
     @abstractmethod
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
         """List stored objects whose names start with ``prefix``."""
 
     @abstractmethod
-    def upload(self, name: str, data: bytes) -> None:
-        """Store ``data`` under ``name``."""
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``."""
 
     @abstractmethod
     def download(self, name: str) -> bytes:

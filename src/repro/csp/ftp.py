@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.csp.account import AuthToken, Credentials
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.errors import CSPAuthError, CSPError, ObjectNotFoundError
 
 
@@ -171,7 +171,8 @@ class FtpStyleCSP(CloudProvider):
         return AuthToken(token="ftp-session",
                          account_id=credentials.account_id)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
         reply = self._run(f"LIST {prefix}".rstrip())
         out = []
         for line in reply.payload.decode("utf-8").splitlines():
@@ -182,7 +183,12 @@ class FtpStyleCSP(CloudProvider):
                                   modified=float(modified)))
         return out
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``.
+
+        The server's STOR retains the payload, which is its single
+        materialisation; the wire layer passes the buffer through.
+        """
         # STOR to a .part name, then rename: a session that dies
         # mid-STOR leaves a sweepable temporary, never a torn object
         # under the real name (mirrors LocalDirectoryCSP)

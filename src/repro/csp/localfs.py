@@ -14,7 +14,7 @@ import re
 from pathlib import Path
 
 from repro.csp.account import AuthToken, Credentials, issue_token
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.errors import CSPError, ObjectNotFoundError
 
 _SAFE_NAME = re.compile(r"^[A-Za-z0-9._-]+$")
@@ -51,7 +51,8 @@ class LocalDirectoryCSP(CloudProvider):
     def authenticate(self, credentials: Credentials) -> AuthToken:
         return issue_token(credentials, provider_secret=self.csp_id)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
         out = []
         for path in sorted(self.root.iterdir()):
             if not path.is_file() or not path.name.startswith(prefix):
@@ -64,7 +65,11 @@ class LocalDirectoryCSP(CloudProvider):
             )
         return out
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``.
+
+        Zero-copy: ``write_bytes`` accepts any buffer directly.
+        """
         # write-then-rename so a crashed upload never leaves a torn object
         target = self._path(name)
         tmp = target.with_name(target.name + ".part")

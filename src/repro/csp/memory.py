@@ -4,7 +4,7 @@
 from __future__ import annotations
 
 from repro.csp.account import AuthToken, Credentials, issue_token
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.errors import ObjectNotFoundError
 
 
@@ -58,7 +58,8 @@ class InMemoryCSP(CloudProvider):
     def authenticate(self, credentials: Credentials) -> AuthToken:
         return issue_token(credentials, provider_secret=self.csp_id)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
         out = []
         for name, revs in sorted(self._objects.items()):
             if not name.startswith(prefix):
@@ -67,7 +68,13 @@ class InMemoryCSP(CloudProvider):
             out.append(ObjectInfo(name=name, size=len(data), modified=modified))
         return out
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``.
+
+        The single ``bytes(data)`` is the retention copy the store
+        needs anyway (the caller may reuse its buffer); a payload that
+        is already ``bytes`` is not copied again.
+        """
         stamp = self._tick()
         if self.overwrite or name not in self._objects:
             self._objects[name] = [(stamp, bytes(data))]

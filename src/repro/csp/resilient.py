@@ -29,7 +29,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.errors import (
     CircuitOpenError,
     CSPError,
@@ -571,10 +571,16 @@ class ResilientProvider(CloudProvider):
         return self._call("authenticate",
                           lambda: self.inner.authenticate(credentials))
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
-        return self._call("list", lambda: self.inner.list(prefix))
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
+        return self._call("list", lambda: self.inner.list(prefix=prefix))
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``.
+
+        The buffer passes through untouched; retention (if any) is the
+        wrapped provider's.
+        """
         self._call(f"upload {name}", lambda: self.inner.upload(name, data),
                    up_bytes=len(data))
 

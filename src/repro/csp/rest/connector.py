@@ -10,7 +10,7 @@ status codes into the library's exception hierarchy.
 from __future__ import annotations
 
 from repro.csp.account import AuthToken, Credentials
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.csp.rest.dialects import Dialect
 from repro.csp.rest.server import InProcessRestServer
 from repro.csp.rest.wire import WireResponse
@@ -119,14 +119,14 @@ class RestConnectorCSP(CloudProvider):
         return AuthToken(token=self._token or "signed",
                          account_id=credentials.account_id)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
         response = self._call(
             lambda token: self.dialect.list_request(token, prefix)
         )
         self._raise_for(response, prefix or "<all>")
         return self.dialect.parse_list(response)
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
         response = self._call(
             lambda token: self.dialect.upload_request(token, name, data)
         )

@@ -15,7 +15,7 @@ import random
 from typing import Sequence
 
 from repro.csp.account import AuthToken, Credentials, issue_token
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.csp.memory import InMemoryCSP
 from repro.errors import CSPAuthError, CSPQuotaExceededError, CSPUnavailableError
 from repro.netsim.link import Link
@@ -187,12 +187,18 @@ class SimulatedCSP(CloudProvider):
         self._session = token
         return token
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        """List stored objects whose names start with ``prefix``."""
         self._check_up()
         self._check_auth()
-        return self._store.list(prefix)
+        return self._store.list(prefix=prefix)
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
+        """Store ``data`` (any bytes-like object) under ``name``.
+
+        The backing store's retention copy is the single
+        materialisation; quota accounting uses the buffer length.
+        """
         self._check_up()
         self._check_auth()
         replaced = 0

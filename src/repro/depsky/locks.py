@@ -71,7 +71,7 @@ class LockProtocol:
             prefix = f"ds-lock-{object_key}-"
             for csp in self.csp_ids:
                 try:
-                    infos = self.engine.provider(csp).list(prefix)
+                    infos = self.engine.provider(csp).list(prefix=prefix)
                 except Exception:  # provider down: can't see contention there
                     continue
                 owners = {info.name[len(prefix):] for info in infos}

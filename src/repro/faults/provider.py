@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.csp.base import CloudProvider, ObjectInfo
+from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.errors import (
     CSPAuthError,
     CSPQuotaExceededError,
@@ -151,13 +151,13 @@ class FaultyProvider(CloudProvider):
             self.calls_reaching_inner += 1
         return self.inner.authenticate(credentials)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
         self._before("list", prefix)
         with self._lock:
             self.calls_reaching_inner += 1
-        return self.inner.list(prefix)
+        return self.inner.list(prefix=prefix)
 
-    def upload(self, name: str, data: bytes) -> None:
+    def upload(self, name: str, data: BytesLike) -> None:
         self._before("upload", name, size=len(data))
         with self._lock:
             self.calls_reaching_inner += 1

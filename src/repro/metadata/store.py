@@ -122,7 +122,7 @@ class MetadataStore:
         reachable = 0
         for provider in self.providers:
             try:
-                infos = provider.list(METADATA_PREFIX)
+                infos = provider.list(prefix=METADATA_PREFIX)
             except CSPError:
                 continue
             reachable += 1

@@ -278,7 +278,7 @@ def _recover_migrate(client, journal, intent, report, actions) -> bool:
         try:
             provider = client.cloud.provider(csp_id)
             exists = any(info.name == obj_name
-                         for info in provider.list(obj_name))
+                         for info in provider.list(prefix=obj_name))
         except (KeyError, CSPError):
             continue  # unreachable: a live share there is never harmful
         if not exists:

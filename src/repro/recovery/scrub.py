@@ -168,7 +168,7 @@ def _census(client) -> tuple[dict[str, set[str]], set[str]]:
     for csp_id in client.cloud.active_csps():
         try:
             listings[csp_id] = {
-                info.name for info in client.cloud.provider(csp_id).list("")
+                info.name for info in client.cloud.provider(csp_id).list(prefix="")
             }
         except CSPError:
             unreachable.add(csp_id)

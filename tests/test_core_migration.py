@@ -115,7 +115,7 @@ class TestMetadataMigration:
     def test_restores_wiped_slot(self, client, csps):
         client.put("f.bin", deterministic_bytes(1000, 9))
         victim = csps[0]
-        for info in list(victim.list("md-")):
+        for info in list(victim.list(prefix="md-")):
             victim.delete(info.name)
         wrote = migrate_metadata(client.store, client.tree, client.engine)
         assert wrote == len(client.tree.node_ids())

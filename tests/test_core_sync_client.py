@@ -44,10 +44,10 @@ class TestSync:
 
         original = type(csps[0]).list
 
-        def flaky_list(self, prefix=""):
+        def flaky_list(self, *, prefix=""):
             if self.csp_id == "csp0":
                 raise CSPUnavailableError("down", csp_id="csp0")
-            return original(self, prefix)
+            return original(self, prefix=prefix)
 
         monkeypatch.setattr(type(csps[0]), "list", flaky_list)
         report = second_client.sync()

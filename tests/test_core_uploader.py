@@ -88,7 +88,7 @@ class TestDedup:
         data = deterministic_bytes(8000, 10)
         def share_objects():
             return {
-                (c.csp_id, info.name) for c in csps for info in c.list("")
+                (c.csp_id, info.name) for c in csps for info in c.list(prefix="")
                 if len(info.name) == 40
             }
 

@@ -50,7 +50,7 @@ class TestFivePrimitives:
         csp.upload("md-a", b"1")
         csp.upload("md-b", b"22")
         csp.upload("xx", b"3")
-        infos = csp.list("md-")
+        infos = csp.list(prefix="md-")
         assert [i.name for i in infos] == ["md-a", "md-b"]
         assert [i.size for i in infos] == [1, 2]
 
@@ -95,7 +95,7 @@ class TestAtomicUpload:
         csp, server = make_ftp()
         csp.upload("visible", b"x")
         server.files["limbo.part"] = (1.0, b"half")
-        assert [i.name for i in csp.list("")] == ["visible"]
+        assert [i.name for i in csp.list(prefix="")] == ["visible"]
 
     def test_connect_sweeps_stale_part_objects(self):
         server = InProcessFtpServer(accounts={"alice": "pw"})

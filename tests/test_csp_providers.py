@@ -32,7 +32,7 @@ class TestInMemory:
         csp.upload("md-1", b"a")
         csp.upload("md-2", b"bb")
         csp.upload("sh-1", b"c")
-        names = [o.name for o in csp.list("md-")]
+        names = [o.name for o in csp.list(prefix="md-")]
         assert names == ["md-1", "md-2"]
 
     def test_list_sizes(self):
@@ -103,7 +103,7 @@ class TestLocalDirectory:
         csp.upload("md-aa", b"1")
         csp.upload("md-bb", b"22")
         csp.upload("zz", b"3")
-        infos = csp.list("md-")
+        infos = csp.list(prefix="md-")
         assert [o.name for o in infos] == ["md-aa", "md-bb"]
         assert [o.size for o in infos] == [1, 2]
 

@@ -47,9 +47,9 @@ class _FlakyCSP(CloudProvider):
         self._maybe_fail()
         return self.inner.authenticate(credentials)
 
-    def list(self, prefix: str = ""):
+    def list(self, *, prefix: str = ""):
         self._maybe_fail()
-        return self.inner.list(prefix)
+        return self.inner.list(prefix=prefix)
 
     def upload(self, name, data):
         self._maybe_fail()

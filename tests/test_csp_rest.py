@@ -54,7 +54,7 @@ class TestFivePrimitives:
         connector.upload("md-0001", b"a")
         connector.upload("md-0002", b"bb")
         connector.upload("zz-0003", b"c")
-        infos = connector.list("md-")
+        infos = connector.list(prefix="md-")
         assert [i.name for i in infos] == ["md-0001", "md-0002"]
         assert [i.size for i in infos] == [1, 2]
 
@@ -95,7 +95,7 @@ class TestFivePrimitives:
         connector.upload("deadbeef", b"identical")
         connector.upload("deadbeef", b"identical")
         assert connector.download("deadbeef") == b"identical"
-        assert [i.name for i in connector.list("deadbeef")] == ["deadbeef"]
+        assert [i.name for i in connector.list(prefix="deadbeef")] == ["deadbeef"]
 
 
 class TestVendorQuirks:

@@ -24,10 +24,10 @@ class TestLockProtocol:
         locks.acquire("obj", "w1")
         # our lock objects exist at every CSP
         for csp in ids:
-            assert engine.provider(csp).list("ds-lock-obj-")
+            assert engine.provider(csp).list(prefix="ds-lock-obj-")
         locks.release("obj", "w1")
         for csp in ids:
-            assert not engine.provider(csp).list("ds-lock-obj-")
+            assert not engine.provider(csp).list(prefix="ds-lock-obj-")
 
     def test_contention_detected(self):
         engine, ids = direct_engine()
@@ -79,7 +79,7 @@ class TestDepSkyData:
         ds = DepSkyClient(engine, ids, key="k", backoff_range=(0.0, 0.0))
         ds.upload("file", b"x" * 100)
         for csp in ids:
-            assert not engine.provider(csp).list("ds-lock-")
+            assert not engine.provider(csp).list(prefix="ds-lock-")
 
 
 class TestDepSkyBehaviour:
@@ -122,6 +122,6 @@ class TestDepSkyBehaviour:
         ds.upload("f", data)
         # delete one stored share; download must fall through
         provider = engine.provider(ids[0])
-        for info in list(provider.list("ds-share-")):
+        for info in list(provider.list(prefix="ds-share-")):
             provider.delete(info.name)
         assert ds.download("f").data == data

@@ -37,8 +37,8 @@ class EqualLatencyCSP(CloudProvider):
     def authenticate(self, credentials):
         return self.inner.authenticate(credentials)
 
-    def list(self, prefix: str = ""):
-        return self.inner.list(prefix)
+    def list(self, *, prefix: str = ""):
+        return self.inner.list(prefix=prefix)
 
     def upload(self, name: str, data: bytes) -> None:
         time.sleep(self.service_time_s)

@@ -77,8 +77,8 @@ class GateProvider(CloudProvider):
     def authenticate(self, credentials):
         return self.inner.authenticate(credentials)
 
-    def list(self, prefix: str = "") -> list[ObjectInfo]:
-        return self.inner.list(prefix)
+    def list(self, *, prefix: str = "") -> list[ObjectInfo]:
+        return self.inner.list(prefix=prefix)
 
     def upload(self, name: str, data: bytes) -> None:
         with self.probe:

@@ -27,9 +27,10 @@ from repro.util.hashing import sha1_hex  # noqa: E402
 from tests.conftest import SMALL_CHUNKS  # noqa: E402
 
 LEVELS = (1, 2, 8)
+BACKENDS = ("thread", "async")
 
 
-def _run_workload(files: list[bytes], parallelism: int):
+def _run_workload(files: list[bytes], parallelism: int, backend: str = "thread"):
     """Fresh fleet + client; put every file, read every file back.
 
     Returns (reads, per-CSP object maps, chunk table) — everything
@@ -40,18 +41,22 @@ def _run_workload(files: list[bytes], parallelism: int):
         key="prop-key", t=2, n=3,
         parallelism=parallelism,
         max_inflight_per_csp=2 if parallelism > 1 else None,
+        transfer_backend=backend,
         **SMALL_CHUNKS,
     )
     client = CyrusClient.create(csps, config, client_id="alice")
-    for i, data in enumerate(files):
-        client.put(f"file-{i}.bin", data)
-    reads = tuple(
-        client.get(f"file-{i}.bin").data for i in range(len(files))
-    )
+    try:
+        for i, data in enumerate(files):
+            client.put(f"file-{i}.bin", data)
+        reads = tuple(
+            client.get(f"file-{i}.bin").data for i in range(len(files))
+        )
+    finally:
+        client.close()
     objects = {}
     for csp in csps:
         inventory = {}
-        for info in csp.list(""):
+        for info in csp.list(prefix=""):
             if _SHARE_NAME.match(info.name):
                 inventory[info.name] = sha1_hex(csp.download(info.name))
             else:  # metadata: name identity only (payload has timestamps)
@@ -86,4 +91,39 @@ def test_outcome_is_identical_across_parallelism_levels(files):
         assert table == base_table, f"parallelism={level} chunk table differs"
         assert objects == base_objects, (
             f"parallelism={level} left different objects in the cloud"
+        )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    files=st.lists(
+        st.binary(min_size=0, max_size=4096), min_size=1, max_size=3
+    )
+)
+def test_async_backend_outcome_matches_serial_reference(files):
+    """The asyncio engine is outcome-identical to the serial engine.
+
+    At parallelism=1 this is the bit-for-bit anchor: the async engine
+    short-circuits to the inherited serial path, so provider state,
+    chunk tables and share hashes must match the thread-backend serial
+    baseline exactly.  Higher levels then pin the event-loop dispatch
+    path to the same outcome.
+    """
+    baseline = _run_workload(files, parallelism=1, backend="thread")
+    base_reads, base_objects, base_table = baseline
+    assert base_reads == tuple(files)
+    for level in LEVELS:
+        reads, objects, table = _run_workload(
+            files, parallelism=level, backend="async"
+        )
+        assert reads == base_reads, f"async parallelism={level} read differs"
+        assert table == base_table, (
+            f"async parallelism={level} chunk table differs"
+        )
+        assert objects == base_objects, (
+            f"async parallelism={level} left different objects in the cloud"
         )

@@ -71,8 +71,8 @@ class CountingCSP(CloudProvider):
     def authenticate(self, credentials):
         return self.inner.authenticate(credentials)
 
-    def list(self, prefix: str = ""):
-        return self.inner.list(prefix)
+    def list(self, *, prefix: str = ""):
+        return self.inner.list(prefix=prefix)
 
     def upload(self, name: str, data: bytes) -> None:
         self.inner.upload(name, data)

@@ -71,7 +71,7 @@ def _ground_truth(inner):
     out = {}
     for provider in inner:
         out[provider.csp_id] = {
-            info.name for info in provider.list("")
+            info.name for info in provider.list(prefix="")
             if len(info.name) == 40
             and all(ch in "0123456789abcdef" for ch in info.name)
         }

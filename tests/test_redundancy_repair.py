@@ -69,7 +69,7 @@ def _share_census(inner):
     """chunk-share object name -> number of providers holding it."""
     census: dict[str, int] = {}
     for provider in inner:
-        for info in provider.list(""):
+        for info in provider.list(prefix=""):
             name = info.name
             if len(name) == 40 and all(c in "0123456789abcdef"
                                        for c in name):
