@@ -331,6 +331,12 @@ def cmd_scrub(args) -> int:
           f"{report.shares_missing} missing, "
           f"{report.shares_corrupt} corrupt, "
           f"{report.shares_repaired} repaired")
+    if report.meta_nodes_scanned:
+        print(f"scrub metadata: {report.meta_nodes_scanned} node(s), "
+              f"{report.meta_shares_verified} share(s) verified, "
+              f"{report.meta_shares_missing} missing, "
+              f"{report.meta_shares_corrupt} corrupt, "
+              f"{report.meta_debts_recorded} repair debt(s) recorded")
     if report.placements_adopted:
         print(f"adopted {report.placements_adopted} untracked share(s) "
               f"into the chunk table")
@@ -516,6 +522,17 @@ def cmd_stats(args) -> int:
               f"{degraded:.0f} degraded chunk write(s) this invocation")
         for csp, count in sorted(corrupt.items()):
             print(f"  {csp:<16} {count:>6.0f} corrupt share(s) detected")
+    meta_debts = (sum(1 for e in client.debt_ledger.open_debts()
+                      if e.kind == "meta")
+                  if client.debt_ledger is not None else 0)
+    meta_corrupt = snap.counter_by("cyrus_metadata_corrupt_shares_total",
+                                   "csp")
+    meta_pub_fail = snap.counter_total("cyrus_metadata_publish_failures_total")
+    print(f"metadata health: {meta_debts} open repair debt(s), "
+          f"{sum(meta_corrupt.values()):.0f} corrupt share(s), "
+          f"{meta_pub_fail:.0f} publish failure(s) this invocation")
+    for csp, count in sorted(meta_corrupt.items()):
+        print(f"  {csp:<16} {count:>6.0f} corrupt metadata share(s)")
     stats = client.storage_stats()
     print(f"stored: {stats['stored_share_bytes']:,} bytes across "
           f"{len(stats['per_csp_bytes'])} providers")
@@ -533,6 +550,7 @@ def cmd_debts(args) -> int:
             {
                 "debt_id": d.debt_id,
                 "chunk_id": d.chunk_id,
+                "kind": d.kind,
                 "missing": list(d.missing),
                 "failed_csps": list(d.failed_csps),
                 "attempts": d.attempts,
@@ -546,8 +564,10 @@ def cmd_debts(args) -> int:
     print(f"{len(debts)} open debt(s):")
     for d in debts:
         suspects = ", ".join(d.failed_csps) or "-"
-        print(f"  {d.chunk_id[:12]}  missing shares {list(d.missing)}  "
-              f"suspects: {suspects}  attempts: {d.attempts}")
+        what = "metadata node" if d.kind == "meta" else "chunk"
+        print(f"  {what} {d.chunk_id[:12]}  missing shares "
+              f"{list(d.missing)}  suspects: {suspects}  "
+              f"attempts: {d.attempts}")
     print("run `cyrus repair` to re-disperse the missing shares")
     return 1
 

@@ -134,7 +134,6 @@ class CyrusClient:
         self.last_recovery = None
         self.tree = MetadataTree()
         self.chunk_table = GlobalChunkTable()
-        self._rebuild_store()
         self._selector = selector
         self._chunker = chunker
         self.cache = cache  # optional repro.core.cache.ChunkCache
@@ -162,6 +161,9 @@ class CyrusClient:
         self._retry_policy = retry_policy
         self.health_events: list[HealthEvent] = []
         self.health.subscribe(self.health_events.append)
+        # built after health/obs/ledger so the metadata plane shares the
+        # data path's quarantine rules and debt ledger
+        self._rebuild_store()
         self._rebuild_pipelines()
 
     # -- construction -------------------------------------------------------
@@ -212,6 +214,8 @@ class CyrusClient:
         self.store = MetadataStore(
             self.cloud.metadata_slots(), key=self.config.key,
             t=self.config.meta_t,
+            health=self.health, metrics=self.obs.metrics,
+            ledger=self.debt_ledger, clock=self.engine.clock,
         )
 
     def _rebuild_pipelines(self) -> None:
@@ -480,14 +484,17 @@ class CyrusClient:
         return self.last_recovery
 
     def scrub(self, budget_shares: int | None = None, cursor: int = 0,
-              repair: bool = True, delete_orphans: bool = False):
+              repair: bool = True, delete_orphans: bool = False,
+              meta_cursor: int = 0, scrub_metadata: bool = True):
         """One anti-entropy pass (or budgeted slice) over the chunk
-        table; returns the :class:`repro.recovery.ScrubReport`."""
+        table and the metadata plane; returns the
+        :class:`repro.recovery.ScrubReport`."""
         from repro.recovery import run_scrub
 
         return run_scrub(
             self, budget_shares=budget_shares, cursor=cursor,
             repair=repair, delete_orphans=delete_orphans,
+            meta_cursor=meta_cursor, scrub_metadata=scrub_metadata,
         )
 
     def repair_debts(self, budget_shares: int | None = None,

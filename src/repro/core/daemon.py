@@ -29,6 +29,8 @@ class DaemonTick:
     debts_retired: int = 0
     debt_shares_rebuilt: int = 0
     debts_open: int = 0
+    meta_shares_verified: int = 0
+    meta_debts_recorded: int = 0
 
 
 @dataclass
@@ -49,6 +51,9 @@ class SyncDaemon:
             a :class:`repro.redundancy.DebtLedger` attached).  Runs
             *before* the scrub so known debts outrank speculative
             verification under a shared tick's worth of provider budget.
+        scrub_metadata: Include the metadata-plane census + verify in
+            each scrub slice (damage becomes ``meta`` debts the repair
+            budget drains on a later tick).
     """
 
     client: CyrusClient
@@ -56,6 +61,7 @@ class SyncDaemon:
     auto_resolve: bool = False
     scrub_budget: int = 0
     repair_budget: int = 0
+    scrub_metadata: bool = True
     ticks: list[DaemonTick] = field(default_factory=list)
     _next_due: float = field(default=0.0, init=False)
     _scrubber: object = field(default=None, init=False, repr=False)
@@ -92,17 +98,21 @@ class SyncDaemon:
                 # recorded per entry, next tick retries
                 debts_open = len(self.client.debt_ledger)
         scrub_verified = scrub_repaired = 0
+        meta_verified = meta_debts = 0
         if self.scrub_budget > 0:
             if self._scrubber is None:
                 from repro.recovery import Scrubber
 
                 self._scrubber = Scrubber(
                     self.client, budget_shares=self.scrub_budget,
+                    scrub_metadata=self.scrub_metadata,
                 )
             try:
                 scrub = self._scrubber.run_slice()
                 scrub_verified = scrub.shares_verified
                 scrub_repaired = scrub.shares_repaired
+                meta_verified = scrub.meta_shares_verified
+                meta_debts = scrub.meta_debts_recorded
             except CyrusError:
                 pass  # providers too degraded to scrub; next tick retries
         entry = DaemonTick(
@@ -116,6 +126,8 @@ class SyncDaemon:
             debts_retired=debts_retired,
             debt_shares_rebuilt=debt_shares_rebuilt,
             debts_open=debts_open,
+            meta_shares_verified=meta_verified,
+            meta_debts_recorded=meta_debts,
         )
         self.ticks.append(entry)
         self._next_due = clock_now + self.interval_s

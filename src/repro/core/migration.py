@@ -20,7 +20,6 @@ from repro.core.uploader import get_sharer
 from repro.errors import CSPError, MetadataError
 from repro.metadata import GlobalChunkTable, MetadataStore, MetadataTree
 from repro.metadata.chunktable import ChunkLocation
-from repro.metadata.codec import metadata_share_name
 
 
 @dataclass(frozen=True)
@@ -151,11 +150,10 @@ def migrate_metadata(
     """
     written = 0
     for node in tree:
-        node_id = node.node_id
-        for provider, obj_name, share in store.shares_for(node):
+        for provider, obj_name, blob, _index in store.frames_for(node):
             try:
                 existing = {info.name for info in provider.list(
-                    prefix=metadata_share_name(node_id, share.index)
+                    prefix=obj_name
                 )}
             except CSPError:
                 continue  # slot down; nothing to do
@@ -167,7 +165,7 @@ def migrate_metadata(
                         kind=OpKind.PUT_META,
                         csp_id=provider.csp_id,
                         name=obj_name,
-                        data=MetadataStore._pack(share),
+                        data=blob,
                     )
                 ]
             )

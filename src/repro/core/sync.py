@@ -3,8 +3,10 @@
 Clients discover remote changes by listing the metadata objects at the
 fixed metadata CSPs — every upload creates a new metadata node, so new
 node ids in the listing are exactly the changes.  New nodes are fetched
-(t shares each), merged into the local tree, folded into the global
-chunk table, and checked for both conflict types.
+from every listed slot, decoded through the verified assembler (corrupt
+shares are attributed to their CSP, the highest verified version wins),
+merged into the local tree, folded into the global chunk table, and
+checked for both conflict types.
 
 Local change detection (the other half of the paper's sync service) is
 :class:`LocalChangeDetector`: it compares last-modified times first and
@@ -16,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.transfer import OpKind, OpResult, TransferEngine, TransferOp
-from repro.errors import CSPError, InsufficientSharesError, MetadataError
+from repro.errors import CSPError, MetadataError
 from repro.metadata import GlobalChunkTable, MetadataStore, MetadataTree
 from repro.metadata.codec import METADATA_PREFIX, parse_metadata_share_name
 from repro.metadata.conflicts import Conflict, conflicts_for_node
@@ -91,13 +93,16 @@ class SyncService:
         all_results: list[OpResult] = []
         new_nodes = 0
         conflicts: list[Conflict] = []
-        # one parallel batch: t share GETs per new node
+        # one parallel batch: every listed share of each new node.  The
+        # verified decode must see all slots, not the first t — up to
+        # m - t of them may be corrupt, or stale leftovers of an
+        # interrupted publish, and only the full view lets the
+        # assembler prefer the highest verified version
         ops: list[TransferOp] = []
-        op_index: dict[int, tuple[str, int]] = {}
+        op_index: dict[int, tuple[str, int, str]] = {}
         for node_id, shares in sorted(wanted.items()):
-            chosen = sorted(shares)[: self.store.t]
-            for index, size, csp_id in chosen:
-                op_index[len(ops)] = (node_id, index)
+            for index, size, csp_id in sorted(shares):
+                op_index[len(ops)] = (node_id, index, csp_id)
                 ops.append(
                     TransferOp(
                         kind=OpKind.GET_META,
@@ -108,44 +113,25 @@ class SyncService:
                 )
         results = self.engine.execute(ops)
         all_results.extend(results)
-        blobs: dict[str, dict[int, bytes]] = {}
+        assemblers: dict[str, object] = {}
         for i, result in enumerate(results):
-            node_id, index = op_index[i]
+            node_id, index, csp_id = op_index[i]
+            asm = assemblers.setdefault(
+                node_id, self.store.assembler(node_id)
+            )
             if result.ok:
-                blobs.setdefault(node_id, {})[index] = result.data
+                asm.add(index, csp_id, result.data)
+            elif result.error_type == "ObjectNotFoundError":
+                asm.note_missing(index)
+            else:
+                asm.note_unreachable(index)
         decoded_nodes = []
-        for node_id, shares in sorted(wanted.items()):
-            got = blobs.get(node_id, {})
-            missing = self.store.t - len(got)
-            if missing > 0:
-                # retry on slots we did not try in the batch
-                tried = set(got)
-                extra = [s for s in sorted(shares) if s[0] not in tried][
-                    : missing
-                ]
-                retry_ops = [
-                    TransferOp(
-                        kind=OpKind.GET_META,
-                        csp_id=csp_id,
-                        name=f"{METADATA_PREFIX}{node_id}-{index:03d}",
-                        size=size,
-                    )
-                    for index, size, csp_id in extra
-                ]
-                for op, result in zip(retry_ops, self.engine.execute(retry_ops)):
-                    all_results.append(result)
-                    if result.ok:
-                        _, index = parse_metadata_share_name(op.name)
-                        got[index] = result.data
-            if len(got) < self.store.t:
-                continue  # node not currently reconstructible; next sync
-            share_objs = [
-                self.store._unpack(blob, index) for index, blob in got.items()
-            ]
-            try:
-                node = self.store.decode_shares(share_objs[: self.store.t])
-            except (MetadataError, InsufficientSharesError):
-                continue
+        for node_id in sorted(assemblers):
+            # finish() verifies, attributes corrupt slots to their CSPs
+            # and records repair debts — identically on both backends
+            node = assemblers[node_id].finish()
+            if node is None:
+                continue  # no verified quorum this round; next sync
             decoded_nodes.append(node)
         # merge everything first: a fetched node's ancestor may itself be
         # new this round, and conflict traversal needs the full picture

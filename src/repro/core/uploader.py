@@ -534,16 +534,20 @@ class Uploader:
         Metadata slots are fixed (the name encodes the slot), so there
         is no failing over to an alternate CSP — but transient failures
         are retried in place with backoff, on the same attempt budget
-        as share transfers.
+        as share transfers.  Shares go out in the authenticated v2
+        envelope; a publish that lands t but not m shares is accepted
+        *and* recorded as a metadata repair debt, with the failed
+        providers named in metrics and (on abort) in the error.
         """
+        frames = self.store.frames_for(node)
         ops = [
             TransferOp(
                 kind=OpKind.PUT_META,
                 csp_id=provider.csp_id,
                 name=obj_name,
-                data=MetadataStore._pack(share),
+                data=blob,
             )
-            for provider, obj_name, share in self.store.shares_for(node)
+            for provider, obj_name, blob, _index in frames
         ]
         policy = self.retry_loop.policy
         final: dict[int, OpResult] = {}
@@ -566,11 +570,37 @@ class Uploader:
                 break
         results = [final[i] for i in range(len(ops))]
         stored = sum(1 for r in results if r.ok)
+        failed = [
+            (frames[i][0].csp_id, frames[i][3], results[i])
+            for i in range(len(ops)) if not results[i].ok
+        ]
+        obs = getattr(self.engine, "obs", None)
+        if obs is not None:
+            from repro.metadata.store import META_PUBLISH_FAILURES
+
+            for csp_id, _index, _res in failed:
+                obs.metrics.inc(META_PUBLISH_FAILURES, csp=csp_id)
         if stored < self.store.t:
+            names = ", ".join(sorted({csp for csp, _i, _r in failed}))
             raise TransferError(
                 f"metadata for {node.name!r}: only {stored} shares stored, "
-                f"need {self.store.t}"
+                f"need {self.store.t} (failed providers: {names})"
             )
+        if failed and self.ledger is not None:
+            # degraded publish: accepted, but short of m-way dispersal —
+            # a durable obligation the repair loop re-disperses
+            self.ledger.record(
+                node.node_id,
+                missing=tuple(sorted(index for _c, index, _r in failed)),
+                failed_csps=tuple(sorted({csp for csp, _i, _r in failed})),
+                kind="meta",
+            )
+            if obs is not None:
+                from repro.metadata.store import META_DEBTS_RECORDED
+                from repro.redundancy.ledger import DEBT_RECORDED
+
+                obs.metrics.inc(DEBT_RECORDED)
+                obs.metrics.inc(META_DEBTS_RECORDED)
         return results
 
     def publish_tombstone(

@@ -272,3 +272,35 @@ class FaultPlan:
                 probability=latency_rate, delay_s=latency_s,
             ))
         return cls(specs, seed=seed)
+
+    @classmethod
+    def metadata_byzantine(
+        cls,
+        seed: int = 0,
+        liar_csp_ids: Sequence[str] = (),
+        corrupt_rate: float = 1.0,
+        outage_csp_id: str | None = None,
+        outage_window_ops: tuple[int, int | None] = (0, None),
+        name_prefix: str = "md-",
+    ) -> "FaultPlan":
+        """Byzantine metadata plane: lying slots plus an optional outage.
+
+        Every ``liar_csp_ids`` provider serves persistently corrupted
+        bytes (CORRUPT_READ, so re-reads see the same rot) for objects
+        under ``name_prefix`` — by default the metadata namespace, so
+        data shares stay clean and the scenario isolates the metadata
+        plane.  Keep ``len(liar_csp_ids)`` plus the outage at or below
+        ``m - t`` for the verified fetch to stay live.
+        """
+        specs: list[FaultSpec] = []
+        if liar_csp_ids and corrupt_rate > 0:
+            specs.append(FaultSpec(
+                kind=FaultKind.CORRUPT_READ, csp_ids=tuple(liar_csp_ids),
+                name_prefix=name_prefix, probability=corrupt_rate,
+            ))
+        if outage_csp_id is not None:
+            specs.append(FaultSpec(
+                kind=FaultKind.OUTAGE, csp_ids=(outage_csp_id,),
+                window_ops=tuple(outage_window_ops),
+            ))
+        return cls(specs, seed=seed)

@@ -1,4 +1,4 @@
-"""Metadata serialization and share naming.
+"""Metadata serialization, share naming, and the share envelope.
 
 Nodes serialise to canonical JSON (so node bytes — and therefore the
 shares cut from them — are identical across clients).  Metadata share
@@ -7,12 +7,27 @@ unlike chunk shares, metadata shares must be *discoverable* by listing
 ("Changes at CSPs can be seen by looking up the list of metadata files
 stored in the cloud", Section 5.4), and a node id is itself a hash that
 reveals nothing about file contents.
+
+Stored shares are wrapped in an authenticated **envelope** (v2 frame):
+a magic marker, a publish stamp, the plaintext chunk size, a SHA-1 over
+the share payload (detects a provider that rotted or tampered with the
+bytes it returns), and a SHA-1 over the node plaintext (detects a
+provider that forged a self-consistent envelope around wrong share
+bytes, and groups shares of the same encoding when an interrupted
+publish leaves slots disagreeing).  The legacy v1 frame — a bare
+8-byte chunk-size header — still parses, with the same backward-compat
+discipline as the optional 6th chunkMap column: pre-envelope shares
+are unverifiable-but-usable, never rejected.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.erasure import Share
 from repro.errors import MetadataError
 from repro.metadata.node import ChunkRecord, MetadataNode, ShareRecord
+from repro.util.hashing import sha1_hex
 from repro.util.serialization import canonical_dumps, canonical_loads
 
 #: Format version embedded in every encoded node.
@@ -20,6 +35,13 @@ CODEC_VERSION = 1
 
 #: Listing prefix for metadata shares.
 METADATA_PREFIX = "md-"
+
+#: Magic marker opening a v2 (authenticated) share frame.  A legacy v1
+#: frame opens with an 8-byte big-endian chunk size whose first bytes
+#: are zero for any real metadata node, so the two cannot collide.
+FRAME_MAGIC = b"CYM2"
+
+_DIGEST_LEN = 20  # raw SHA-1
 
 
 def encode_node(node: MetadataNode) -> bytes:
@@ -78,6 +100,82 @@ def decode_node(data: bytes) -> MetadataNode:
         raise
     except (KeyError, IndexError, TypeError, ValueError) as exc:
         raise MetadataError(f"corrupt metadata node: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class MetaShareFrame:
+    """One unframed metadata share as stored at a provider.
+
+    Attributes:
+        payload: The share bytes (the secret-shared node slice).
+        chunk_size: Plaintext length the sharer must truncate to.
+        stamp: Publish generation (milliseconds of the publisher's
+            clock; 0 for legacy frames and clock-less stores).  Higher
+            stamps are preferred when shares of one node id disagree —
+            an interrupted publish leaves stale slots behind.
+        share_digest: SHA-1 hex of ``payload``, or None for legacy v1
+            frames (unverifiable-but-usable).
+        node_digest: SHA-1 hex of the node plaintext this share was cut
+            from, or None for legacy frames.  Shares are only ever
+            combined within one node-digest group.
+    """
+
+    payload: bytes
+    chunk_size: int
+    stamp: int = 0
+    share_digest: str | None = None
+    node_digest: str | None = None
+
+    @property
+    def authenticated(self) -> bool:
+        return self.node_digest is not None
+
+    def payload_intact(self) -> bool:
+        """Does the payload match its own digest?  (Always True for
+        legacy frames — there is nothing to check against.)"""
+        if self.share_digest is None:
+            return True
+        return sha1_hex(self.payload) == self.share_digest
+
+    def to_share(self, index: int, t: int, n: int) -> Share:
+        return Share(index=index, data=self.payload, t=t, n=n,
+                     chunk_size=self.chunk_size)
+
+
+def pack_meta_share(payload: bytes, chunk_size: int, node_digest: str,
+                    stamp: int = 0) -> bytes:
+    """Frame one share in the authenticated v2 envelope."""
+    if len(node_digest) != 2 * _DIGEST_LEN:
+        raise MetadataError(f"node digest must be SHA-1 hex, got {node_digest!r}")
+    return (
+        FRAME_MAGIC
+        + max(0, int(stamp)).to_bytes(8, "big")
+        + chunk_size.to_bytes(8, "big")
+        + bytes.fromhex(sha1_hex(payload))
+        + bytes.fromhex(node_digest)
+        + payload
+    )
+
+
+def unpack_meta_share(blob: bytes) -> MetaShareFrame:
+    """Parse either frame version; raises MetadataError on garbage."""
+    if blob[:4] == FRAME_MAGIC:
+        header = 4 + 8 + 8 + 2 * _DIGEST_LEN
+        if len(blob) < header:
+            raise MetadataError("metadata share frame truncated")
+        stamp = int.from_bytes(blob[4:12], "big")
+        size = int.from_bytes(blob[12:20], "big")
+        share_digest = blob[20:20 + _DIGEST_LEN].hex()
+        node_digest = blob[20 + _DIGEST_LEN:header].hex()
+        return MetaShareFrame(
+            payload=blob[header:], chunk_size=size, stamp=stamp,
+            share_digest=share_digest, node_digest=node_digest,
+        )
+    if len(blob) < 8:
+        raise MetadataError("metadata share too short")
+    return MetaShareFrame(
+        payload=blob[8:], chunk_size=int.from_bytes(blob[:8], "big"),
+    )
 
 
 def metadata_share_name(node_id: str, index: int) -> str:

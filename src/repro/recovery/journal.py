@@ -58,7 +58,7 @@ STAGES = (BEGIN, SHARE_INTENT, SHARE_UPLOADED, DEBT, META_INTENT,
           META_PUBLISHED, COMMIT)
 
 #: Operations a ``begin`` record may name.
-OPS = ("put", "delete", "gc", "migrate")
+OPS = ("put", "delete", "gc", "migrate", "meta-repair")
 
 
 class JournalError(CyrusError):

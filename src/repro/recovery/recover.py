@@ -23,7 +23,10 @@ one correct repair:
 ``gc`` intents roll forward (re-delete the recorded doomed chunks that
 are still unreferenced); ``migrate`` intents reconcile (adopt the moved
 share into the chunk table if it landed, delete it if its chunk is no
-longer known).
+longer known); ``meta-repair`` intents roll forward (re-publish the
+journaled node verbatim — metadata slot names are fixed per node and
+index, so the replay overwrites identical-meaning bytes and can never
+duplicate a share).
 
 Every repair action is idempotent — deletes tolerate already-gone
 objects, re-publishes overwrite identical bytes, adoption is a set
@@ -109,6 +112,9 @@ def recover_client(client, journal: IntentJournal | None = None) -> RecoveryRepo
                 elif intent.op == "migrate":
                     done = _recover_migrate(client, journal, intent,
                                             report, actions)
+                elif intent.op == "meta-repair":
+                    done = _recover_meta_repair(client, journal, intent,
+                                                report, actions)
                 else:
                     journal.commit(intent.intent_id, outcome="unknown-op")
                     actions.append(f"{intent.intent_id}: unknown op "
@@ -260,6 +266,37 @@ def _recover_gc(client, journal, intent, report, actions) -> bool:
     client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op="gc")
     actions.append(f"gc: re-deleted {deleted} share(s) of recorded "
                    f"unreferenced chunks")
+    return True
+
+
+def _recover_meta_repair(client, journal, intent, report, actions) -> bool:
+    """Roll a crashed metadata re-dispersal forward.
+
+    The intent carries the node verbatim, so the replay simply
+    re-publishes it across every slot — an idempotent overwrite (the
+    repaired slots get a fresh envelope stamp; shares of identical
+    plaintext group together at fetch regardless of stamp).  The open
+    debt was never retired, so the next repair tick re-censuses and
+    retires it once the slots verify.
+    """
+    begin = intent.first(BEGIN)
+    node_id = str(begin.fields.get("node_id", ""))[:12]
+    try:
+        node = decode_node(str(begin.fields["node"]).encode("utf-8"))
+    except (KeyError, CyrusError):
+        # an unreadable intent cannot be replayed; the debt ledger still
+        # holds the obligation, so closing the intent loses nothing
+        journal.commit(intent.intent_id, outcome="unreadable")
+        actions.append(f"meta-repair {node_id}: unreadable intent, closed "
+                       f"(debt ledger still owns the deficit)")
+        return True
+    client.uploader._publish(node)  # raises if < t slots reachable
+    client.tree.add(node)
+    journal.commit(intent.intent_id, outcome="rolled-forward")
+    report.rolled_forward += 1
+    report.meta_republished += 1
+    client.obs.metrics.inc(RECOVERY_ROLLFORWARD, op="meta-repair")
+    actions.append(f"meta-repair {node_id}: re-published metadata node")
     return True
 
 

@@ -39,6 +39,8 @@ from repro.core.transfer import OpKind, TransferOp
 from repro.core.uploader import get_sharer
 from repro.erasure import Share
 from repro.errors import CSPError, CyrusError
+from repro.metadata.codec import unpack_meta_share
+from repro.metadata.store import META_CORRUPT_SHARES
 from repro.obs import span_if
 from repro.util.hashing import sha1_hex
 
@@ -68,6 +70,13 @@ class ScrubReport:
     unreachable_csps: tuple[str, ...] = ()
     cursor: int = 0
     budget_exhausted: bool = False
+    # metadata plane census + verify
+    meta_nodes_scanned: int = 0
+    meta_shares_verified: int = 0
+    meta_shares_missing: int = 0
+    meta_shares_corrupt: int = 0
+    meta_debts_recorded: int = 0
+    meta_cursor: int = 0
 
     @property
     def complete(self) -> bool:
@@ -77,7 +86,9 @@ class ScrubReport:
     def healthy(self) -> bool:
         return (not self.unrecoverable_chunks and not self.orphans
                 and self.shares_missing == self.shares_repaired == 0
-                and self.shares_corrupt == 0)
+                and self.shares_corrupt == 0
+                and self.meta_shares_missing == 0
+                and self.meta_shares_corrupt == 0)
 
 
 def run_scrub(
@@ -87,6 +98,8 @@ def run_scrub(
     repair: bool = True,
     delete_orphans: bool = False,
     journal=None,
+    meta_cursor: int = 0,
+    scrub_metadata: bool = True,
 ) -> ScrubReport:
     """One scrub pass (or budget-limited slice) over the chunk table.
 
@@ -94,6 +107,17 @@ def run_scrub(
     unbounded, i.e. a full-table integrity pass); ``cursor`` is where
     in the (sorted) chunk list to start, taken from the previous
     slice's report.  With ``repair=False`` the pass only reports.
+
+    With ``scrub_metadata`` (the default) the pass also runs a census +
+    budgeted verify over the metadata plane from ``meta_cursor``:
+    every known node's shares are checked against the per-slot listings
+    and, within a metadata budget of the same size (a separate pool, so
+    neither plane starves the other), downloaded and compared to
+    regenerated truth.
+    Damage becomes ``meta`` repair debts — re-dispersal itself is
+    :func:`repro.redundancy.repair.run_repair`'s job — and corrupt
+    shares are attributed to their CSP exactly like a decode-time
+    verification failure.
     """
     if journal is None:
         journal = getattr(client, "journal", None)
@@ -112,6 +136,17 @@ def run_scrub(
             report.orphans_deleted = _delete_orphans(client, report.orphans)
         # round-robin verification slice from the cursor
         budget = [budget_shares if budget_shares is not None else None]
+        # the metadata pass gets its own budget pool of the same size:
+        # metadata shares are tiny, and sharing one pool would let
+        # either plane starve the other's sweep indefinitely
+        if scrub_metadata:
+            meta_budget = [budget_shares]
+            report.meta_cursor = _scrub_metadata(
+                client, listings, unreachable, meta_budget, report,
+                meta_cursor,
+            )
+        else:
+            report.meta_cursor = meta_cursor
         start = cursor % len(chunk_ids) if chunk_ids else 0
         rotation = chunk_ids[start:] + chunk_ids[:start]
         unrecoverable: list[str] = []
@@ -147,14 +182,19 @@ class Scrubber:
     repair: bool = True
     delete_orphans: bool = False
     cursor: int = field(default=0)
+    scrub_metadata: bool = True
+    meta_cursor: int = field(default=0)
 
     def run_slice(self) -> ScrubReport:
         report = run_scrub(
             self.client, budget_shares=self.budget_shares,
             cursor=self.cursor, repair=self.repair,
             delete_orphans=self.delete_orphans,
+            meta_cursor=self.meta_cursor,
+            scrub_metadata=self.scrub_metadata,
         )
         self.cursor = report.cursor
+        self.meta_cursor = report.meta_cursor
         return report
 
 
@@ -222,6 +262,91 @@ def _delete_orphans(client, orphans) -> int:
         for csp_id, name in orphans
     ])
     return sum(1 for r in results if r.ok)
+
+
+# -- phase 1.5: metadata census + verify -----------------------------------
+
+
+def _scrub_metadata(client, listings, unreachable, budget, report,
+                    meta_cursor) -> int:
+    """Walk known nodes round-robin; verify their shares within budget.
+
+    Returns the next metadata cursor.  Reuses the census listings (the
+    per-CSP ``list(prefix="")`` already covers ``md-*`` objects), so
+    the missing-share check is free; only the byte-level verify spends
+    budget.
+    """
+    node_ids = sorted(client.tree.node_ids())
+    if not node_ids:
+        return 0
+    start = meta_cursor % len(node_ids)
+    rotation = node_ids[start:] + node_ids[:start]
+    scanned = 0
+    for node_id in rotation:
+        if budget[0] is not None and budget[0] <= 0:
+            report.budget_exhausted = True
+            break
+        _scrub_node_shares(client, node_id, listings, budget, report)
+        scanned += 1
+    report.meta_nodes_scanned = scanned
+    return (start + scanned) % len(node_ids)
+
+
+def _scrub_node_shares(client, node_id, listings, budget, report) -> None:
+    store = client.store
+    try:
+        node = client.tree.get(node_id)
+    except CyrusError:
+        return
+    missing: set[int] = set()
+    corrupt_csps: set[str] = set()
+    # (csp, name, index, true payload bytes) per judgeable slot
+    probe: list[tuple[str, str, int, bytes]] = []
+    for provider, name, share in store.shares_for(node):
+        csp_id = provider.csp_id
+        if csp_id not in listings:
+            continue  # unlisted slot this pass: no verdict
+        if name not in listings[csp_id]:
+            report.meta_shares_missing += 1
+            missing.add(share.index)
+            continue
+        probe.append((csp_id, name, share.index, share.data))
+    if budget[0] is not None:
+        probe = probe[:max(0, budget[0])]
+        budget[0] -= len(probe)
+    ops = [
+        TransferOp(kind=OpKind.GET_META, csp_id=csp_id, name=name)
+        for csp_id, name, _index, _truth in probe
+    ]
+    for (csp_id, name, index, truth), result in zip(
+        probe, client.engine.execute(ops)
+    ):
+        if not result.ok:
+            report.meta_shares_missing += 1
+            missing.add(index)
+            continue
+        report.meta_shares_verified += 1
+        try:
+            frame = unpack_meta_share(result.data)
+            intact = frame.payload_intact() and frame.payload == truth
+        except CyrusError:
+            intact = False
+        if intact:
+            continue
+        report.meta_shares_corrupt += 1
+        missing.add(index)
+        corrupt_csps.add(csp_id)
+        health = getattr(client, "health", None)
+        if health is not None:
+            health.record_corruption(
+                csp_id,
+                detail=f"scrub: metadata {node_id[:8]} share {index} corrupt",
+            )
+        client.obs.metrics.inc(META_CORRUPT_SHARES, csp=csp_id)
+    if missing:
+        store._record_meta_debt(node_id, sorted(missing),
+                                sorted(corrupt_csps))
+        report.meta_debts_recorded += 1
 
 
 # -- phase 2: verify + repair ----------------------------------------------

@@ -65,7 +65,8 @@ class DebtEntry:
 
     Attributes:
         debt_id: Stable id; re-records for the same chunk merge into it.
-        chunk_id: The under-replicated chunk.
+        chunk_id: The under-replicated object — a chunk id, or a
+            metadata node id when ``kind == "meta"``.
         missing: Share indices not verifiably held on a healthy CSP at
             record time (advisory — the repair loop re-derives the true
             deficit from the chunk table before acting).
@@ -84,6 +85,10 @@ class DebtEntry:
     created: float = 0.0
     attempts: int = 0
     last_attempt: float = 0.0
+    #: What the id names: "chunk" (a data chunk, the default — legacy
+    #: ledger lines carry no kind field) or "meta" (a metadata node id
+    #: whose scattered shares need re-dispersal).
+    kind: str = "chunk"
 
     def next_due(self, base: float = 30.0, multiplier: float = 2.0,
                  max_delay: float = 3600.0) -> float:
@@ -148,21 +153,30 @@ class DebtLedger:
             if self.fsync:
                 os.fsync(handle.fileno())
 
+    @staticmethod
+    def _chunk_key(chunk_id: str, kind: str) -> str:
+        """Open-debt merge key: chunk and meta ids live in one 40-hex
+        namespace, so the kind disambiguates (a legacy plain chunk id
+        keys as ``chunk:<id>``)."""
+        return f"{kind}:{chunk_id}"
+
     def record(
         self,
         chunk_id: str,
         missing: tuple[int, ...] | list[int],
         failed_csps: tuple[str, ...] | list[str] = (),
+        kind: str = "chunk",
     ) -> str:
-        """Record (or merge into) the open debt for one chunk.
+        """Record (or merge into) the open debt for one object.
 
-        Returns the debt id.  A chunk with an open debt gets its entry
-        *merged* — union of missing indices and suspect CSPs — so a
-        degraded write followed by a corrupt-read detection produces one
-        obligation, not two.
+        Returns the debt id.  An object with an open debt gets its
+        entry *merged* — union of missing indices and suspect CSPs — so
+        a degraded write followed by a corrupt-read detection produces
+        one obligation, not two.  ``kind`` distinguishes data chunks
+        (the default) from metadata nodes (``"meta"``).
         """
         with self._lock:
-            existing_id = self._by_chunk.get(chunk_id)
+            existing_id = self._by_chunk.get(self._chunk_key(chunk_id, kind))
             now = self._now()
             if existing_id is not None:
                 entry = self._open[existing_id]
@@ -183,19 +197,25 @@ class DebtLedger:
                     missing=tuple(sorted(set(missing))),
                     failed_csps=tuple(sorted(set(failed_csps))),
                     created=now,
+                    kind=kind,
                 )
-            self._seq += 1
-            self._append({
+            doc = {
                 "kind": DEBT,
                 "id": entry.debt_id,
-                "seq": self._seq,
+                "seq": self._seq + 1,
                 "time": now,
                 "chunk": entry.chunk_id,
                 "missing": list(entry.missing),
                 "failed": list(entry.failed_csps),
-            })
+            }
+            # chunk-debt lines stay byte-identical to the pre-meta
+            # format; only metadata debts carry the extra field
+            if entry.kind != "chunk":
+                doc["obj"] = entry.kind
+            self._seq += 1
+            self._append(doc)
             self._open[entry.debt_id] = entry
-            self._by_chunk[chunk_id] = entry.debt_id
+            self._by_chunk[self._chunk_key(chunk_id, entry.kind)] = entry.debt_id
             return entry.debt_id
 
     def note_attempt(self, debt_id: str, ok: bool = False,
@@ -221,7 +241,7 @@ class DebtLedger:
             entry = self._open.pop(debt_id, None)
             if entry is None:
                 return
-            self._by_chunk.pop(entry.chunk_id, None)
+            self._by_chunk.pop(self._chunk_key(entry.chunk_id, entry.kind), None)
             self._seq += 1
             self._append({
                 "kind": RETIRE, "id": debt_id, "seq": self._seq,
@@ -239,10 +259,10 @@ class DebtLedger:
             return sorted(self._open.values(),
                           key=lambda e: (e.created, e.debt_id))
 
-    def debt_for(self, chunk_id: str) -> DebtEntry | None:
-        """The open entry for one chunk, if any."""
+    def debt_for(self, chunk_id: str, kind: str = "chunk") -> DebtEntry | None:
+        """The open entry for one chunk (or metadata node), if any."""
         with self._lock:
-            debt_id = self._by_chunk.get(chunk_id)
+            debt_id = self._by_chunk.get(self._chunk_key(chunk_id, kind))
             return self._open.get(debt_id) if debt_id is not None else None
 
     def __len__(self) -> int:
@@ -294,6 +314,7 @@ class DebtLedger:
                     chunk_id = str(doc["chunk"])
                     missing = tuple(sorted(int(i) for i in doc["missing"]))
                     failed = tuple(sorted(str(c) for c in doc.get("failed", ())))
+                    obj_kind = str(doc.get("obj", "chunk"))
                 except (KeyError, TypeError, ValueError):
                     continue
                 prior = open_entries.get(debt_id)
@@ -301,6 +322,7 @@ class DebtLedger:
                     open_entries[debt_id] = DebtEntry(
                         debt_id=debt_id, chunk_id=chunk_id,
                         missing=missing, failed_csps=failed, created=time,
+                        kind=obj_kind,
                     )
                 else:
                     open_entries[debt_id] = replace(
@@ -310,7 +332,7 @@ class DebtLedger:
                             set(prior.failed_csps) | set(failed)
                         )),
                     )
-                by_chunk[chunk_id] = debt_id
+                by_chunk[self._chunk_key(chunk_id, obj_kind)] = debt_id
             elif kind == ATTEMPT:
                 prior = open_entries.get(debt_id)
                 if prior is not None:
@@ -320,7 +342,8 @@ class DebtLedger:
             elif kind == RETIRE:
                 prior = open_entries.pop(debt_id, None)
                 if prior is not None:
-                    by_chunk.pop(prior.chunk_id, None)
+                    by_chunk.pop(self._chunk_key(prior.chunk_id, prior.kind),
+                                 None)
         with self._lock:
             self._open = open_entries
             self._by_chunk = by_chunk
@@ -350,12 +373,16 @@ class DebtLedger:
                 for entry in sorted(self._open.values(),
                                     key=lambda e: (e.created, e.debt_id)):
                     seq += 1
-                    handle.write((json.dumps({
+                    doc = {
                         "kind": DEBT, "id": entry.debt_id, "seq": seq,
                         "time": entry.created, "chunk": entry.chunk_id,
                         "missing": list(entry.missing),
                         "failed": list(entry.failed_csps),
-                    }, sort_keys=True, separators=(",", ":")) + "\n")
+                    }
+                    if entry.kind != "chunk":
+                        doc["obj"] = entry.kind
+                    handle.write((json.dumps(
+                        doc, sort_keys=True, separators=(",", ":")) + "\n")
                         .encode("utf-8"))
                     for _ in range(entry.attempts):
                         seq += 1

@@ -1,8 +1,10 @@
 """Re-dispersal repair: drain the debt ledger back to full redundancy.
 
-A debt names a chunk holding fewer than ``n`` verifiable shares.  The
-repair loop turns each one back into a fully dispersed chunk using only
-machinery that already exists for migration:
+A debt names a chunk holding fewer than ``n`` verifiable shares — or,
+for ``kind == "meta"`` entries, a metadata node with missing, stale or
+corrupt scattered shares.  The repair loop turns each one back into a
+fully dispersed object using only machinery that already exists for
+migration:
 
 1. **Re-derive the deficit** from the global chunk table — the ledger
    entry's ``missing`` list is advisory; the placements adopted by
@@ -22,6 +24,14 @@ machinery that already exists for migration:
    kill-point tests sweep.
 4. **Retire** the debt; a failed attempt instead records an ``attempt``
    so the entry backs off exponentially while the fleet is unhealthy.
+
+Metadata debts follow the same shape with fixed slots instead of
+replacement CSPs: the node plaintext is recovered from the local tree
+(or a verified quorum fetch — any t healthy shares), the damaged slots
+are re-framed in fresh authenticated envelopes, and the re-uploads are
+journaled as a ``meta-repair`` intent.  Slot names are fixed per node
+and index, so a kill point between upload and retirement replays as an
+idempotent overwrite — never a duplicate share.
 
 The ``budget_shares`` budget counts share *transfers* (downloads +
 uploads), the same unit the scrub budget uses, so a
@@ -137,6 +147,9 @@ def _repair_entry(client, ledger: DebtLedger, entry: DebtEntry, journal,
                   budget, report: RepairReport,
                   unrecoverable: list[str]) -> str:
     """Repair one debt; returns retired | failed | budget."""
+    if entry.kind == "meta":
+        return _repair_meta_entry(client, ledger, entry, journal,
+                                  budget, report, unrecoverable)
     location = client.chunk_table.get(entry.chunk_id)
     if location is None:
         # the chunk was garbage-collected (or never published); the
@@ -261,5 +274,123 @@ def _repair_entry(client, ledger: DebtLedger, entry: DebtEntry, journal,
     ledger.note_attempt(
         entry.debt_id,
         detail=f"re-dispersed {landed}/{len(deficit)} missing shares",
+    )
+    return "failed"
+
+
+def _repair_meta_entry(client, ledger: DebtLedger, entry: DebtEntry, journal,
+                       budget, report: RepairReport,
+                       unrecoverable: list[str]) -> str:
+    """Re-disperse one metadata node's damaged slots.
+
+    Unlike chunk repair there is no replacement placement: metadata
+    slot i lives at provider i forever, so healing means overwriting
+    the fixed object name with a freshly framed share — idempotent
+    under any kill point, and incapable of creating duplicates.
+    """
+    from repro.metadata.codec import metadata_share_name
+
+    node_id = entry.chunk_id
+    store = client.store
+    suspects = set(entry.failed_csps)
+    # census the fixed slots: which hold an object on a reachable provider
+    reachable: set[int] = set()
+    present: set[int] = set()
+    for index, provider in enumerate(store.providers):
+        name = metadata_share_name(node_id, index)
+        try:
+            infos = provider.list(prefix=name)
+        except CyrusError:
+            continue  # slot down; cannot verify or write there now
+        reachable.add(index)
+        if any(info.name == name for info in infos):
+            present.add(index)
+    try:
+        node = client.tree.get(node_id)
+    except CyrusError:
+        node = None
+    fetch_cost = 0
+    if node is None:
+        if len(reachable) == store.m and not present:
+            # gone from every (reachable = all) slot and unknown to the
+            # tree: the node was pruned; the deficit is moot
+            ledger.retire(entry.debt_id)
+            return "retired"
+        # reconstruct from any verified t-quorum of the surviving shares
+        cost = len(present)
+        if budget[0] is not None and budget[0] < cost:
+            return "budget"
+        try:
+            node = store.fetch(node_id)
+        except CyrusError as exc:
+            unrecoverable.append(node_id)
+            ledger.note_attempt(
+                entry.debt_id,
+                detail=f"no verified quorum among {len(present)} shares: {exc}",
+            )
+            return "failed"
+        fetch_cost = cost
+    # a slot needs re-dispersal when its object is missing, was flagged
+    # in the debt (stale or corrupt at detection time), or sits on a
+    # suspect provider — fresh bytes overwrite whatever the liar holds
+    advisory = set(entry.missing)
+    need: list[int] = []
+    unwritable_bad = 0
+    for index, provider in enumerate(store.providers):
+        bad = (index not in present or index in advisory
+               or provider.csp_id in suspects)
+        if not bad:
+            continue
+        if index in reachable:
+            need.append(index)
+        else:
+            unwritable_bad += 1
+    if not need and unwritable_bad == 0:
+        # healed elsewhere (another client's repair or republish)
+        ledger.retire(entry.debt_id)
+        return "retired"
+    cost = fetch_cost + len(need)
+    if budget[0] is not None and budget[0] < cost:
+        return "budget"
+    if budget[0] is not None:
+        budget[0] -= cost
+    report.transfers_used += cost
+    frames = {
+        index: (prov.csp_id, name, blob)
+        for prov, name, blob, index in store.frames_for(node)
+    }
+    intent_id = None
+    if journal is not None:
+        from repro.metadata.codec import encode_node
+
+        intent_id = journal.begin(
+            "meta-repair", node_id=node_id,
+            node=encode_node(node).decode("utf-8"),
+            slots=[[index, frames[index][0], frames[index][1]]
+                   for index in need],
+        )
+    results = client.engine.execute([
+        TransferOp(kind=OpKind.PUT_META, csp_id=frames[index][0],
+                   name=frames[index][1], data=frames[index][2])
+        for index in need
+    ])
+    landed = 0
+    for index, result in zip(need, results):
+        if not result.ok:
+            continue
+        if intent_id is not None:
+            journal.record(intent_id, "share-uploaded", index=index,
+                           csp=frames[index][0], object=frames[index][1])
+        landed += 1
+        report.shares_rebuilt += 1
+    if intent_id is not None:
+        journal.commit(intent_id)
+    if landed == len(need) and unwritable_bad == 0:
+        ledger.retire(entry.debt_id)
+        return "retired"
+    ledger.note_attempt(
+        entry.debt_id,
+        detail=(f"re-dispersed {landed}/{len(need)} metadata shares "
+                f"({unwritable_bad} slot(s) unreachable)"),
     )
     return "failed"

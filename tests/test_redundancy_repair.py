@@ -107,9 +107,13 @@ class TestDegradedWriteSurface:
         assert snap.counter_total("cyrus_upload_degraded_chunks_total") == \
             len(report.degraded_chunks)
         assert snap.counter_total("cyrus_debt_recorded_total") >= 1
-        # one open debt per degraded chunk, blaming the dead provider
+        # one open chunk debt per degraded chunk, blaming the dead
+        # provider (the degraded metadata publish adds its own "meta"
+        # debt on top)
         ledger = client.debt_ledger
-        assert len(ledger) == len(report.degraded_chunks)
+        chunk_debts = [e for e in ledger.open_debts()
+                       if e.kind == "chunk"]
+        assert len(chunk_debts) == len(report.degraded_chunks)
         for chunk_id in report.degraded_chunks:
             entry = ledger.debt_for(chunk_id)
             assert entry is not None
@@ -141,7 +145,8 @@ class TestSelfHealing:
         clock.advance_to(100.0)
         daemon = SyncDaemon(client, interval_s=30.0, repair_budget=64)
         tick = daemon.tick()
-        assert tick.debts_retired == degraded
+        # every chunk debt plus the degraded publish's one meta debt
+        assert tick.debts_retired == degraded + 1
         assert tick.debt_shares_rebuilt >= degraded
         assert tick.debts_open == 0
         assert len(client.debt_ledger) == 0
@@ -156,7 +161,7 @@ class TestSelfHealing:
 
         # metrics agree with the report
         snap = client.obs.snapshot()
-        assert snap.counter_total("cyrus_debt_retired_total") == degraded
+        assert snap.counter_total("cyrus_debt_retired_total") == degraded + 1
         # an idle tick stays idle
         clock.advance(30.0)
         assert daemon.tick().debts_retired == 0
@@ -172,7 +177,8 @@ class TestSelfHealing:
         client.probe_failed_csps()  # listing works; only uploads fail
         first = run_repair(client)
         assert first.debts_retired == 0
-        assert first.debts_failed == len(report.degraded_chunks)
+        # chunk debts plus the meta debt all fail while csp2 refuses
+        assert first.debts_failed == len(report.degraded_chunks) + 1
         [entry] = [client.debt_ledger.debt_for(c)
                    for c in report.degraded_chunks[:1]]
         assert entry.attempts >= 1
@@ -189,8 +195,8 @@ class TestSelfHealing:
         assert later.attempts > entry.attempts
 
     def test_budget_slices_the_repair(self, tmp_path, fault_seed):
-        """A budget smaller than one entry's cost (t gets + 1 put)
-        spends nothing; a real budget drains the ledger."""
+        """A budget smaller than one chunk entry's cost (t gets + 1
+        put) repairs no chunk; a real budget drains the ledger."""
         client, inner, clock, _report = _degraded_world(
             tmp_path, fault_seed,
         )
@@ -198,8 +204,11 @@ class TestSelfHealing:
         client.probe_failed_csps()
         starved = run_repair(client, budget_shares=1)
         assert starved.budget_exhausted
-        assert starved.debts_retired == 0
-        assert starved.transfers_used == 0
+        # at most the meta debt (one tiny slot overwrite, cost 1) fits;
+        # every chunk entry needs t gets + 1 put and spends nothing
+        assert starved.transfers_used <= 1
+        assert {e.chunk_id for e in client.debt_ledger.open_debts()
+                if e.kind == "chunk"} == set(_report.degraded_chunks)
 
         fed = run_repair(client, budget_shares=1000)
         assert fed.drained
