@@ -81,12 +81,23 @@ from repro.errors import (
     SelectionError,
     ShareGatherError,
     ShareIntegrityError,
+    TenantQuotaError,
     TransferError,
     is_retryable,
 )
 from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.fleet import (
+    FleetHarness,
+    FleetQuota,
+    FleetResult,
+    FleetTopology,
+    TenantResult,
+    fleet_gate,
+    run_fleet,
+)
+from repro.workloads.fleet import FleetWorkloadSpec, generate_fleet_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # clients & configuration
@@ -125,6 +136,16 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyProvider",
+    # fleet simulation
+    "FleetHarness",
+    "FleetQuota",
+    "FleetResult",
+    "FleetTopology",
+    "FleetWorkloadSpec",
+    "TenantResult",
+    "fleet_gate",
+    "generate_fleet_workload",
+    "run_fleet",
     # errors
     "CyrusError",
     "ConfigurationError",
@@ -140,6 +161,7 @@ __all__ = [
     "CSPQuotaExceededError",
     "ObjectNotFoundError",
     "MetadataError",
+    "TenantQuotaError",
     "ConflictError",
     "SelectionError",
     "ReliabilityError",

@@ -21,6 +21,7 @@ drives or private storage servers):
     cyrus repair [--budget N]
     cyrus stats [--json]
     cyrus bench [--quick] [--out-dir DIR] [--gate BASELINE]
+    cyrus fleet [--tenants N] [--seed S] [--out FLEET_report.json] [--gate]
     cyrus trace (put|get|sync) [...] --out trace.json
     cyrus add-csp name=path
     cyrus remove-csp name
@@ -468,6 +469,57 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Run the multi-tenant fleet simulation and write FLEET_report.json.
+
+    Unlike the other commands this touches no on-disk store: the fleet
+    is simulated end-to-end (shared netsim links or in-memory CSPs) from
+    one seed, so the same invocation always yields the same report.
+    """
+    from repro.fleet import fleet_gate, run_fleet, write_fleet_report
+    from repro.fleet.harness import FleetTopology
+    from repro.workloads.fleet import FleetWorkloadSpec
+
+    spec = FleetWorkloadSpec(
+        tenants=args.tenants,
+        files_per_tenant=args.files_per_tenant,
+        ops_per_tenant=args.ops_per_tenant,
+        zipf_s=args.zipf_s,
+        arrival_rate=args.arrival_rate,
+        quota_bytes=args.quota_bytes,
+    )
+    topology = FleetTopology(
+        csps=args.csps,
+        meta_groups=args.meta_groups,
+        engine=args.engine,
+    )
+    print(f"fleet: {spec.tenants} tenants x {spec.ops_per_tenant} ops over "
+          f"{topology.csps} {topology.engine} CSPs "
+          f"({topology.meta_groups} metadata groups, seed {args.seed}) ...")
+    result = run_fleet(spec, topology, seed=args.seed)
+    out = Path(args.out)
+    write_fleet_report(result.report, out)
+    fleet = result.report["fleet"]
+    sync = fleet["sync_latency"]
+    print(f"converged: {fleet['converged_tenants']}/{len(result.tenants)} "
+          f"tenants, {fleet['namespace_collisions']} namespace collision(s)")
+    print(f"sync latency: p50={sync['p50']:.4f}s p99={sync['p99']:.4f}s "
+          f"({sync['count']:.0f} puts, {fleet['sim_time']:.1f}s simulated)")
+    print(f"load balance: byte skew {fleet['byte_skew']:.3f}, "
+          f"op skew {fleet['op_skew']:.3f} across "
+          f"{len(fleet['per_csp_bytes'])} CSPs")
+    print(f"report written to {out}")
+    if args.gate:
+        violations = fleet_gate(result.report, max_skew=args.max_skew)
+        if violations:
+            print("fleet gate FAILED:")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        print(f"fleet gate passed (skew < {args.max_skew})")
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Observability snapshot: op counts, bytes per CSP, health events.
 
@@ -794,6 +846,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=None,
                    help="override the baseline's committed tolerance")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("fleet", help="simulate a multi-tenant fleet and "
+                                     "write FLEET_report.json")
+    p.add_argument("--tenants", type=int, default=32,
+                   help="simulated tenants (default 32)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (same seed => identical report)")
+    p.add_argument("--csps", type=int, default=6,
+                   help="shared CSP accounts (default 6)")
+    p.add_argument("--meta-groups", type=int, default=2,
+                   help="metadata shard groups (default 2)")
+    p.add_argument("--engine", choices=("netsim", "memory"),
+                   default="netsim",
+                   help="substrate: flow-simulated links or in-memory "
+                        "stores (default netsim)")
+    p.add_argument("--files-per-tenant", type=int, default=6)
+    p.add_argument("--ops-per-tenant", type=int, default=12)
+    p.add_argument("--zipf-s", type=float, default=1.1,
+                   help="Zipf popularity exponent (default 1.1)")
+    p.add_argument("--arrival-rate", type=float, default=0.5,
+                   help="Poisson ops/sec per tenant (default 0.5)")
+    p.add_argument("--quota-bytes", type=int, default=None,
+                   help="per-tenant storage quota (default: unlimited)")
+    p.add_argument("--out", default="FLEET_report.json",
+                   help="report path (default: FLEET_report.json)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 unless all tenants converge, p99 is "
+                        "finite and load skew stays under --max-skew")
+    p.add_argument("--max-skew", type=float, default=2.0,
+                   help="per-CSP load skew gate threshold (default 2.0)")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("stats", help="observability snapshot (ops, bytes, "
                                      "retries per provider)")

@@ -101,11 +101,21 @@ class CyrusClient:
         journal=None,
         debt_ledger=None,
         encode_pool=None,
+        admission=None,
+        store_factory=None,
     ):
         self.cloud = cloud
         self.config = config
         self.engine = engine
         self.client_id = client_id
+        # optional multi-tenant hooks (repro.fleet): ``admission`` is a
+        # duck-typed quota gate — ``grant = reserve(client_id, name,
+        # size)`` before an upload, ``release(grant)`` if it fails — and
+        # ``store_factory(client)`` replaces the default MetadataStore
+        # (e.g. with a ShardedMetadataStore routing this tenant's files
+        # across metadata CSP groups)
+        self.admission = admission
+        self._store_factory = store_factory
         # engines built by create() belong to the client — close() shuts
         # them down; an injected engine belongs to its creator
         self._owns_engine = False
@@ -182,6 +192,8 @@ class CyrusClient:
         journal=None,
         debt_ledger=None,
         encode_pool=None,
+        admission=None,
+        store_factory=None,
     ) -> "CyrusClient":
         """Table 3's ``create()``: build a cloud over the given CSPs."""
         cloud = CyrusCloud(providers, clusters=clusters)
@@ -206,11 +218,15 @@ class CyrusClient:
             selector=selector, chunker=chunker, cache=cache,
             journal=journal, debt_ledger=debt_ledger,
             encode_pool=encode_pool,
+            admission=admission, store_factory=store_factory,
         )
         client._owns_engine = owns_engine
         return client
 
     def _rebuild_store(self) -> None:
+        if self._store_factory is not None:
+            self.store = self._store_factory(self)
+            return
         self.store = MetadataStore(
             self.cloud.metadata_slots(), key=self.config.key,
             t=self.config.meta_t,
@@ -294,10 +310,25 @@ class CyrusClient:
             return self.syncer.sync()
 
     def put(self, name: str, data: bytes, sync_first: bool = True) -> UploadReport:
-        """Upload a file version (Algorithm 2)."""
+        """Upload a file version (Algorithm 2).
+
+        With an ``admission`` hook attached, the write is first reserved
+        against the tenant's quota (raising
+        :class:`repro.errors.TenantQuotaError` before any byte is
+        dispatched) and the reservation is rolled back if the upload
+        fails.
+        """
         if sync_first:
             self.sync()
-        return self.uploader.upload(name, data, client_id=self.client_id)
+        grant = None
+        if self.admission is not None:
+            grant = self.admission.reserve(self.client_id, name, len(data))
+        try:
+            return self.uploader.upload(name, data, client_id=self.client_id)
+        except BaseException:
+            if grant is not None:
+                self.admission.release(grant)
+            raise
 
     def get(
         self, name: str, version: int = 0, sync_first: bool = True
@@ -436,7 +467,12 @@ class CyrusClient:
         """Tombstone a file (metadata marked deleted; shares kept)."""
         if sync_first:
             self.sync()
-        return self.uploader.publish_tombstone(name, client_id=self.client_id)
+        report = self.uploader.publish_tombstone(name, client_id=self.client_id)
+        if self.admission is not None:
+            forget = getattr(self.admission, "forget", None)
+            if forget is not None:
+                forget(self.client_id, name)
+        return report
 
     def list_files(self, directory: str = "", sync_first: bool = True) -> list[FileEntry]:
         """Live files under a directory prefix with their head nodes."""

@@ -29,6 +29,7 @@ from repro.csp.base import BytesLike, CloudProvider, ObjectInfo
 from repro.csp.catalog import CSPSpec, TABLE2, amazon_hosted, spec_by_name
 from repro.csp.localfs import LocalDirectoryCSP
 from repro.csp.memory import InMemoryCSP
+from repro.csp.namespaced import NamespacedCSP, namespace_prefix
 from repro.csp.resilient import (
     BreakerState,
     CircuitBreaker,
@@ -50,6 +51,8 @@ __all__ = [
     "ObjectInfo",
     "InMemoryCSP",
     "LocalDirectoryCSP",
+    "NamespacedCSP",
+    "namespace_prefix",
     "SimulatedCSP",
     "AvailabilitySchedule",
     "AuthToken",

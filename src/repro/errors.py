@@ -119,6 +119,17 @@ class MetadataError(CyrusError):
     """Metadata tree corruption or decoding failure."""
 
 
+class TenantQuotaError(CyrusError):
+    """A tenant's storage admission was refused: the write would exceed
+    the tenant's fleet-assigned quota.
+
+    Distinct from :class:`CSPQuotaExceededError` (a *provider account*
+    ran out of space mid-transfer): admission is refused before any
+    byte is dispatched, so there is nothing to retry, roll back or
+    re-route — the tenant must delete data or be granted more quota.
+    """
+
+
 class ConflictError(CyrusError):
     """An unresolved file conflict blocks the requested operation."""
 

@@ -1,0 +1,119 @@
+"""Per-tenant storage quotas with fair admission.
+
+The fleet shares a pool of CSP accounts; without admission control one
+tenant's runaway uploads would exhaust the shared capacity and starve
+everyone (the provider-side :class:`repro.errors.CSPQuotaExceededError`
+fires far too late, mid-transfer, after bytes already crossed the
+links).  :class:`FleetQuota` gates writes *before* dispatch: each
+tenant gets an equal share of the fleet's capacity (or an explicit
+per-tenant grant), and a PUT that would push the tenant's live bytes
+over its quota is refused with :class:`TenantQuotaError`.
+
+Accounting matches CYRUS semantics: a file's cost is its *latest*
+version's size (uploading a new version replaces the old cost — shares
+of old versions are garbage-collectable), and deleting a file frees
+its cost.  The ledger is reserve/release transactional so a failed
+upload never leaks quota.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TenantQuotaError
+
+
+@dataclass(frozen=True)
+class QuotaGrant:
+    """One admitted reservation (the token ``release`` undoes)."""
+
+    tenant_id: str
+    name: str
+    new_size: int
+    prev_size: int | None  # latest-version size replaced, None = new file
+
+
+class FleetQuota:
+    """Equal-share (or explicitly granted) per-tenant storage quotas.
+
+    Args:
+        fleet_capacity: Total bytes the fleet may store, split equally
+            across ``tenants`` (fair admission: every tenant holds the
+            same entitlement, so no tenant can be starved by another).
+        tenants: Tenant ids sharing the capacity.
+        per_tenant: Explicit tenant -> bytes grants overriding the
+            equal split (tenants absent from the mapping keep it).
+    """
+
+    def __init__(
+        self,
+        tenants: list[str],
+        fleet_capacity: int | None = None,
+        per_tenant: dict[str, int] | None = None,
+    ):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if fleet_capacity is None and not per_tenant:
+            raise ValueError("need fleet_capacity or per_tenant grants")
+        share = (fleet_capacity // len(tenants)
+                 if fleet_capacity is not None else None)
+        self.limits: dict[str, int | None] = {}
+        for tid in tenants:
+            explicit = (per_tenant or {}).get(tid)
+            self.limits[tid] = explicit if explicit is not None else share
+        # tenant -> {file name -> latest version size}
+        self._files: dict[str, dict[str, int]] = {tid: {} for tid in tenants}
+
+    # -- introspection ----------------------------------------------------
+
+    def limit_of(self, tenant_id: str) -> int | None:
+        return self.limits[tenant_id]
+
+    def used_by(self, tenant_id: str) -> int:
+        return sum(self._files[tenant_id].values())
+
+    def headroom(self, tenant_id: str) -> int | None:
+        limit = self.limits[tenant_id]
+        if limit is None:
+            return None
+        return limit - self.used_by(tenant_id)
+
+    # -- the admission hook (duck-typed by CyrusClient.put) ---------------
+
+    def reserve(self, tenant_id: str, name: str, size: int) -> QuotaGrant:
+        """Admit a PUT or raise :class:`TenantQuotaError`.
+
+        The reservation is applied immediately (the upload follows in
+        the same logical operation); :meth:`release` rolls it back when
+        the upload fails.
+        """
+        if tenant_id not in self._files:
+            raise TenantQuotaError(f"unknown tenant {tenant_id!r}")
+        files = self._files[tenant_id]
+        prev = files.get(name)
+        limit = self.limits[tenant_id]
+        if limit is not None:
+            used_after = self.used_by(tenant_id) - (prev or 0) + size
+            if used_after > limit:
+                raise TenantQuotaError(
+                    f"tenant {tenant_id!r}: storing {size} bytes as "
+                    f"{name!r} would use {used_after} of {limit} quota "
+                    f"bytes ({self.used_by(tenant_id)} in use)"
+                )
+        files[name] = size
+        return QuotaGrant(tenant_id=tenant_id, name=name,
+                          new_size=size, prev_size=prev)
+
+    def release(self, grant: QuotaGrant) -> None:
+        """Roll back a reservation whose upload failed."""
+        files = self._files[grant.tenant_id]
+        if files.get(grant.name) != grant.new_size:
+            return  # a later write superseded the grant; nothing to undo
+        if grant.prev_size is None:
+            files.pop(grant.name, None)
+        else:
+            files[grant.name] = grant.prev_size
+
+    def forget(self, tenant_id: str, name: str) -> None:
+        """Free a deleted file's cost (CyrusClient.delete calls this)."""
+        self._files.get(tenant_id, {}).pop(name, None)

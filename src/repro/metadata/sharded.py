@@ -1,0 +1,267 @@
+"""Sharded metadata: per-file version trees consistent-hashed across
+metadata CSP groups.
+
+The paper stores metadata "at a fixed set of m CSPs" (Section 5.2,
+footnote 3) — fine for one user, but a fleet of tenants hammering one
+m-provider group turns the metadata plane into the scaling bottleneck
+the data plane's consistent-hash placement was built to avoid.  The
+fleet harness therefore shards: providers are organised into *groups*
+of m CSPs each, and a file's whole version tree is consistent-hashed
+(:class:`repro.hashring.ConsistentHashRing`, the same ring the data
+plane uses) onto one group by its routing key ``route_prefix + name``.
+
+Keeping every version of a file in one group preserves the paper's
+invariants *within* the group — share index i of a node always lives on
+``group[i]``, publishes tolerate ``m - t`` group failures, the verified
+quorum fetch sees all m slots of its group — while the fleet's load
+spreads across groups.  A group-wide outage therefore degrades exactly
+the files (and, with per-tenant routing prefixes, exactly the tenants)
+whose keys hash into it; everyone else's metadata plane is untouched.
+
+The facade deliberately *quacks like* :class:`MetadataStore`: every
+group shares one ``(key, t, m)`` codec, so the facade exposes the same
+``t``/``m``/``_sharer``/``providers`` surface and the core's sync
+service, uploader and repair workers run against it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.csp.base import CloudProvider
+from repro.errors import (
+    CSPError,
+    CyrusError,
+    InsufficientSharesError,
+    MetadataError,
+)
+from repro.hashring import ConsistentHashRing
+from repro.metadata.codec import metadata_share_name
+from repro.metadata.node import MetadataNode
+from repro.metadata.store import META_DEBTS_RECORDED, MetadataStore, NodeAssembler
+
+
+class ShardedMetadataStore:
+    """Consistent-hash routing over equal-size metadata CSP groups.
+
+    Args:
+        groups: The metadata CSP groups, each a sequence of exactly m
+            providers in stable order (share index i of a routed node
+            goes to ``group[i]``).  All groups must be the same size so
+            one ``(key, t, m)`` codec serves every shard.
+        key: The user key string (drives the dispersal matrix).
+        t: Shares needed to reconstruct a node.
+        route_prefix: Prepended to file names before hashing — the
+            fleet passes ``f"{tenant_id}/"`` so each tenant's files get
+            an independent spot on the ring (and a tenant's whole
+            namespace can be audited against its group assignment).
+        ring_replicas: Virtual nodes per group on the routing ring.
+        health / metrics / ledger / clock: As for
+            :class:`MetadataStore`; shared by all groups.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[CloudProvider]],
+        key: str,
+        t: int = 2,
+        health=None,
+        metrics=None,
+        ledger=None,
+        clock=None,
+        route_prefix: str = "",
+        ring_replicas: int = 64,
+    ):
+        if not groups:
+            raise MetadataError("need at least one metadata group")
+        sizes = {len(g) for g in groups}
+        if len(sizes) != 1:
+            raise MetadataError(
+                f"metadata groups must be equal-sized (one (t, m) codec "
+                f"serves all shards), got sizes {sorted(sizes)}"
+            )
+        self.groups = [
+            MetadataStore(g, key, t, health=health, metrics=metrics,
+                          ledger=ledger, clock=clock)
+            for g in groups
+        ]
+        self.group_ids = [
+            "|".join(p.csp_id for p in g) for g in groups
+        ]
+        if len(set(self.group_ids)) != len(self.group_ids):
+            raise MetadataError("metadata groups must be distinct")
+        self.key = key
+        self.t = t
+        self.health = health
+        self.metrics = metrics
+        self.ledger = ledger
+        self.clock = clock
+        self.route_prefix = route_prefix
+        self.ring = ConsistentHashRing(replicas=ring_replicas)
+        for gid in self.group_ids:
+            self.ring.add(gid)
+        self._index_of = {gid: i for i, gid in enumerate(self.group_ids)}
+        # node_id -> group index, learned from publishes and listings so
+        # fetches (which only carry the node id, not the routable file
+        # name) usually skip the locate step
+        self._located: dict[str, int] = {}
+
+    # -- MetadataStore surface (what sync/upload/repair touch) -----------
+
+    @property
+    def m(self) -> int:
+        """Providers per group — the codec's m, not the fleet total."""
+        return self.groups[0].m
+
+    @property
+    def providers(self) -> list[CloudProvider]:
+        """All providers across all groups, group-major.
+
+        The sync service lists these directly; shares of a node exist
+        only in its own group, so the union listing still yields one
+        coherent (index, csp) set per node.
+        """
+        return [p for g in self.groups for p in g.providers]
+
+    @property
+    def _sharer(self):
+        """One codec serves every group (equal m enforced above)."""
+        return self.groups[0]._sharer
+
+    def publish_stamp(self) -> int:
+        return self.groups[0].publish_stamp()
+
+    def decode_shares(self, shares) -> MetadataNode:
+        return self.groups[0].decode_shares(shares)
+
+    def share_size(self, node: MetadataNode) -> int:
+        return self.groups[0].share_size(node)
+
+    def assembler(self, node_id: str) -> NodeAssembler:
+        """A verified-decode accumulator bound to this facade."""
+        return NodeAssembler(self, node_id)
+
+    def _record_meta_debt(self, node_id: str, missing, failed_csps=()) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record(node_id, missing=tuple(missing),
+                           failed_csps=tuple(failed_csps), kind="meta")
+        if self.metrics is not None:
+            self.metrics.inc(META_DEBTS_RECORDED)
+
+    # -- routing ----------------------------------------------------------
+
+    def route_key(self, name: str) -> str:
+        return self.route_prefix + name
+
+    def shard_for(self, name: str) -> int:
+        """Group index owning a file's version tree."""
+        return self._index_of[self.ring.owner(self.route_key(name))]
+
+    def store_for(self, name: str) -> MetadataStore:
+        """The group store a file's versions live in."""
+        return self.groups[self.shard_for(name)]
+
+    def _remember(self, node: MetadataNode) -> int:
+        shard = self.shard_for(node.name)
+        self._located[node.node_id] = shard
+        return shard
+
+    # -- write path --------------------------------------------------------
+
+    def shares_for(self, node: MetadataNode):
+        return self.groups[self._remember(node)].shares_for(node)
+
+    def frames_for(self, node: MetadataNode, stamp: int | None = None):
+        return self.groups[self._remember(node)].frames_for(node, stamp)
+
+    def publish(self, node: MetadataNode, stamp: int | None = None) -> None:
+        """Publish to the owning group (tolerating its m - t failures)."""
+        self.groups[self._remember(node)].publish(node, stamp)
+
+    # -- read path ---------------------------------------------------------
+
+    def _locate(self, node_id: str) -> tuple[int | None, list[int]]:
+        """(group listing the node's shares, groups that couldn't answer).
+
+        Locating via listings — not trial fetches — keeps a probe of the
+        wrong group from minting bogus "missing share" repair debts.
+        """
+        dark: list[int] = []
+        order = sorted(
+            range(len(self.groups)),
+            key=lambda g: (self._located.get(node_id) != g, g),
+        )
+        for g in order:
+            reachable = False
+            for index, provider in enumerate(self.groups[g].providers):
+                try:
+                    infos = provider.list(
+                        prefix=metadata_share_name(node_id, index)
+                    )
+                except CSPError:
+                    continue
+                reachable = True
+                if infos:
+                    return g, dark
+            if not reachable:
+                dark.append(g)
+        return None, dark
+
+    def fetch(self, node_id: str) -> MetadataNode:
+        """Verified quorum fetch from the node's group.
+
+        The owning group is the location cache entry, else the group
+        whose listing shows the node's shares; groups that are entirely
+        unreachable are fetch-probed last (their shares may exist behind
+        the outage, and an unreachable probe records no debts).
+        """
+        found, dark = self._locate(node_id)
+        last: CyrusError | None = None
+        candidates = ([found] if found is not None else []) + dark
+        for g in candidates:
+            try:
+                node = self.groups[g].fetch(node_id)
+            except CyrusError as exc:
+                last = exc
+                continue
+            self._located[node_id] = g
+            return node
+        if last is not None:
+            raise last
+        raise InsufficientSharesError(
+            f"metadata node {node_id[:8]}: no group lists its shares "
+            f"({len(self.groups)} groups probed)"
+        )
+
+    def list_node_ids(self) -> set[str]:
+        """Union of per-group listings; unreachable groups degrade.
+
+        A group that cannot muster t reachable providers is skipped —
+        its files are unavailable, everyone else's stay listed.  Only
+        when *every* group is below quorum does the listing fail.
+        """
+        out: set[str] = set()
+        errors: list[MetadataError] = []
+        for g, group in enumerate(self.groups):
+            try:
+                ids = group.list_node_ids()
+            except MetadataError as exc:
+                errors.append(exc)
+                continue
+            for nid in ids:
+                self._located.setdefault(nid, g)
+            out |= ids
+        if errors and len(errors) == len(self.groups):
+            raise MetadataError(
+                f"all {len(self.groups)} metadata groups below quorum "
+                f"(first: {errors[0]})"
+            )
+        return out
+
+    def fetch_all(self) -> list[MetadataNode]:
+        return [self.fetch(nid) for nid in sorted(self.list_node_ids())]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ShardedMetadataStore groups={len(self.groups)} "
+                f"m={self.m} t={self.t}>")

@@ -47,6 +47,12 @@ __all__ = [
     "Tracer",
     "TransferTimeline",
     "span_if",
+    "latency_summary",
+    "load_skew",
+    "merge_snapshots",
+    "per_csp_bytes",
+    "per_csp_ops",
+    "percentile",
 ]
 
 # Metric names (single place, so tests and docs cannot drift):
@@ -121,3 +127,15 @@ def span_if(obs: Observability | None, name: str, **attrs):
     """A span context when observability is attached, else a no-op —
     lets instrumented code read the same with or without an observer."""
     return obs.span(name, **attrs) if obs is not None else nullcontext()
+
+
+# Imported last: rollup reads the metric-name constants above from this
+# package, so it must only load once they exist.
+from repro.obs.rollup import (  # noqa: E402
+    latency_summary,
+    load_skew,
+    merge_snapshots,
+    per_csp_bytes,
+    per_csp_ops,
+    percentile,
+)

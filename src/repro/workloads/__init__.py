@@ -1,4 +1,5 @@
-"""Workload generation: the Table 4 dataset and the user-trial scenarios."""
+"""Workload generation: the Table 4 dataset, the user-trial scenarios,
+and the multi-tenant fleet workloads (Zipf popularity, Poisson arrivals)."""
 
 from repro.workloads.dataset import (
     TABLE4_PROFILE,
@@ -6,6 +7,16 @@ from repro.workloads.dataset import (
     DatasetProfile,
     ExtensionProfile,
     generate_dataset,
+)
+from repro.workloads.fleet import (
+    FleetWorkload,
+    FleetWorkloadSpec,
+    TenantPlan,
+    WorkloadOp,
+    derive_rng,
+    generate_fleet_workload,
+    tenant_ids,
+    zipf_weights,
 )
 from repro.workloads.generator import redundant_bytes, random_bytes, edited_copy
 from repro.workloads.trial import TRIAL_PROFILES, TrialProfile, trial_environment
@@ -22,4 +33,12 @@ __all__ = [
     "TrialProfile",
     "TRIAL_PROFILES",
     "trial_environment",
+    "FleetWorkload",
+    "FleetWorkloadSpec",
+    "TenantPlan",
+    "WorkloadOp",
+    "derive_rng",
+    "generate_fleet_workload",
+    "tenant_ids",
+    "zipf_weights",
 ]

@@ -103,18 +103,22 @@ def generate_dataset(
     scale: float = 1.0,
     seed: int = 1404,
     redundancy: float = 0.25,
+    rng: random.Random | None = None,
 ) -> DatasetProfile:
     """Synthesise the Table 4 dataset.
 
     Args:
         scale: Multiplies every extension's total bytes (1.0 = the
             paper's 638.43 MB; benchmarks typically use 0.02-0.1).
-        seed: Deterministic generation.
+        seed: Deterministic generation (ignored when ``rng`` is given).
         redundancy: Chunk-level redundancy of file contents.
+        rng: Optional injected seeded stream; the global :mod:`random`
+            state is never consulted either way.
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     files: list[DatasetFile] = []
     for profile in TABLE4_PROFILE:
         total = max(profile.files, int(profile.total_bytes * scale))

@@ -1,0 +1,289 @@
+"""Deterministic multi-tenant fleet workloads (Zipf popularity, Poisson
+arrivals).
+
+The paper validates CYRUS with a 20-user trial (Section 7.4); the fleet
+harness scales that to hundreds of simulated tenants, which needs
+*synthetic* per-tenant workloads with the two statistical properties
+real storage traces show:
+
+* **Zipf file popularity** — a tenant's operations concentrate on a few
+  hot files; file of popularity rank ``r`` is chosen with probability
+  proportional to ``1 / r**s``;
+* **Poisson arrivals** — operation inter-arrival times are exponential
+  with a per-tenant rate, so arrival timestamps are strictly sorted by
+  construction.
+
+Everything is driven by one integer seed.  Per-tenant RNG streams are
+derived by hashing ``(seed, tenant_id)``, so plans are independent of
+tenant iteration order, of each other, and of any *global* RNG state —
+``random.seed(...)`` elsewhere in the process can never perturb a fleet
+run (the import-order hazard the RNG audit removed from this package).
+
+Plans are quota-aware: when a per-tenant quota is set, a planned PUT
+that would push the tenant's live bytes (sum of latest version sizes)
+over quota is shrunk to fit or converted into a GET, so a generated
+plan can always be admitted by the fleet's quota admission.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.workloads.generator import random_bytes
+
+#: Minimum sensible per-tenant quota: one smallest file must fit.
+_MIN_QUOTA_FILES = 1
+
+
+def derive_rng(seed: int, *scope: object) -> random.Random:
+    """A :class:`random.Random` keyed by ``(seed, *scope)``.
+
+    SHA-1 based, so streams for different scopes are independent and a
+    stream never depends on how many draws other scopes made.
+    """
+    digest = hashlib.sha1(
+        ":".join([str(seed), *map(str, scope)]).encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def zipf_weights(files: int, s: float) -> list[float]:
+    """Normalised Zipf pmf over popularity ranks ``1..files``.
+
+    Strictly decreasing in rank for ``s > 0`` (the monotonicity the
+    property suite pins), uniform at ``s == 0``.
+    """
+    if files < 1:
+        raise ValueError(f"files must be >= 1, got {files}")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    raw = [1.0 / (rank ** s) for rank in range(1, files + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class FleetWorkloadSpec:
+    """Shape of one fleet workload (per-tenant parameters).
+
+    Attributes:
+        tenants: Number of simulated tenants.
+        files_per_tenant: Size of each tenant's file universe (Zipf
+            ranks 1..files_per_tenant).
+        ops_per_tenant: Operations per tenant plan.
+        zipf_s: Zipf popularity exponent (0 = uniform).
+        arrival_rate: Poisson operation rate per tenant (ops/second of
+            simulated time).
+        write_fraction: Probability an op on an already-created file is
+            a PUT (first touch of a file is always a PUT).
+        mean_file_bytes: Lognormal location for PUT payload sizes.
+        min_file_bytes / max_file_bytes: Clamp for PUT payload sizes.
+        quota_bytes: Per-tenant storage quota the plan must respect
+            (None = unbounded).
+        size_sigma: Lognormal shape for PUT payload sizes.
+    """
+
+    tenants: int = 32
+    files_per_tenant: int = 6
+    ops_per_tenant: int = 12
+    zipf_s: float = 1.1
+    arrival_rate: float = 0.5
+    write_fraction: float = 0.55
+    mean_file_bytes: int = 24 * 1024
+    min_file_bytes: int = 2 * 1024
+    max_file_bytes: int = 96 * 1024
+    quota_bytes: int | None = None
+    size_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.files_per_tenant < 1:
+            raise ValueError("files_per_tenant must be >= 1")
+        if self.ops_per_tenant < 1:
+            raise ValueError("ops_per_tenant must be >= 1")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0 < self.min_file_bytes <= self.max_file_bytes:
+            raise ValueError("need 0 < min_file_bytes <= max_file_bytes")
+        if self.quota_bytes is not None and (
+            self.quota_bytes < self.min_file_bytes * _MIN_QUOTA_FILES
+        ):
+            raise ValueError(
+                f"quota_bytes={self.quota_bytes} cannot fit even one "
+                f"minimum-size file ({self.min_file_bytes})"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One planned tenant operation.
+
+    ``size``/``content_seed`` are meaningful for PUTs only (GETs carry
+    the rank's file name and zeros).  :meth:`content` materialises the
+    deterministic payload.
+    """
+
+    at: float
+    action: str  # "put" | "get"
+    name: str
+    rank: int
+    size: int = 0
+    content_seed: int = 0
+
+    def content(self) -> bytes:
+        if self.action != "put":
+            raise ValueError(f"no content for a {self.action!r} op")
+        return random_bytes(self.size, seed=self.content_seed)
+
+
+@dataclass(frozen=True)
+class TenantPlan:
+    """One tenant's full deterministic operation schedule."""
+
+    tenant_id: str
+    quota_bytes: int | None
+    ops: tuple[WorkloadOp, ...]
+
+    def expected_files(self) -> dict[str, WorkloadOp]:
+        """name -> the last PUT op (the version a converged tenant holds)."""
+        latest: dict[str, WorkloadOp] = {}
+        for op in self.ops:
+            if op.action == "put":
+                latest[op.name] = op
+        return latest
+
+    def stored_bytes_timeline(self) -> list[int]:
+        """Live bytes (sum of latest sizes) after each op — the series
+        the quota invariant is asserted on."""
+        sizes: dict[str, int] = {}
+        series: list[int] = []
+        for op in self.ops:
+            if op.action == "put":
+                sizes[op.name] = op.size
+            series.append(sum(sizes.values()))
+        return series
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """All tenant plans for one (spec, seed) pair."""
+
+    spec: FleetWorkloadSpec
+    seed: int
+    plans: tuple[TenantPlan, ...] = field(repr=False)
+
+    def plan_for(self, tenant_id: str) -> TenantPlan:
+        for plan in self.plans:
+            if plan.tenant_id == tenant_id:
+                return plan
+        raise KeyError(f"no plan for tenant {tenant_id!r}")
+
+    def merged_ops(self) -> list[tuple[str, WorkloadOp]]:
+        """All (tenant_id, op) pairs in global arrival order.
+
+        Ties (same instant) break on tenant id then plan position, so
+        the replay order is fully deterministic.
+        """
+        out: list[tuple[float, str, int, WorkloadOp]] = []
+        for plan in self.plans:
+            for i, op in enumerate(plan.ops):
+                out.append((op.at, plan.tenant_id, i, op))
+        out.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [(tenant, op) for _at, tenant, _i, op in out]
+
+    def fingerprint(self) -> str:
+        """SHA-1 over the canonical JSON of every plan (determinism pin)."""
+        payload = {
+            "spec": asdict(self.spec),
+            "seed": self.seed,
+            "plans": [
+                {
+                    "tenant": plan.tenant_id,
+                    "quota": plan.quota_bytes,
+                    "ops": [asdict(op) for op in plan.ops],
+                }
+                for plan in self.plans
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha1(blob).hexdigest()
+
+
+def tenant_ids(spec: FleetWorkloadSpec) -> list[str]:
+    """Stable zero-padded tenant identifiers (``t000``, ``t001``, ...)."""
+    width = max(3, len(str(spec.tenants - 1)))
+    return [f"t{i:0{width}d}" for i in range(spec.tenants)]
+
+
+def _draw_size(spec: FleetWorkloadSpec, rng: random.Random) -> int:
+    import math
+
+    size = int(rng.lognormvariate(math.log(spec.mean_file_bytes),
+                                  spec.size_sigma))
+    return max(spec.min_file_bytes, min(spec.max_file_bytes, size))
+
+
+def _plan_tenant(
+    spec: FleetWorkloadSpec, seed: int, tenant_id: str
+) -> TenantPlan:
+    rng = derive_rng(seed, "tenant", tenant_id)
+    weights = zipf_weights(spec.files_per_tenant, spec.zipf_s)
+    ranks = list(range(1, spec.files_per_tenant + 1))
+    sizes: dict[str, int] = {}  # latest version size per created file
+    ops: list[WorkloadOp] = []
+    now = 0.0
+    for _ in range(spec.ops_per_tenant):
+        now += rng.expovariate(spec.arrival_rate)
+        rank = rng.choices(ranks, weights=weights, k=1)[0]
+        name = f"f{rank:03d}.dat"
+        is_put = name not in sizes or rng.random() < spec.write_fraction
+        if is_put:
+            size = _draw_size(spec, rng)
+            if spec.quota_bytes is not None:
+                headroom = spec.quota_bytes - (
+                    sum(sizes.values()) - sizes.get(name, 0)
+                )
+                if headroom < spec.min_file_bytes:
+                    # quota-full for this file: degrade the op to a read
+                    # of the hottest created file (or drop it when the
+                    # tenant has created nothing yet)
+                    if not sizes:
+                        continue
+                    fallback = min(sizes)  # lexicographic = hottest rank
+                    ops.append(WorkloadOp(at=now, action="get",
+                                          name=fallback,
+                                          rank=int(fallback[1:4])))
+                    continue
+                size = min(size, headroom)
+            content_rng = derive_rng(seed, "content", tenant_id, len(ops))
+            ops.append(WorkloadOp(
+                at=now, action="put", name=name, rank=rank, size=size,
+                content_seed=content_rng.randrange(2 ** 31),
+            ))
+            sizes[name] = size
+        else:
+            ops.append(WorkloadOp(at=now, action="get", name=name, rank=rank))
+    return TenantPlan(tenant_id=tenant_id,
+                      quota_bytes=spec.quota_bytes, ops=tuple(ops))
+
+
+def generate_fleet_workload(
+    spec: FleetWorkloadSpec, seed: int = 0
+) -> FleetWorkload:
+    """Deterministic fleet plans: same (spec, seed) -> identical plans.
+
+    Per-tenant streams are independent hash-derived RNGs; no global
+    :mod:`random` state is read or written anywhere in the generator.
+    """
+    plans = tuple(
+        _plan_tenant(spec, seed, tid) for tid in tenant_ids(spec)
+    )
+    return FleetWorkload(spec=spec, seed=seed, plans=plans)

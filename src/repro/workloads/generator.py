@@ -6,6 +6,13 @@ deduplication sees.  :func:`redundant_bytes` interleaves fresh random
 spans with repeats of earlier spans, giving a tunable dedup ratio;
 :func:`edited_copy` produces a realistic "user edited the file" variant
 (insertions/deletions/overwrites at random positions).
+
+RNG discipline (fleet determinism contract): no function in this module
+reads or writes the *global* :mod:`random` state.  Every generator
+builds a private ``random.Random(seed)`` — or uses a caller-injected
+``rng`` stream — so ``random.seed(...)`` anywhere else in the process
+(library import side effects, test ordering) can never perturb the
+bytes a workload produces.
 """
 
 from __future__ import annotations
@@ -13,32 +20,43 @@ from __future__ import annotations
 import random
 
 
-def random_bytes(size: int, seed: int) -> bytes:
-    """Deterministic incompressible content."""
+def _resolve_rng(seed: int, rng: random.Random | None) -> random.Random:
+    """The injected stream if given, else a private seeded one."""
+    return rng if rng is not None else random.Random(seed)
+
+
+def random_bytes(size: int, seed: int = 0,
+                 rng: random.Random | None = None) -> bytes:
+    """Deterministic incompressible content.
+
+    Pass ``rng`` to draw from an existing seeded stream instead of
+    ``seed``; the global RNG is never consulted either way.
+    """
     if size < 0:
         raise ValueError("size must be non-negative")
-    rng = random.Random(seed)
-    return rng.randbytes(size)
+    return _resolve_rng(seed, rng).randbytes(size)
 
 
 def redundant_bytes(
     size: int,
-    seed: int,
+    seed: int = 0,
     redundancy: float = 0.3,
     span: int = 64 * 1024,
+    rng: random.Random | None = None,
 ) -> bytes:
     """Content where ~``redundancy`` of spans repeat earlier spans.
 
     Args:
         size: Total length.
-        seed: RNG seed.
+        seed: RNG seed (ignored when ``rng`` is given).
         redundancy: Fraction of spans drawn from already-emitted spans.
         span: Span length (should exceed the chunker's average so a
             repeated span yields at least one repeated chunk).
+        rng: Optional injected seeded stream.
     """
     if not 0 <= redundancy < 1:
         raise ValueError(f"redundancy must be in [0, 1), got {redundancy}")
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     out = bytearray()
     history: list[bytes] = []
     while len(out) < size:
@@ -53,17 +71,19 @@ def redundant_bytes(
 
 def edited_copy(
     data: bytes,
-    seed: int,
+    seed: int = 0,
     edits: int = 3,
     max_edit: int = 4 * 1024,
+    rng: random.Random | None = None,
 ) -> bytes:
     """Apply a few local insertions/deletions/overwrites.
 
     Mimics a user saving a modified document: most content survives at
     chunk granularity, so content-defined chunking should dedup the
-    bulk of the re-upload.
+    bulk of the re-upload.  ``rng`` injects a seeded stream in place of
+    ``seed``.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     out = bytearray(data)
     for _ in range(edits):
         if not out:

@@ -1,0 +1,181 @@
+"""Sharded metadata store: routing stability, reachability, outages.
+
+The fleet's :class:`ShardedMetadataStore` consistent-hashes each file's
+version tree onto one metadata CSP *group*.  These tests pin:
+
+* **stable assignment** — shard routing is a pure function of
+  (route key, group ids), identical across store instances and runs;
+* **reachability** — files land on every group and the facade's
+  list/fetch surface unions them transparently;
+* **fault isolation** — an OUTAGE of one whole metadata group (via
+  :class:`FaultPlan` ``restricted_to`` that group's providers) degrades
+  exactly the files routed to it; everything else stays readable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import CyrusClient
+from repro.core.config import CyrusConfig
+from repro.csp.memory import InMemoryCSP
+from repro.errors import CyrusError, MetadataError
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyProvider
+from repro.metadata.sharded import ShardedMetadataStore
+
+SMALL_CHUNKS = dict(chunk_min=128, chunk_avg=512, chunk_max=4096)
+
+
+def make_csps() -> list[InMemoryCSP]:
+    return [InMemoryCSP(f"csp{i}") for i in range(6)]
+
+
+def group(csps, index: int) -> list:
+    """Three providers per metadata group: [0:3] and [3:6]."""
+    return csps[index * 3:(index + 1) * 3]
+
+
+def sharded_factory(csps):
+    def factory(client: CyrusClient) -> ShardedMetadataStore:
+        return ShardedMetadataStore(
+            [group(csps, 0), group(csps, 1)],
+            key=client.config.key, t=client.config.meta_t,
+            health=client.health, metrics=client.obs.metrics,
+            ledger=client.debt_ledger, clock=client.engine.clock,
+        )
+    return factory
+
+
+def make_client(csps, client_id="alice", key="shard-key") -> CyrusClient:
+    config = CyrusConfig(key=key, t=2, n=3, meta_t=2, **SMALL_CHUNKS)
+    return CyrusClient.create(csps, config, client_id=client_id,
+                              store_factory=sharded_factory(csps))
+
+
+def names_per_shard(store: ShardedMetadataStore, want: int = 2) -> dict:
+    """First ``want`` file names routed to each group."""
+    found: dict[int, list[str]] = {0: [], 1: []}
+    i = 0
+    while any(len(v) < want for v in found.values()):
+        name = f"file{i:03d}.dat"
+        shard = store.shard_for(name)
+        if len(found[shard]) < want:
+            found[shard].append(name)
+        i += 1
+    return found
+
+
+class TestRouting:
+    def test_assignment_is_stable_across_instances(self):
+        csps_a, csps_b = make_csps(), make_csps()
+        store_a = ShardedMetadataStore(
+            [group(csps_a, 0), group(csps_a, 1)], key="k")
+        store_b = ShardedMetadataStore(
+            [group(csps_b, 0), group(csps_b, 1)], key="k")
+        names = [f"file{i:03d}.dat" for i in range(64)]
+        assert ([store_a.shard_for(n) for n in names]
+                == [store_b.shard_for(n) for n in names])
+
+    def test_both_groups_get_traffic(self):
+        csps = make_csps()
+        store = ShardedMetadataStore([group(csps, 0), group(csps, 1)],
+                                     key="k")
+        shards = {store.shard_for(f"file{i:03d}.dat") for i in range(64)}
+        assert shards == {0, 1}
+
+    def test_route_prefix_gives_tenants_independent_spread(self):
+        csps = make_csps()
+        groups = [group(csps, 0), group(csps, 1)]
+        a = ShardedMetadataStore(groups, key="k", route_prefix="t000/")
+        b = ShardedMetadataStore(groups, key="k", route_prefix="t001/")
+        names = [f"file{i:03d}.dat" for i in range(64)]
+        assert ([a.shard_for(n) for n in names]
+                != [b.shard_for(n) for n in names])
+
+    def test_rejects_unequal_groups(self):
+        csps = make_csps()
+        with pytest.raises(MetadataError):
+            ShardedMetadataStore([csps[:3], csps[3:5]], key="k")
+
+    def test_rejects_duplicate_groups(self):
+        csps = make_csps()
+        with pytest.raises(MetadataError):
+            ShardedMetadataStore([csps[:3], csps[:3]], key="k")
+
+
+class TestReachability:
+    def test_files_on_every_shard_are_listed_and_fetched(self):
+        csps = make_csps()
+        writer = make_client(csps)
+        by_shard = names_per_shard(writer.store)
+        payloads = {}
+        for shard, names in by_shard.items():
+            for name in names:
+                payloads[name] = f"shard {shard}: {name}".encode()
+                writer.put(name, payloads[name], sync_first=False)
+
+        # a fresh client (same key) reassembles everything via the facade
+        reader = make_client(csps, client_id="bob")
+        reader.sync()
+        assert ({e.name for e in reader.list_files(sync_first=False)}
+                == set(payloads))
+        for name, payload in payloads.items():
+            assert reader.get(name, sync_first=False).data == payload
+
+    def test_metadata_shares_live_only_in_the_routed_group(self):
+        csps = make_csps()
+        writer = make_client(csps)
+        by_shard = names_per_shard(writer.store, want=1)
+        for names in by_shard.values():
+            writer.put(names[0], b"x" * 600, sync_first=False)
+        for shard, names in by_shard.items():
+            node = writer.tree.latest(names[0])
+            in_group = [
+                csp.csp_id for csp in csps
+                if any(node.node_id in info.name for info in csp.list())
+            ]
+            assert in_group == [c.csp_id for c in group(csps, shard)]
+
+
+class TestGroupOutage:
+    def test_one_dead_group_degrades_only_its_files(self):
+        csps = make_csps()
+        writer = make_client(csps)
+        by_shard = names_per_shard(writer.store)
+        for shard, names in by_shard.items():
+            for name in names:
+                writer.put(name, f"shard {shard}".encode(),
+                           sync_first=False)
+
+        # group 1's three providers go dark for every operation
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.OUTAGE)], seed=3,
+        ).restricted_to([c.csp_id for c in group(csps, 1)])
+        faulted = [FaultyProvider(c, plan) for c in csps]
+        reader = CyrusClient.create(
+            faulted,
+            CyrusConfig(key="shard-key", t=2, n=3, meta_t=2,
+                        **SMALL_CHUNKS),
+            client_id="carol", store_factory=sharded_factory(faulted),
+        )
+        reader.sync()
+        # files routed to the live group are fully readable ...
+        visible = {e.name for e in reader.list_files(sync_first=False)}
+        assert set(by_shard[0]) <= visible
+        for name in by_shard[0]:
+            assert reader.get(name, sync_first=False).data == b"shard 0"
+        # ... while the dead group's files are exactly the ones missing
+        assert visible.isdisjoint(by_shard[1])
+        for name in by_shard[1]:
+            with pytest.raises(CyrusError):
+                reader.get(name, sync_first=False)
+
+    def test_every_group_dead_is_a_hard_metadata_error(self):
+        csps = make_csps()
+        writer = make_client(csps)
+        writer.put("doomed.dat", b"payload", sync_first=False)
+        plan = FaultPlan([FaultSpec(kind=FaultKind.OUTAGE)], seed=3)
+        faulted = [FaultyProvider(c, plan) for c in csps]
+        store = sharded_factory(faulted)(writer)
+        with pytest.raises(MetadataError):
+            store.list_node_ids()

@@ -1,0 +1,163 @@
+"""Property tests for the fleet workload generator (Zipf/Poisson).
+
+Hypothesis pins the statistical and determinism contracts:
+
+* Zipf weights are a normalised pmf, monotone non-increasing in rank
+  (strictly decreasing for ``s > 0``);
+* the same (spec, seed) always yields bit-identical plans, and the
+  generator neither reads nor perturbs the global :mod:`random` state;
+* arrival times are strictly increasing per tenant and the merged
+  schedule is globally sorted;
+* quota-constrained plans never exceed the per-tenant quota at any
+  point in their timeline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.fleet import (
+    FleetWorkloadSpec,
+    derive_rng,
+    generate_fleet_workload,
+    tenant_ids,
+    zipf_weights,
+)
+
+#: Small-but-varied specs keep each Hypothesis example fast.
+specs = st.builds(
+    FleetWorkloadSpec,
+    tenants=st.integers(1, 6),
+    files_per_tenant=st.integers(1, 8),
+    ops_per_tenant=st.integers(1, 16),
+    zipf_s=st.floats(0.0, 3.0, allow_nan=False),
+    arrival_rate=st.floats(0.05, 5.0, allow_nan=False),
+    write_fraction=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+seeds = st.integers(0, 2 ** 32 - 1)
+
+
+class TestZipf:
+    @given(files=st.integers(1, 64), s=st.floats(0.0, 4.0, allow_nan=False))
+    def test_weights_are_a_monotone_pmf(self, files, s):
+        weights = zipf_weights(files, s)
+        assert len(weights) == files
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        assert all(w > 0 for w in weights)
+        # monotone non-increasing in rank; strictly decreasing once the
+        # exponent is large enough for 1/r**s to differ in float64
+        for hot, cold in zip(weights, weights[1:]):
+            assert hot >= cold
+            if s > 1e-9:
+                assert hot > cold
+
+    @given(files=st.integers(2, 64))
+    def test_zero_exponent_is_uniform(self, files):
+        weights = zipf_weights(files, 0.0)
+        assert all(math.isclose(w, 1.0 / files) for w in weights)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, -0.1)
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs, seed=seeds)
+    def test_same_seed_same_plans(self, spec, seed):
+        a = generate_fleet_workload(spec, seed=seed)
+        b = generate_fleet_workload(spec, seed=seed)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs, seed=seeds)
+    def test_global_rng_state_is_neither_read_nor_written(self, spec, seed):
+        # generation is immune to random.seed(...) elsewhere ...
+        random.seed(12345)
+        a = generate_fleet_workload(spec, seed=seed)
+        random.seed(99999)
+        b = generate_fleet_workload(spec, seed=seed)
+        assert a.fingerprint() == b.fingerprint()
+        # ... and never touches the global stream itself
+        random.seed(4242)
+        before = random.getstate()
+        generate_fleet_workload(spec, seed=seed)
+        assert random.getstate() == before
+
+    @given(seed=seeds)
+    def test_derived_streams_are_scope_independent(self, seed):
+        a = derive_rng(seed, "tenant", "t000")
+        b = derive_rng(seed, "tenant", "t000")
+        other = derive_rng(seed, "tenant", "t001")
+        draws_a = [a.random() for _ in range(8)]
+        assert draws_a == [b.random() for _ in range(8)]
+        assert draws_a != [other.random() for _ in range(8)]
+
+
+class TestSchedules:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs, seed=seeds)
+    def test_arrivals_sorted(self, spec, seed):
+        workload = generate_fleet_workload(spec, seed=seed)
+        for plan in workload.plans:
+            times = [op.at for op in plan.ops]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+        merged = [op.at for _tid, op in workload.merged_ops()]
+        assert merged == sorted(merged)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs, seed=seeds)
+    def test_first_touch_is_a_put_and_sizes_in_range(self, spec, seed):
+        workload = generate_fleet_workload(spec, seed=seed)
+        for plan in workload.plans:
+            created: set[str] = set()
+            for op in plan.ops:
+                if op.name not in created:
+                    assert op.action == "put", "first touch must create"
+                if op.action == "put":
+                    created.add(op.name)
+                    assert (spec.min_file_bytes <= op.size
+                            <= spec.max_file_bytes)
+                    assert len(op.content()) == op.size
+
+    def test_tenant_ids_are_stable_and_padded(self):
+        spec = FleetWorkloadSpec(tenants=3)
+        assert tenant_ids(spec) == ["t000", "t001", "t002"]
+
+
+class TestQuota:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spec=st.builds(
+            FleetWorkloadSpec,
+            tenants=st.integers(1, 4),
+            files_per_tenant=st.integers(1, 6),
+            ops_per_tenant=st.integers(1, 20),
+            # tight quotas force the shrink/degrade-to-get paths
+            quota_bytes=st.integers(2 * 1024, 48 * 1024),
+        ),
+        seed=seeds,
+    )
+    def test_plans_never_exceed_quota(self, spec, seed):
+        workload = generate_fleet_workload(spec, seed=seed)
+        for plan in workload.plans:
+            assert plan.quota_bytes == spec.quota_bytes
+            for live in plan.stored_bytes_timeline():
+                assert live <= spec.quota_bytes
+            # every GET references a file some earlier PUT created
+            created: set[str] = set()
+            for op in plan.ops:
+                if op.action == "put":
+                    created.add(op.name)
+                else:
+                    assert op.name in created
